@@ -1,0 +1,92 @@
+//! Shared batching pipeline for the baseline engines.
+//!
+//! All baselines consume the same [`StreamApp`] applications as MorphStream
+//! and report the same [`RunReport`] metrics; they differ only in how a batch
+//! of transactions is executed. This module factors the common
+//! punctuation/batching/measurement loop so each baseline only supplies an
+//! `execute` closure.
+
+use std::time::Instant;
+
+use morphstream::storage::StateStore;
+use morphstream::{EngineConfig, StreamApp, TxnBuilder, TxnOutcome};
+use morphstream_common::metrics::{Breakdown, Throughput};
+use morphstream_common::Timestamp;
+use morphstream_tpg::{Transaction, TransactionBatch};
+
+use morphstream::{BatchSummary, RunReport};
+
+/// Result of executing one batch in a baseline engine.
+pub(crate) struct ExecutedBatch {
+    pub outcomes: Vec<TxnOutcome>,
+    pub breakdown: Breakdown,
+    pub redone_ops: usize,
+}
+
+/// Drive the common pipeline: split `events` into punctuation-delimited
+/// batches, build transactions through the application, call `execute` per
+/// batch, post-process, and gather metrics.
+pub(crate) fn run_pipeline<A, F>(
+    app: &A,
+    store: &StateStore,
+    config: &EngineConfig,
+    events: Vec<A::Event>,
+    mut execute: F,
+) -> RunReport<A::Output>
+where
+    A: StreamApp,
+    F: FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch,
+{
+    let mut report = RunReport::new();
+    let punctuation = config.punctuation_interval.unwrap_or(usize::MAX).max(1);
+    let run_started = Instant::now();
+    let mut next_ts: Timestamp = 0;
+
+    for (batch_index, chunk) in events.chunks(punctuation.min(events.len().max(1))).enumerate() {
+        let batch_started = Instant::now();
+        let mut batch =
+            TransactionBatch::new().with_expected_abort_ratio(app.expected_abort_ratio());
+        for (event_index, event) in chunk.iter().enumerate() {
+            next_ts += 1;
+            let mut builder = TxnBuilder::new();
+            app.state_access(event, &mut builder);
+            batch.push(Transaction::new(next_ts, builder.into_ops()).with_event_index(event_index));
+        }
+
+        let executed = execute(batch, store, config.num_threads);
+        let committed = executed.outcomes.iter().filter(|o| o.committed).count();
+        let aborted = executed.outcomes.len() - committed;
+
+        for (event, outcome) in chunk.iter().zip(&executed.outcomes) {
+            report.outputs.push(app.post_process(event, outcome));
+        }
+
+        if config.reclaim_after_batch {
+            store.truncate_before(next_ts);
+        }
+        let elapsed = batch_started.elapsed();
+        let latency_us = elapsed.as_micros() as u64;
+        for _ in 0..chunk.len() {
+            report.latency.record_micros(latency_us);
+        }
+        report.committed += committed;
+        report.aborted += aborted;
+        report
+            .throughput
+            .merge(&Throughput::new(chunk.len() as u64, elapsed));
+        report.breakdown.merge(&executed.breakdown);
+        let bytes_retained = store.bytes_retained();
+        report.memory.record(run_started.elapsed(), bytes_retained);
+        report.batches.push(BatchSummary {
+            batch: batch_index,
+            events: chunk.len(),
+            committed,
+            aborted,
+            elapsed,
+            decision: Default::default(),
+            redone_ops: executed.redone_ops,
+            bytes_retained,
+        });
+    }
+    report
+}

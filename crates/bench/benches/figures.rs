@@ -1,0 +1,115 @@
+//! Criterion benchmarks over the core figure comparisons.
+//!
+//! Every group measures a smoke-scale version of one evaluation figure so
+//! that `cargo bench` finishes in minutes; the `fig*` binaries run the full
+//! sweeps and print the paper-style tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use morphstream_baselines::SystemUnderTest;
+use morphstream_bench::harness::{bench_engine_config, bench_sl_config, bench_threads, run_sl_on};
+use morphstream_bench::Scale;
+use morphstream_workloads::StreamingLedgerApp;
+
+/// Figure 11 core comparison: SL throughput per system.
+fn fig11_systems(c: &mut Criterion) {
+    let (config, events) = bench_sl_config(Scale::Smoke);
+    let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+    let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
+    let mut group = c.benchmark_group("fig11_sl_throughput");
+    group.sample_size(10);
+    for system in [
+        SystemUnderTest::MorphStream,
+        SystemUnderTest::TStream,
+        SystemUnderTest::SStore,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system),
+            &system,
+            |b, &system| {
+                b.iter(|| run_sl_on(system, &config, engine_config, events_vec.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 18/19/20 ablations: one representative point per dimension.
+fn ablation_decisions(c: &mut Criterion) {
+    use morphstream::{AbortHandling, ExplorationStrategy, Granularity, SchedulingDecision};
+    use morphstream::{MorphStream, storage::StateStore};
+    use morphstream_workloads::GrepSumApp;
+
+    let config = morphstream_common::WorkloadConfig::grep_sum()
+        .with_key_space(10_000)
+        .with_udf_complexity_us(0)
+        .with_txns_per_batch(1_024);
+    let events = GrepSumApp::generate(&config.with_abort_ratio(0.0), 2_048);
+    let mut group = c.benchmark_group("ablation_scheduling_decisions");
+    group.sample_size(10);
+    for decision in [
+        SchedulingDecision {
+            exploration: ExplorationStrategy::NonStructured,
+            granularity: Granularity::Fine,
+            abort_handling: AbortHandling::Eager,
+        },
+        SchedulingDecision {
+            exploration: ExplorationStrategy::StructuredBfs,
+            granularity: Granularity::Coarse,
+            abort_handling: AbortHandling::Lazy,
+        },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(decision),
+            &decision,
+            |b, &decision| {
+                b.iter(|| {
+                    let store = StateStore::new();
+                    let app = GrepSumApp::new(&store, &config);
+                    let mut engine = MorphStream::new(
+                        app,
+                        store,
+                        bench_engine_config(bench_threads(), config.txns_per_batch),
+                    )
+                    .with_fixed_decision(decision);
+                    engine.process(events.clone())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 14 window queries: one window size per iteration.
+fn fig14_window(c: &mut Criterion) {
+    use morphstream::{storage::StateStore, MorphStream};
+    use morphstream_workloads::GrepSumApp;
+
+    let config = morphstream_common::WorkloadConfig::grep_sum()
+        .with_key_space(10_000)
+        .with_udf_complexity_us(0)
+        .with_abort_ratio(0.0)
+        .with_txns_per_batch(1_024);
+    let mut group = c.benchmark_group("fig14_window_size");
+    group.sample_size(10);
+    for window in [100u64, 1_000] {
+        let events = GrepSumApp::generate_windowed(&config, 2_048, 100, 10, window);
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| {
+                let store = StateStore::new();
+                let app = GrepSumApp::new(&store, &config);
+                let mut engine = MorphStream::new(
+                    app,
+                    store,
+                    bench_engine_config(bench_threads(), config.txns_per_batch)
+                        .with_reclaim_after_batch(false),
+                );
+                engine.process(events.clone())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig11_systems, ablation_decisions, fig14_window);
+criterion_main!(figures);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 17 of the paper. Pass `--full` for the larger run.
+fn main() {
+    let scale = morphstream_bench::Scale::from_args();
+    morphstream_bench::figs::fig17::run(scale);
+}

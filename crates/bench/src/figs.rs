@@ -1,0 +1,765 @@
+//! One module per figure of the evaluation (Section 8). Every `run(scale)`
+//! prints the rows/series of the corresponding figure.
+
+use morphstream::storage::StateStore;
+use morphstream::{
+    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream,
+    SchedulingDecision,
+};
+use morphstream_baselines::{SStoreEngine, SystemUnderTest, TStreamEngine};
+use morphstream_common::metrics::BreakdownBucket;
+use morphstream_common::WorkloadConfig;
+use morphstream_workloads::{
+    DynamicWorkload, GrepSumApp, OsedApp, OsedReport, SeaApp, SeaGenerator, StreamingLedgerApp,
+    TollProcessingApp, TweetGenerator,
+};
+
+use crate::harness::{
+    banner, bench_engine_config, bench_sl_config, bench_threads, run_sl_on, Scale, SystemReport,
+};
+
+fn gs_config(scale: Scale) -> (WorkloadConfig, usize) {
+    let config = WorkloadConfig::grep_sum()
+        .with_key_space(20_000)
+        .with_udf_complexity_us(1)
+        .with_txns_per_batch(1_024);
+    (config, 4_096 * scale.factor())
+}
+
+fn fixed(
+    exploration: ExplorationStrategy,
+    granularity: Granularity,
+    abort: AbortHandling,
+) -> SchedulingDecision {
+    SchedulingDecision {
+        exploration,
+        granularity,
+        abort_handling: abort,
+    }
+}
+
+fn run_gs_fixed(
+    config: &WorkloadConfig,
+    events: Vec<morphstream_workloads::GsEvent>,
+    engine_config: EngineConfig,
+    decision: Option<SchedulingDecision>,
+) -> f64 {
+    let store = StateStore::new();
+    let app = GrepSumApp::new(&store, config);
+    let mut engine = MorphStream::new(app, store, engine_config);
+    if let Some(decision) = decision {
+        engine = engine.with_fixed_decision(decision);
+    }
+    engine.process(events).k_events_per_second()
+}
+
+/// Figure 11: SL throughput comparison across systems on all cores.
+pub mod fig11 {
+    use super::*;
+
+    /// Run the comparison and return `(system, k events/s)` rows.
+    pub fn measure(scale: Scale) -> Vec<SystemReport> {
+        let (config, events) = bench_sl_config(scale);
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+        let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
+        [
+            SystemUnderTest::MorphStream,
+            SystemUnderTest::TStream,
+            SystemUnderTest::SStore,
+            SystemUnderTest::LockedSpeWithoutLocks,
+            SystemUnderTest::LockedSpeWithLocks,
+        ]
+        .into_iter()
+        .map(|system| run_sl_on(system, &config, engine_config, events_vec.clone()))
+        .collect()
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 11", "SL throughput: MorphStream vs TSPEs vs conventional SPE");
+        println!("{}", SystemReport::header());
+        for report in measure(scale) {
+            println!("{}", report.row());
+        }
+    }
+}
+
+/// Figure 12: dynamic 4-phase workload — throughput over phases and latency.
+pub mod fig12 {
+    use super::*;
+    use morphstream_workloads::DynamicPhase;
+
+    /// Per-system, per-phase throughput (k events/s).
+    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, Vec<(DynamicPhase, f64, f64)>)> {
+        let (config, events) = bench_sl_config(scale);
+        let workload = DynamicWorkload::new(config, events / 2);
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+        let mut out = Vec::new();
+        for system in [
+            SystemUnderTest::MorphStream,
+            SystemUnderTest::TStream,
+            SystemUnderTest::SStore,
+        ] {
+            let mut rows = Vec::new();
+            for (phase, events) in workload.all_phases() {
+                let report = run_sl_on(system, &config, engine_config, events);
+                rows.push((phase, report.k_events_per_second, report.p95_latency_ms));
+            }
+            out.push((system, rows));
+        }
+        out
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner(
+            "Figure 12",
+            "dynamic workload: per-phase throughput and tail latency",
+        );
+        println!(
+            "{:<28} {:<18} {:>12} {:>12}",
+            "system", "phase", "k events/s", "p95 ms"
+        );
+        for (system, rows) in measure(scale) {
+            for (phase, kps, p95) in rows {
+                println!("{:<28} {:<18} {:>12.2} {:>12.2}", system.to_string(), format!("{phase:?}"), kps, p95);
+            }
+        }
+    }
+}
+
+/// Figure 13: single vs multiple (nested) scheduling strategies on TP.
+pub mod fig13 {
+    use super::*;
+
+    /// `(configuration, k events/s, p95 ms)` rows.
+    pub fn measure(scale: Scale) -> Vec<(String, f64, f64)> {
+        let config = WorkloadConfig::toll_processing()
+            .with_key_space(20_000)
+            .with_udf_complexity_us(1)
+            .with_txns_per_batch(2_048);
+        let count = 4_096 * scale.factor();
+        let events = TollProcessingApp::generate_two_groups(&config, count, 0.5, 0.3, 0.9);
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+
+        let plain1 = fixed(
+            ExplorationStrategy::NonStructured,
+            Granularity::Coarse,
+            AbortHandling::Lazy,
+        );
+        let plain2 = fixed(
+            ExplorationStrategy::StructuredBfs,
+            Granularity::Coarse,
+            AbortHandling::Eager,
+        );
+
+        let mut rows = Vec::new();
+        // Nested: adaptive per-group decisions.
+        {
+            let store = StateStore::new();
+            let app = TollProcessingApp::new(&store, &config);
+            let mut engine = MorphStream::new(app, store, engine_config);
+            let report = engine.process_grouped(events.clone(), |e| e.group);
+            let r = SystemReport::from_run(SystemUnderTest::MorphStream, report);
+            rows.push(("Nested".to_string(), r.k_events_per_second, r.p95_latency_ms));
+        }
+        for (label, decision) in [("Plain-1", plain1), ("Plain-2", plain2)] {
+            let store = StateStore::new();
+            let app = TollProcessingApp::new(&store, &config);
+            let mut engine =
+                MorphStream::new(app, store, engine_config).with_fixed_decision(decision);
+            let report = engine.process(events.clone());
+            let r = SystemReport::from_run(SystemUnderTest::MorphStream, report);
+            rows.push((label.to_string(), r.k_events_per_second, r.p95_latency_ms));
+        }
+        // Baselines.
+        {
+            let store = StateStore::new();
+            let app = TollProcessingApp::new(&store, &config);
+            let mut engine = TStreamEngine::new(app, store, engine_config);
+            let r = SystemReport::from_run(SystemUnderTest::TStream, engine.process(events.clone()));
+            rows.push(("TStream".to_string(), r.k_events_per_second, r.p95_latency_ms));
+        }
+        {
+            let store = StateStore::new();
+            let app = TollProcessingApp::new(&store, &config);
+            let mut engine = SStoreEngine::new(app, store, engine_config);
+            let r = SystemReport::from_run(SystemUnderTest::SStore, engine.process(events));
+            rows.push(("S-Store".to_string(), r.k_events_per_second, r.p95_latency_ms));
+        }
+        rows
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 13", "TP: nested vs plain strategies vs baselines");
+        println!("{:<12} {:>12} {:>12}", "config", "k events/s", "p95 ms");
+        for (label, kps, p95) in measure(scale) {
+            println!("{label:<12} {kps:>12.2} {p95:>12.2}");
+        }
+    }
+}
+
+/// Figure 14: tumbling window queries — window size and trigger period.
+pub mod fig14 {
+    use super::*;
+
+    /// `(window size, k events/s)` and `(trigger period, k events/s)` series.
+    pub fn measure(scale: Scale) -> (Vec<(u64, f64)>, Vec<(usize, f64)>) {
+        let (config, count) = gs_config(scale);
+        let config = config.with_abort_ratio(0.0);
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+
+        let window_sizes = [100u64, 1_000, 10_000];
+        let by_window = window_sizes
+            .iter()
+            .map(|&window| {
+                let events = GrepSumApp::generate_windowed(&config, count, 100, 20, window);
+                let mut cfg = engine_config;
+                cfg.reclaim_after_batch = false;
+                (window, run_gs_fixed(&config, events, cfg, None))
+            })
+            .collect();
+
+        let trigger_periods = [10usize, 100, 1_000];
+        let by_period = trigger_periods
+            .iter()
+            .map(|&period| {
+                let events = GrepSumApp::generate_windowed(&config, count, period, 20, 1_000);
+                let mut cfg = engine_config;
+                cfg.reclaim_after_batch = false;
+                (period, run_gs_fixed(&config, events, cfg, None))
+            })
+            .collect();
+        (by_window, by_period)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 14", "GS window queries: window size & trigger period");
+        let (by_window, by_period) = measure(scale);
+        println!("{:<20} {:>12}", "window size (ts)", "k events/s");
+        for (w, kps) in by_window {
+            println!("{w:<20} {kps:>12.2}");
+        }
+        println!("{:<20} {:>12}", "trigger period", "k events/s");
+        for (p, kps) in by_period {
+            println!("{p:<20} {kps:>12.2}");
+        }
+    }
+}
+
+/// Figure 15: non-deterministic queries.
+pub mod fig15 {
+    use super::*;
+
+    /// `(system, #non-det accesses, k events/s)` rows.
+    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, usize, f64)> {
+        let (config, count) = gs_config(scale);
+        let config = config.with_abort_ratio(0.0);
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+        let sweep = [50usize, 100, 200, 400];
+        let mut rows = Vec::new();
+        for &non_det in &sweep {
+            let events = GrepSumApp::generate_non_deterministic(&config, count, non_det);
+            // MorphStream
+            rows.push((
+                SystemUnderTest::MorphStream,
+                non_det,
+                run_gs_fixed(&config, events.clone(), engine_config, None),
+            ));
+            // TStream
+            {
+                let store = StateStore::new();
+                let app = GrepSumApp::new(&store, &config);
+                let mut engine = TStreamEngine::new(app, store, engine_config);
+                rows.push((
+                    SystemUnderTest::TStream,
+                    non_det,
+                    engine.process(events.clone()).k_events_per_second(),
+                ));
+            }
+            // S-Store
+            {
+                let store = StateStore::new();
+                let app = GrepSumApp::new(&store, &config);
+                let mut engine = SStoreEngine::new(app, store, engine_config);
+                rows.push((
+                    SystemUnderTest::SStore,
+                    non_det,
+                    engine.process(events).k_events_per_second(),
+                ));
+            }
+        }
+        rows
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 15", "GS non-deterministic state accesses");
+        println!("{:<28} {:>12} {:>12}", "system", "#non-det", "k events/s");
+        for (system, non_det, kps) in measure(scale) {
+            println!("{:<28} {non_det:>12} {kps:>12.2}", system.to_string());
+        }
+    }
+}
+
+/// Figure 16: runtime breakdown and memory footprint.
+pub mod fig16 {
+    use super::*;
+
+    /// Per-system breakdown fractions and peak memory.
+    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, Vec<(BreakdownBucket, f64)>, u64)> {
+        let (config, events) = bench_sl_config(scale);
+        let workload = DynamicWorkload::new(config, events / 2);
+        let mut all_events = Vec::new();
+        for (_, phase_events) in workload.all_phases() {
+            all_events.extend(phase_events);
+        }
+        let mut engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+        engine_config.reclaim_after_batch = false;
+        let mut out = Vec::new();
+        for system in [
+            SystemUnderTest::MorphStream,
+            SystemUnderTest::TStream,
+            SystemUnderTest::SStore,
+        ] {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, &config);
+            let report = match system {
+                SystemUnderTest::MorphStream => {
+                    let mut engine = MorphStream::new(app, store, engine_config);
+                    engine.process(all_events.clone())
+                }
+                SystemUnderTest::TStream => {
+                    let mut engine = TStreamEngine::new(app, store, engine_config);
+                    engine.process(all_events.clone())
+                }
+                _ => {
+                    let mut engine = SStoreEngine::new(app, store, engine_config);
+                    engine.process(all_events.clone())
+                }
+            };
+            let fractions = BreakdownBucket::ALL
+                .iter()
+                .map(|&b| (b, report.breakdown.fraction(b)))
+                .collect();
+            out.push((system, fractions, report.memory.peak_bytes()));
+        }
+        out
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 16", "runtime breakdown and memory footprint (dynamic SL)");
+        for (system, fractions, peak) in measure(scale) {
+            println!("{}:", system);
+            for (bucket, fraction) in fractions {
+                println!("    {:<10} {:>6.1}%", bucket.label(), fraction * 100.0);
+            }
+            println!("    peak auxiliary memory: {:.1} MiB", peak as f64 / (1024.0 * 1024.0));
+        }
+    }
+}
+
+/// Figure 17: impact of clean-up (version reclamation).
+pub mod fig17 {
+    use super::*;
+
+    /// `(label, k events/s, peak MiB)` rows.
+    pub fn measure(scale: Scale) -> Vec<(String, f64, f64)> {
+        let (config, events) = bench_sl_config(scale);
+        let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
+        let mut rows = Vec::new();
+        for (label, reclaim) in [("w/o clean-up", false), ("w/ clean-up", true)] {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, &config);
+            let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch)
+                .with_reclaim_after_batch(reclaim);
+            let mut engine = MorphStream::new(app, store, engine_config);
+            let report = engine.process(events_vec.clone());
+            rows.push((
+                label.to_string(),
+                report.k_events_per_second(),
+                report.memory.peak_bytes() as f64 / (1024.0 * 1024.0),
+            ));
+        }
+        rows
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 17", "clean-up impact: throughput and memory");
+        println!("{:<16} {:>12} {:>12}", "config", "k events/s", "peak MiB");
+        for (label, kps, mib) in measure(scale) {
+            println!("{label:<16} {kps:>12.2} {mib:>12.2}");
+        }
+    }
+}
+
+/// Figure 18: exploration strategy decision.
+pub mod fig18 {
+    use super::*;
+
+    /// `(strategy, punctuation interval, k events/s)` and
+    /// `(strategy, zipf θ, k events/s)` series.
+    #[allow(clippy::type_complexity)]
+    pub fn measure(scale: Scale) -> (Vec<(String, usize, f64)>, Vec<(String, f64, f64)>) {
+        let (config, count) = gs_config(scale);
+        let strategies = [
+            ("ns-explore", ExplorationStrategy::NonStructured),
+            ("s-explore(BFS)", ExplorationStrategy::StructuredBfs),
+            ("s-explore(DFS)", ExplorationStrategy::StructuredDfs),
+        ];
+        let mut by_interval = Vec::new();
+        for &interval in &[512usize, 1_024, 4_096] {
+            let cfg = config.with_txns_per_batch(interval);
+            let events = GrepSumApp::generate(&cfg.with_abort_ratio(0.0), count);
+            for (label, strategy) in strategies {
+                let decision = fixed(strategy, Granularity::Fine, AbortHandling::Eager);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), interval),
+                    Some(decision),
+                );
+                by_interval.push((label.to_string(), interval, kps));
+            }
+        }
+        let mut by_skew = Vec::new();
+        for &theta in &[0.0f64, 0.5, 1.0] {
+            let cfg = config.with_zipf_theta(theta).with_abort_ratio(0.0);
+            let events = GrepSumApp::generate(&cfg, count);
+            for (label, strategy) in strategies {
+                let decision = fixed(strategy, Granularity::Fine, AbortHandling::Eager);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), cfg.txns_per_batch),
+                    Some(decision),
+                );
+                by_skew.push((label.to_string(), theta, kps));
+            }
+        }
+        (by_interval, by_skew)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 18", "exploration strategies vs punctuation interval & skew");
+        let (by_interval, by_skew) = measure(scale);
+        println!("{:<16} {:>14} {:>12}", "strategy", "punct interval", "k events/s");
+        for (label, interval, kps) in by_interval {
+            println!("{label:<16} {interval:>14} {kps:>12.2}");
+        }
+        println!("{:<16} {:>14} {:>12}", "strategy", "zipf theta", "k events/s");
+        for (label, theta, kps) in by_skew {
+            println!("{label:<16} {theta:>14.2} {kps:>12.2}");
+        }
+    }
+}
+
+/// Figure 19: scheduling granularity decision.
+pub mod fig19 {
+    use super::*;
+
+    /// Three series: cyclic/acyclic, punctuation interval, multi-access ratio.
+    #[allow(clippy::type_complexity)]
+    pub fn measure(
+        scale: Scale,
+    ) -> (
+        Vec<(String, String, f64)>,
+        Vec<(String, usize, f64)>,
+        Vec<(String, usize, f64)>,
+    ) {
+        let (config, count) = gs_config(scale);
+        let granularities = [("f-schedule", Granularity::Fine), ("c-schedule", Granularity::Coarse)];
+
+        // (a) cyclic (multi-state writes create interleaved chains) vs acyclic
+        let mut by_cycles = Vec::new();
+        for (case, states_per_op) in [("acyclic", 1usize), ("cyclic", 3usize)] {
+            let cfg = config.with_states_per_op(states_per_op).with_abort_ratio(0.0);
+            let events = GrepSumApp::generate(&cfg, count);
+            for (label, granularity) in granularities {
+                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), cfg.txns_per_batch),
+                    Some(decision),
+                );
+                by_cycles.push((label.to_string(), case.to_string(), kps));
+            }
+        }
+
+        // (b) punctuation interval sweep with single-state accesses
+        let mut by_interval = Vec::new();
+        for &interval in &[512usize, 1_024, 4_096] {
+            let cfg = config
+                .with_states_per_op(1)
+                .with_abort_ratio(0.0)
+                .with_txns_per_batch(interval);
+            let events = GrepSumApp::generate(&cfg, count);
+            for (label, granularity) in granularities {
+                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), interval),
+                    Some(decision),
+                );
+                by_interval.push((label.to_string(), interval, kps));
+            }
+        }
+
+        // (c) ratio of multi-state accesses
+        let mut by_ratio = Vec::new();
+        for &ratio in &[10usize, 50, 90] {
+            let cfg = config.with_abort_ratio(0.0);
+            // mix single-state and multi-state updates at the requested ratio
+            let multi = GrepSumApp::generate(&cfg.with_states_per_op(3), count);
+            let single = GrepSumApp::generate(&cfg.with_states_per_op(1), count);
+            let events: Vec<_> = (0..count)
+                .map(|i| {
+                    if i % 100 < ratio {
+                        multi[i].clone()
+                    } else {
+                        single[i].clone()
+                    }
+                })
+                .collect();
+            for (label, granularity) in granularities {
+                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), cfg.txns_per_batch),
+                    Some(decision),
+                );
+                by_ratio.push((label.to_string(), ratio, kps));
+            }
+        }
+        (by_cycles, by_interval, by_ratio)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 19", "scheduling granularities");
+        let (by_cycles, by_interval, by_ratio) = measure(scale);
+        println!("{:<14} {:>10} {:>12}", "granularity", "workload", "k events/s");
+        for (label, case, kps) in by_cycles {
+            println!("{label:<14} {case:>10} {kps:>12.2}");
+        }
+        println!("{:<14} {:>10} {:>12}", "granularity", "interval", "k events/s");
+        for (label, interval, kps) in by_interval {
+            println!("{label:<14} {interval:>10} {kps:>12.2}");
+        }
+        println!("{:<14} {:>10} {:>12}", "granularity", "multi %", "k events/s");
+        for (label, ratio, kps) in by_ratio {
+            println!("{label:<14} {ratio:>10} {kps:>12.2}");
+        }
+    }
+}
+
+/// Figure 20: abort handling decision.
+pub mod fig20 {
+    use super::*;
+
+    /// `(mechanism, udf µs, k events/s)` and `(mechanism, abort %, k events/s)`.
+    #[allow(clippy::type_complexity)]
+    pub fn measure(scale: Scale) -> (Vec<(String, u64, f64)>, Vec<(String, usize, f64)>) {
+        let (config, count) = gs_config(scale);
+        let mechanisms = [("e-abort", AbortHandling::Eager), ("l-abort", AbortHandling::Lazy)];
+
+        let mut by_complexity = Vec::new();
+        for &cost in &[0u64, 20, 50] {
+            let cfg = config.with_udf_complexity_us(cost).with_abort_ratio(0.4);
+            let events = GrepSumApp::generate(&cfg, count);
+            for (label, abort) in mechanisms {
+                let decision = fixed(ExplorationStrategy::NonStructured, Granularity::Fine, abort);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), cfg.txns_per_batch),
+                    Some(decision),
+                );
+                by_complexity.push((label.to_string(), cost, kps));
+            }
+        }
+
+        let mut by_abort_ratio = Vec::new();
+        for &ratio in &[10usize, 50, 90] {
+            let cfg = config
+                .with_udf_complexity_us(0)
+                .with_abort_ratio(ratio as f64 / 100.0);
+            let events = GrepSumApp::generate(&cfg, count);
+            for (label, abort) in mechanisms {
+                let decision = fixed(ExplorationStrategy::NonStructured, Granularity::Fine, abort);
+                let kps = run_gs_fixed(
+                    &cfg,
+                    events.clone(),
+                    bench_engine_config(bench_threads(), cfg.txns_per_batch),
+                    Some(decision),
+                );
+                by_abort_ratio.push((label.to_string(), ratio, kps));
+            }
+        }
+        (by_complexity, by_abort_ratio)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 20", "abort handling mechanisms");
+        let (by_complexity, by_ratio) = measure(scale);
+        println!("{:<10} {:>10} {:>12}", "abort", "udf µs", "k events/s");
+        for (label, cost, kps) in by_complexity {
+            println!("{label:<10} {cost:>10} {kps:>12.2}");
+        }
+        println!("{:<10} {:>10} {:>12}", "abort", "abort %", "k events/s");
+        for (label, ratio, kps) in by_ratio {
+            println!("{label:<10} {ratio:>10} {kps:>12.2}");
+        }
+    }
+}
+
+/// Figure 21: hardware interaction — clock-tick breakdown and scalability.
+pub mod fig21 {
+    use super::*;
+
+    /// `(system, total busy seconds, memory-wait fraction)` rows and
+    /// `(system, cores, k events/s)` scalability series.
+    #[allow(clippy::type_complexity)]
+    pub fn measure(scale: Scale) -> (Vec<(SystemUnderTest, f64, f64)>, Vec<(SystemUnderTest, usize, f64)>) {
+        let (config, events) = bench_sl_config(scale);
+        let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
+        let systems = [
+            SystemUnderTest::MorphStream,
+            SystemUnderTest::TStream,
+            SystemUnderTest::SStore,
+        ];
+
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+        let mut ticks = Vec::new();
+        for system in systems {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, &config);
+            let report = match system {
+                SystemUnderTest::MorphStream => {
+                    MorphStream::new(app, store, engine_config).process(events_vec.clone())
+                }
+                SystemUnderTest::TStream => {
+                    TStreamEngine::new(app, store, engine_config).process(events_vec.clone())
+                }
+                _ => SStoreEngine::new(app, store, engine_config).process(events_vec.clone()),
+            };
+            let total = report.breakdown.total().as_secs_f64();
+            // "memory bound" stand-in: share of busy time spent waiting on
+            // state access coordination rather than computing.
+            let waiting = report.breakdown.fraction(BreakdownBucket::Sync)
+                + report.breakdown.fraction(BreakdownBucket::Lock)
+                + report.breakdown.fraction(BreakdownBucket::Explore);
+            ticks.push((system, total, waiting));
+        }
+
+        let max_threads = bench_threads();
+        let mut scalability = Vec::new();
+        for &threads in &[1usize, 2, max_threads] {
+            let engine_config = bench_engine_config(threads, config.txns_per_batch);
+            for system in systems {
+                let report = run_sl_on(system, &config, engine_config, events_vec.clone());
+                scalability.push((system, threads, report.k_events_per_second));
+            }
+        }
+        (ticks, scalability)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 21", "clock-tick breakdown and multicore scalability (SL)");
+        let (ticks, scalability) = measure(scale);
+        println!("{:<28} {:>16} {:>16}", "system", "busy seconds", "waiting share");
+        for (system, total, waiting) in ticks {
+            println!("{:<28} {total:>16.3} {:>15.1}%", system.to_string(), waiting * 100.0);
+        }
+        println!("{:<28} {:>8} {:>12}", "system", "cores", "k events/s");
+        for (system, cores, kps) in scalability {
+            println!("{:<28} {cores:>8} {kps:>12.2}", system.to_string());
+        }
+    }
+}
+
+/// Figure 23: Online Social Event Detection case study.
+pub mod fig23 {
+    use super::*;
+    use morphstream_common::Timestamp;
+
+    /// Returns the OSED report plus throughput in k tweets/s.
+    pub fn measure(scale: Scale) -> (OsedReport, f64) {
+        let generator = TweetGenerator {
+            tweets: 3_000 * scale.factor(),
+            window: 200,
+            ..TweetGenerator::default()
+        };
+        let (tweets, expected) = generator.generate();
+        let store = StateStore::new();
+        let app = OsedApp::new(&store, generator.window as Timestamp + 1);
+        let mut engine = MorphStream::new(
+            app,
+            store,
+            bench_engine_config(bench_threads(), generator.window + 1)
+                .with_reclaim_after_batch(false),
+        );
+        let report = engine.process(tweets);
+        let kps = report.k_events_per_second();
+        (OsedReport::from_outputs(expected, &report.outputs), kps)
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 23", "OSED: expected vs detected event popularity");
+        let (report, kps) = measure(scale);
+        println!("throughput: {kps:.2} k tweets/s");
+        println!("detection accuracy (±10 tweets): {:.1}%", report.detection_accuracy(10) * 100.0);
+        for (event, series) in report.expected.iter().enumerate() {
+            let detected = &report.detected[event];
+            println!("event {event}: expected {series:?}");
+            println!("event {event}: detected {detected:?}");
+        }
+    }
+}
+
+/// Figure 25: Stock Exchange Analysis case study.
+pub mod fig25 {
+    use super::*;
+
+    /// Returns `(expected total matches, actual total matches, k events/s)`.
+    pub fn measure(scale: Scale) -> (u64, i64, f64) {
+        let generator = SeaGenerator {
+            events: 4_000 * scale.factor(),
+            stocks: 200,
+            ..SeaGenerator::default()
+        };
+        let events = generator.generate();
+        let window = 200u64;
+        let expected = generator.expected_accumulated_matches(&events, window);
+        let store = StateStore::new();
+        let app = SeaApp::new(&store, generator.stocks, window);
+        let mut engine = MorphStream::new(
+            app,
+            store,
+            bench_engine_config(bench_threads(), 1_000).with_reclaim_after_batch(false),
+        );
+        let report = engine.process(events);
+        let actual: i64 = report.outputs.iter().sum();
+        (*expected.last().unwrap_or(&0), actual, report.k_events_per_second())
+    }
+
+    /// Print the figure.
+    pub fn run(scale: Scale) {
+        banner("Figure 25", "SEA: expected vs actual accumulated matches");
+        let (expected, actual, kps) = measure(scale);
+        println!("throughput: {kps:.2} k events/s");
+        println!("expected accumulated matches: {expected}");
+        println!("actual accumulated matches:   {actual}");
+    }
+}

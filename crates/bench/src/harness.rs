@@ -1,0 +1,174 @@
+//! Shared helpers for the figure harnesses: build a system under test, run a
+//! workload through it, and report throughput/latency in the paper's units.
+
+use morphstream::storage::StateStore;
+use morphstream::{EngineConfig, MorphStream, RunReport};
+use morphstream_baselines::{LockedSpeEngine, SStoreEngine, SystemUnderTest, TStreamEngine};
+use morphstream_common::WorkloadConfig;
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few thousand events: used by `cargo bench` and CI smoke runs.
+    Smoke,
+    /// Tens of thousands of events: closer to the paper's batch sizes; used
+    /// by the `fig*` binaries when `--full` is passed.
+    Full,
+}
+
+impl Scale {
+    /// Parse from command-line arguments: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Smoke
+        }
+    }
+
+    /// Multiplier applied to event counts.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Full => 8,
+        }
+    }
+}
+
+/// Condensed result of running one system on one workload.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Which system ran.
+    pub system: SystemUnderTest,
+    /// Throughput in thousands of events per second.
+    pub k_events_per_second: f64,
+    /// Median end-to-end latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// Committed / aborted transaction counts.
+    pub committed: usize,
+    /// Aborted transaction count.
+    pub aborted: usize,
+}
+
+impl SystemReport {
+    /// Build from a run report.
+    pub fn from_run<O>(system: SystemUnderTest, mut report: RunReport<O>) -> Self {
+        let p50 = report
+            .latency
+            .percentile(50.0)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        let p95 = report
+            .latency
+            .percentile(95.0)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        Self {
+            system,
+            k_events_per_second: report.k_events_per_second(),
+            p50_latency_ms: p50,
+            p95_latency_ms: p95,
+            committed: report.committed,
+            aborted: report.aborted,
+        }
+    }
+
+    /// One formatted table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} {:>12.2} {:>12.2} {:>12.2} {:>10} {:>10}",
+            self.system.to_string(),
+            self.k_events_per_second,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.committed,
+            self.aborted
+        )
+    }
+
+    /// Table header matching [`SystemReport::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<28} {:>12} {:>12} {:>12} {:>10} {:>10}",
+            "system", "k events/s", "p50 ms", "p95 ms", "committed", "aborted"
+        )
+    }
+}
+
+/// Benchmark engine configuration: all available cores, paper-style
+/// punctuation interval.
+pub fn bench_engine_config(threads: usize, punctuation: usize) -> EngineConfig {
+    EngineConfig::with_threads(threads).with_punctuation_interval(punctuation)
+}
+
+/// Run the Streaming Ledger workload on one system and return its condensed
+/// report. This is the core comparison reused by Figures 11, 12, 16 and 21.
+pub fn run_sl_on(
+    system: SystemUnderTest,
+    config: &WorkloadConfig,
+    engine_config: EngineConfig,
+    events: Vec<SlEvent>,
+) -> SystemReport {
+    match system {
+        SystemUnderTest::MorphStream => {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, config);
+            let mut engine = MorphStream::new(app, store, engine_config);
+            SystemReport::from_run(system, engine.process(events))
+        }
+        SystemUnderTest::TStream => {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, config);
+            let mut engine = TStreamEngine::new(app, store, engine_config);
+            SystemReport::from_run(system, engine.process(events))
+        }
+        SystemUnderTest::SStore => {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, config);
+            let mut engine = SStoreEngine::new(app, store, engine_config);
+            SystemReport::from_run(system, engine.process(events))
+        }
+        SystemUnderTest::LockedSpeWithLocks => {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, config);
+            let mut cfg = engine_config;
+            cfg.remote_state_latency_us = cfg.remote_state_latency_us.max(20);
+            let mut engine = LockedSpeEngine::with_locks(app, store, cfg);
+            SystemReport::from_run(system, engine.process(events))
+        }
+        SystemUnderTest::LockedSpeWithoutLocks => {
+            let store = StateStore::new();
+            let app = StreamingLedgerApp::new(&store, config);
+            let mut cfg = engine_config;
+            cfg.remote_state_latency_us = cfg.remote_state_latency_us.max(20);
+            let mut engine = LockedSpeEngine::without_locks(app, store, cfg);
+            SystemReport::from_run(system, engine.process(events))
+        }
+    }
+}
+
+/// Streaming Ledger configuration used by the benchmarks: Table 6 defaults
+/// shrunk to a size that runs in seconds on a laptop-class container.
+pub fn bench_sl_config(scale: Scale) -> (WorkloadConfig, usize) {
+    let config = WorkloadConfig::streaming_ledger()
+        .with_key_space(20_000)
+        .with_udf_complexity_us(1)
+        .with_txns_per_batch(1_024);
+    let events = 4_096 * scale.factor();
+    (config, events)
+}
+
+/// Number of worker threads used by default in the harness.
+pub fn bench_threads() -> usize {
+    morphstream_common::config::default_parallelism().min(8)
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, description: &str) {
+    println!("==============================================================");
+    println!("{figure}: {description}");
+    println!("==============================================================");
+}

@@ -1,0 +1,310 @@
+//! Workload and engine configuration.
+//!
+//! [`WorkloadConfig`] mirrors Table 6 of the paper: the six workload
+//! characteristics (θ, a, l, C, r, T) that every benchmark sweeps, plus the
+//! size of the shared mutable state. [`EngineConfig`] carries the
+//! system-level knobs (worker threads, punctuation interval, version
+//! reclamation) shared by MorphStream and the baselines.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload characteristics of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// `θ` — Zipf skew of the state access distribution (0.0 = uniform).
+    pub zipf_theta: f64,
+    /// `a` — ratio of transactions that abort (0.0 – 0.9 in the sweeps).
+    pub abort_ratio: f64,
+    /// `l` — transaction length: number of atomic state access operations per
+    /// transaction.
+    pub txn_length: usize,
+    /// `C` — complexity of a user-defined function, expressed as an emulated
+    /// computation delay in microseconds.
+    pub udf_complexity_us: u64,
+    /// `r` — number of states accessed per (multi-state) operation.
+    pub states_per_op: usize,
+    /// `T` — number of transactions per punctuation (the punctuation
+    /// interval).
+    pub txns_per_batch: usize,
+    /// Number of distinct keys of shared mutable state available to the
+    /// workload.
+    pub key_space: u64,
+    /// Seed for deterministic workload generation.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Default configuration of the Streaming Ledger workload (Table 6,
+    /// column SL): θ=0.2, a=1%, l=2 (deposit)/4 (transfer), C=10µs, r=1/2,
+    /// T=10240.
+    pub fn streaming_ledger() -> Self {
+        Self {
+            zipf_theta: 0.2,
+            abort_ratio: 0.01,
+            txn_length: 2,
+            udf_complexity_us: 10,
+            states_per_op: 2,
+            txns_per_batch: 10_240,
+            key_space: 100_000,
+            seed: 0xD5EE_D001,
+        }
+    }
+
+    /// Default configuration of the GrepSum workload (Table 6, column GS).
+    pub fn grep_sum() -> Self {
+        Self {
+            zipf_theta: 0.2,
+            abort_ratio: 0.01,
+            txn_length: 1,
+            udf_complexity_us: 10,
+            states_per_op: 2,
+            txns_per_batch: 10_240,
+            key_space: 100_000,
+            seed: 0xD5EE_D002,
+        }
+    }
+
+    /// Default configuration of the Toll Processing workload (Table 6,
+    /// column TP).
+    pub fn toll_processing() -> Self {
+        Self {
+            zipf_theta: 0.2,
+            abort_ratio: 0.01,
+            txn_length: 2,
+            udf_complexity_us: 10,
+            states_per_op: 1,
+            txns_per_batch: 40_960,
+            key_space: 100_000,
+            seed: 0xD5EE_D003,
+        }
+    }
+
+    /// Builder-style update of the Zipf skew.
+    pub fn with_zipf_theta(mut self, theta: f64) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
+    /// Builder-style update of the abort ratio.
+    pub fn with_abort_ratio(mut self, ratio: f64) -> Self {
+        self.abort_ratio = ratio;
+        self
+    }
+
+    /// Builder-style update of the transaction length.
+    pub fn with_txn_length(mut self, length: usize) -> Self {
+        self.txn_length = length;
+        self
+    }
+
+    /// Builder-style update of the UDF complexity in microseconds.
+    pub fn with_udf_complexity_us(mut self, us: u64) -> Self {
+        self.udf_complexity_us = us;
+        self
+    }
+
+    /// Builder-style update of the states accessed per operation.
+    pub fn with_states_per_op(mut self, r: usize) -> Self {
+        self.states_per_op = r;
+        self
+    }
+
+    /// Builder-style update of the punctuation interval.
+    pub fn with_txns_per_batch(mut self, t: usize) -> Self {
+        self.txns_per_batch = t;
+        self
+    }
+
+    /// Builder-style update of the key space size.
+    pub fn with_key_space(mut self, n: u64) -> Self {
+        self.key_space = n;
+        self
+    }
+
+    /// Builder-style update of the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.zipf_theta) {
+            return Err(format!("zipf_theta must be in [0,1], got {}", self.zipf_theta));
+        }
+        if !(0.0..=1.0).contains(&self.abort_ratio) {
+            return Err(format!("abort_ratio must be in [0,1], got {}", self.abort_ratio));
+        }
+        if self.txn_length == 0 {
+            return Err("txn_length must be at least 1".into());
+        }
+        if self.states_per_op == 0 {
+            return Err("states_per_op must be at least 1".into());
+        }
+        if self.txns_per_batch == 0 {
+            return Err("txns_per_batch must be at least 1".into());
+        }
+        if self.key_space < (self.txn_length * self.states_per_op) as u64 {
+            return Err("key_space too small for the configured transaction shape".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::streaming_ledger()
+    }
+}
+
+/// System-level engine configuration shared by MorphStream and the baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of worker threads used by the execution stage.
+    pub num_threads: usize,
+    /// Number of input events between punctuations. `None` means "use the
+    /// workload's `txns_per_batch`".
+    pub punctuation_interval: Option<usize>,
+    /// Reclaim multi-version state and processed TPGs after every batch
+    /// (the analogue of the paper's "clear temporal objects" switch used in
+    /// Figure 17).
+    pub reclaim_after_batch: bool,
+    /// Emulated per-state-access network round-trip in microseconds. Used
+    /// only by the conventional-SPE baseline to stand in for the Flink+Redis
+    /// deployment of Figure 11; engines ignore it.
+    pub remote_state_latency_us: u64,
+}
+
+impl EngineConfig {
+    /// Configuration with `num_threads` workers and defaults elsewhere.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Self {
+            num_threads,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style update of the punctuation interval.
+    pub fn with_punctuation_interval(mut self, events: usize) -> Self {
+        self.punctuation_interval = Some(events);
+        self
+    }
+
+    /// Builder-style toggle of after-batch reclamation.
+    pub fn with_reclaim_after_batch(mut self, reclaim: bool) -> Self {
+        self.reclaim_after_batch = reclaim;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_threads == 0 {
+            return Err("num_threads must be at least 1".into());
+        }
+        if let Some(0) = self.punctuation_interval {
+            return Err("punctuation_interval must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            num_threads: default_parallelism(),
+            punctuation_interval: None,
+            reclaim_after_batch: true,
+            remote_state_latency_us: 0,
+        }
+    }
+}
+
+/// Available hardware parallelism, defaulting to 4 when it cannot be queried.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_defaults_match_the_paper() {
+        let sl = WorkloadConfig::streaming_ledger();
+        assert_eq!(sl.zipf_theta, 0.2);
+        assert_eq!(sl.abort_ratio, 0.01);
+        assert_eq!(sl.udf_complexity_us, 10);
+        assert_eq!(sl.txns_per_batch, 10_240);
+
+        let gs = WorkloadConfig::grep_sum();
+        assert_eq!(gs.txn_length, 1);
+        assert_eq!(gs.states_per_op, 2);
+
+        let tp = WorkloadConfig::toll_processing();
+        assert_eq!(tp.txns_per_batch, 40_960);
+        assert_eq!(tp.states_per_op, 1);
+    }
+
+    #[test]
+    fn builders_update_single_fields() {
+        let cfg = WorkloadConfig::grep_sum()
+            .with_zipf_theta(0.8)
+            .with_abort_ratio(0.3)
+            .with_txn_length(5)
+            .with_udf_complexity_us(50)
+            .with_states_per_op(3)
+            .with_txns_per_batch(512)
+            .with_key_space(1_000)
+            .with_seed(1);
+        assert_eq!(cfg.zipf_theta, 0.8);
+        assert_eq!(cfg.abort_ratio, 0.3);
+        assert_eq!(cfg.txn_length, 5);
+        assert_eq!(cfg.udf_complexity_us, 50);
+        assert_eq!(cfg.states_per_op, 3);
+        assert_eq!(cfg.txns_per_batch, 512);
+        assert_eq!(cfg.key_space, 1_000);
+        assert_eq!(cfg.seed, 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_values() {
+        assert!(WorkloadConfig::default()
+            .with_zipf_theta(1.5)
+            .validate()
+            .is_err());
+        assert!(WorkloadConfig::default()
+            .with_abort_ratio(-0.1)
+            .validate()
+            .is_err());
+        assert!(WorkloadConfig::default()
+            .with_txn_length(0)
+            .validate()
+            .is_err());
+        assert!(WorkloadConfig::default()
+            .with_key_space(1)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn engine_config_validation() {
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(EngineConfig::with_threads(0).validate().is_err());
+        let cfg = EngineConfig::with_threads(8)
+            .with_punctuation_interval(1024)
+            .with_reclaim_after_batch(false);
+        assert_eq!(cfg.num_threads, 8);
+        assert_eq!(cfg.punctuation_interval, Some(1024));
+        assert!(!cfg.reclaim_after_batch);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error and abort types.
+
+use std::fmt;
+
+use crate::types::{StateRef, Timestamp, TxnId};
+
+/// Why a state access operation (and therefore its whole transaction, through
+/// the logical dependency rule) aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The user-defined function signalled a consistency violation, e.g. an
+    /// account balance would become negative. This is the paper's mechanism
+    /// for tuning the ratio of aborting transactions.
+    ConsistencyViolation {
+        /// The state the violating operation targeted.
+        state: StateRef,
+        /// Human-readable detail from the UDF.
+        detail: String,
+    },
+    /// A logically dependent operation of the same transaction aborted, so
+    /// this operation must abort as well (LD propagation).
+    LogicalDependency {
+        /// Transaction whose failure propagated here.
+        txn: TxnId,
+    },
+    /// The workload injected an artificial failure (used by the abort-ratio
+    /// sweeps in Figure 20).
+    Injected,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::ConsistencyViolation { state, detail } => {
+                write!(f, "consistency violation on {state}: {detail}")
+            }
+            AbortReason::LogicalDependency { txn } => {
+                write!(f, "aborted because transaction {txn} aborted")
+            }
+            AbortReason::Injected => write!(f, "workload-injected abort"),
+        }
+    }
+}
+
+/// Top-level error type of the MorphStream reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MorphError {
+    /// A table id was used that the state store does not know about.
+    UnknownTable(u32),
+    /// A key was accessed that was never pre-allocated and auto-expansion is
+    /// disabled for the table.
+    UnknownKey {
+        /// Offending reference.
+        state: StateRef,
+    },
+    /// A read targeted a timestamp for which no version exists yet.
+    NoVisibleVersion {
+        /// Offending reference.
+        state: StateRef,
+        /// Timestamp of the reader.
+        at: Timestamp,
+    },
+    /// The engine was configured inconsistently (e.g. zero worker threads).
+    InvalidConfig(String),
+    /// An internal invariant was violated; indicates a bug rather than a user
+    /// error.
+    Internal(String),
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::UnknownTable(id) => write!(f, "unknown table id {id}"),
+            MorphError::UnknownKey { state } => write!(f, "unknown key {state}"),
+            MorphError::NoVisibleVersion { state, at } => {
+                write!(f, "no version of {state} visible at timestamp {at}")
+            }
+            MorphError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MorphError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MorphError {}
+
+/// Result alias used across the workspace.
+pub type Result<T, E = MorphError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TableId;
+
+    #[test]
+    fn abort_reasons_render_human_readable_text() {
+        let r = AbortReason::ConsistencyViolation {
+            state: StateRef::new(TableId(0), 3),
+            detail: "balance below zero".into(),
+        };
+        assert!(r.to_string().contains("balance below zero"));
+        assert!(AbortReason::LogicalDependency { txn: 9 }
+            .to_string()
+            .contains('9'));
+        assert_eq!(AbortReason::Injected.to_string(), "workload-injected abort");
+    }
+
+    #[test]
+    fn errors_render_offending_identifiers() {
+        let e = MorphError::NoVisibleVersion {
+            state: StateRef::new(TableId(2), 7),
+            at: 11,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("table#2[7]"));
+        assert!(msg.contains("11"));
+        assert!(MorphError::UnknownTable(5).to_string().contains('5'));
+    }
+
+    #[test]
+    fn morph_error_implements_std_error() {
+        fn takes_error(_e: &dyn std::error::Error) {}
+        takes_error(&MorphError::Internal("x".into()));
+    }
+}

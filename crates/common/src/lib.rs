@@ -1,0 +1,25 @@
+//! Shared foundation for the MorphStream reproduction.
+//!
+//! This crate contains the vocabulary types used across the workspace
+//! (keys, values, timestamps, transaction identifiers), the workload
+//! configuration knobs of the paper's Table 6, deterministic random number
+//! generation and Zipfian sampling used by the workload generators, and the
+//! measurement infrastructure (throughput, latency distributions, and the
+//! runtime breakdown of Figure 16a).
+//!
+//! Nothing in this crate knows about transactions or scheduling; it exists so
+//! that the planning, scheduling, execution, and benchmarking crates agree on
+//! primitive representations without depending on each other.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod rng;
+pub mod types;
+pub mod zipf;
+
+pub use config::{EngineConfig, WorkloadConfig};
+pub use error::{AbortReason, MorphError};
+pub use types::{Key, OpId, StateRef, TableId, Timestamp, TxnId, Value};

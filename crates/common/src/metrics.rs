@@ -1,0 +1,382 @@
+//! Measurement infrastructure.
+//!
+//! The evaluation reports four kinds of measurements:
+//! * throughput (events per second) — Figures 11–15, 17–21;
+//! * end-to-end latency distributions (CDF / percentiles) — Figures 12b, 13b;
+//! * a runtime breakdown into useful / sync / lock / construct / explore /
+//!   abort time — Figure 16a and 21a;
+//! * memory retained by auxiliary structures over time — Figures 16b, 17b.
+//!
+//! This module provides small, allocation-light recorders for all four.
+
+use std::time::Duration;
+
+/// Buckets of the Figure 16a runtime breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BreakdownBucket {
+    /// Time spent running user-defined functions and touching state.
+    Useful,
+    /// Blocking on barriers or waiting for other threads / mode switching.
+    Sync,
+    /// Waiting to acquire or inserting locks / latches.
+    Lock,
+    /// Building auxiliary structures (TPG, operation chains, partitions).
+    Construct,
+    /// Searching for ready work in the TPG / chains.
+    Explore,
+    /// Wasted computation due to aborts, rollbacks, and redos.
+    Abort,
+}
+
+impl BreakdownBucket {
+    /// All buckets in presentation order.
+    pub const ALL: [BreakdownBucket; 6] = [
+        BreakdownBucket::Useful,
+        BreakdownBucket::Sync,
+        BreakdownBucket::Lock,
+        BreakdownBucket::Construct,
+        BreakdownBucket::Explore,
+        BreakdownBucket::Abort,
+    ];
+
+    /// Short label used by the bench harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakdownBucket::Useful => "useful",
+            BreakdownBucket::Sync => "sync",
+            BreakdownBucket::Lock => "lock",
+            BreakdownBucket::Construct => "construct",
+            BreakdownBucket::Explore => "explore",
+            BreakdownBucket::Abort => "abort",
+        }
+    }
+}
+
+/// Accumulated per-bucket durations. Buckets accumulate across threads, so the
+/// totals can exceed wall-clock time on a multicore run (as in the paper's
+/// clock-tick accounting).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Breakdown {
+    nanos: [u64; 6],
+}
+
+impl Breakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `d` to `bucket`.
+    #[inline]
+    pub fn add(&mut self, bucket: BreakdownBucket, d: Duration) {
+        self.nanos[bucket as usize] += d.as_nanos() as u64;
+    }
+
+    /// Add raw nanoseconds to `bucket`.
+    #[inline]
+    pub fn add_nanos(&mut self, bucket: BreakdownBucket, nanos: u64) {
+        self.nanos[bucket as usize] += nanos;
+    }
+
+    /// Total time recorded in `bucket`.
+    #[inline]
+    pub fn get(&self, bucket: BreakdownBucket) -> Duration {
+        Duration::from_nanos(self.nanos[bucket as usize])
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Fraction of the total attributed to `bucket` (0 if nothing recorded).
+    pub fn fraction(&self, bucket: BreakdownBucket) -> f64 {
+        let total = self.nanos.iter().sum::<u64>();
+        if total == 0 {
+            0.0
+        } else {
+            self.nanos[bucket as usize] as f64 / total as f64
+        }
+    }
+
+    /// Merge another breakdown into this one (e.g. per-thread partials).
+    pub fn merge(&mut self, other: &Breakdown) {
+        for i in 0..self.nanos.len() {
+            self.nanos[i] += other.nanos[i];
+        }
+    }
+}
+
+/// Records end-to-end latencies and produces percentiles / CDF points.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+        self.sorted = false;
+    }
+
+    /// Record a latency already expressed in microseconds.
+    #[inline]
+    pub fn record_micros(&mut self, micros: u64) {
+        self.samples_us.push(micros);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True when no samples were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Merge the samples of another recorder.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile in `[0, 100]` as a duration; `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<Duration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples_us.len() - 1) as f64).round() as usize;
+        Some(Duration::from_micros(self.samples_us[rank]))
+    }
+
+    /// Mean latency; `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        Some(Duration::from_micros(sum / self.samples_us.len() as u64))
+    }
+
+    /// CDF as `(latency, cumulative_percent)` pairs with `points` entries,
+    /// matching the latency plots of Figures 12b and 13b.
+    pub fn cdf(&mut self, points: usize) -> Vec<(Duration, f64)> {
+        if self.samples_us.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples_us.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let rank = ((frac * (n - 1) as f64).round()) as usize;
+                (Duration::from_micros(self.samples_us[rank]), frac * 100.0)
+            })
+            .collect()
+    }
+}
+
+/// Throughput helper: events processed over elapsed wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Throughput {
+    /// Number of input events processed (committed or aborted).
+    pub events: u64,
+    /// Wall-clock processing time.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Build from raw parts.
+    pub fn new(events: u64, elapsed: Duration) -> Self {
+        Self { events, elapsed }
+    }
+
+    /// Events per second; 0 when no time elapsed.
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Thousands of events per second, the unit of the paper's plots.
+    pub fn k_events_per_second(&self) -> f64 {
+        self.events_per_second() / 1_000.0
+    }
+
+    /// Merge with another measurement (summing events and time).
+    pub fn merge(&mut self, other: &Throughput) {
+        self.events += other.events;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Byte-accounting of auxiliary structures, standing in for the JVM memory
+/// footprint plots (Figures 16b / 17b).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTimeline {
+    points: Vec<(Duration, u64)>,
+}
+
+impl MemoryTimeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the bytes retained at elapsed time `at`.
+    pub fn record(&mut self, at: Duration, bytes: u64) {
+        self.points.push((at, bytes));
+    }
+
+    /// Recorded `(elapsed, bytes)` samples in insertion order.
+    pub fn points(&self) -> &[(Duration, u64)] {
+        &self.points
+    }
+
+    /// Largest recorded footprint.
+    pub fn peak_bytes(&self) -> u64 {
+        self.points.iter().map(|(_, b)| *b).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_reports_fractions() {
+        let mut b = Breakdown::new();
+        b.add(BreakdownBucket::Useful, Duration::from_millis(30));
+        b.add(BreakdownBucket::Sync, Duration::from_millis(10));
+        b.add_nanos(BreakdownBucket::Useful, 0);
+        assert_eq!(b.get(BreakdownBucket::Useful), Duration::from_millis(30));
+        assert_eq!(b.total(), Duration::from_millis(40));
+        assert!((b.fraction(BreakdownBucket::Useful) - 0.75).abs() < 1e-9);
+        assert_eq!(b.fraction(BreakdownBucket::Abort), 0.0);
+    }
+
+    #[test]
+    fn breakdown_merge_sums_per_bucket() {
+        let mut a = Breakdown::new();
+        a.add(BreakdownBucket::Lock, Duration::from_millis(5));
+        let mut b = Breakdown::new();
+        b.add(BreakdownBucket::Lock, Duration::from_millis(7));
+        b.add(BreakdownBucket::Explore, Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.get(BreakdownBucket::Lock), Duration::from_millis(12));
+        assert_eq!(a.get(BreakdownBucket::Explore), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = Breakdown::new();
+        for bucket in BreakdownBucket::ALL {
+            assert_eq!(b.fraction(bucket), 0.0);
+            assert!(!bucket.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotonic() {
+        let mut rec = LatencyRecorder::new();
+        for i in (1..=1000).rev() {
+            rec.record(Duration::from_micros(i));
+        }
+        let p50 = rec.percentile(50.0).unwrap();
+        let p99 = rec.percentile(99.0).unwrap();
+        let p0 = rec.percentile(0.0).unwrap();
+        let p100 = rec.percentile(100.0).unwrap();
+        assert!(p0 <= p50 && p50 <= p99 && p99 <= p100);
+        assert_eq!(p100, Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn latency_mean_and_empty_behaviour() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert!(rec.mean().is_none());
+        assert!(rec.percentile(50.0).is_none());
+        rec.record_micros(10);
+        rec.record_micros(30);
+        assert_eq!(rec.mean().unwrap(), Duration::from_micros(20));
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn latency_cdf_is_non_decreasing() {
+        let mut rec = LatencyRecorder::new();
+        for i in 0..500 {
+            rec.record_micros(1000 - i);
+        }
+        let cdf = rec.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record_micros(1);
+        let mut b = LatencyRecorder::new();
+        b.record_micros(100);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.percentile(100.0).unwrap(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn throughput_units() {
+        let t = Throughput::new(50_000, Duration::from_secs(2));
+        assert!((t.events_per_second() - 25_000.0).abs() < 1e-6);
+        assert!((t.k_events_per_second() - 25.0).abs() < 1e-6);
+        let zero = Throughput::new(10, Duration::ZERO);
+        assert_eq!(zero.events_per_second(), 0.0);
+    }
+
+    #[test]
+    fn throughput_merge_sums_both_fields() {
+        let mut a = Throughput::new(100, Duration::from_secs(1));
+        a.merge(&Throughput::new(300, Duration::from_secs(3)));
+        assert_eq!(a.events, 400);
+        assert_eq!(a.elapsed, Duration::from_secs(4));
+    }
+
+    #[test]
+    fn memory_timeline_tracks_peak() {
+        let mut m = MemoryTimeline::new();
+        assert_eq!(m.peak_bytes(), 0);
+        m.record(Duration::from_secs(1), 100);
+        m.record(Duration::from_secs(2), 500);
+        m.record(Duration::from_secs(3), 200);
+        assert_eq!(m.peak_bytes(), 500);
+        assert_eq!(m.points().len(), 3);
+    }
+}

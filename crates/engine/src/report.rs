@@ -1,0 +1,146 @@
+//! Run and batch reports: the measurements every figure of the evaluation is
+//! derived from.
+
+use std::time::Duration;
+
+use morphstream_common::metrics::{Breakdown, LatencyRecorder, MemoryTimeline, Throughput};
+use morphstream_scheduler::SchedulingDecision;
+
+/// Summary of one processed batch (one punctuation interval).
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Index of the batch within the run.
+    pub batch: usize,
+    /// Number of input events in the batch.
+    pub events: usize,
+    /// Committed transactions.
+    pub committed: usize,
+    /// Aborted transactions.
+    pub aborted: usize,
+    /// Wall-clock time spent processing the batch.
+    pub elapsed: Duration,
+    /// The scheduling decision used for the batch (the decision of the first
+    /// group when the nested configuration is used).
+    pub decision: SchedulingDecision,
+    /// Operations redone because of upstream aborts.
+    pub redone_ops: usize,
+    /// Bytes retained by the state store when the batch finished.
+    pub bytes_retained: u64,
+}
+
+impl BatchSummary {
+    /// Throughput of this batch in events per second.
+    pub fn events_per_second(&self) -> f64 {
+        Throughput::new(self.events as u64, self.elapsed).events_per_second()
+    }
+}
+
+/// Report of a whole run (a sequence of batches).
+#[derive(Debug)]
+pub struct RunReport<O> {
+    /// Per-event outputs produced by post-processing, in input order.
+    pub outputs: Vec<O>,
+    /// Number of committed transactions.
+    pub committed: usize,
+    /// Number of aborted transactions.
+    pub aborted: usize,
+    /// Aggregate throughput over the processing time of all batches.
+    pub throughput: Throughput,
+    /// End-to-end latency samples of every event.
+    pub latency: LatencyRecorder,
+    /// Runtime breakdown accumulated over all batches and worker threads.
+    pub breakdown: Breakdown,
+    /// Memory retained by auxiliary structures over time.
+    pub memory: MemoryTimeline,
+    /// Per-batch summaries (throughput-over-time plots).
+    pub batches: Vec<BatchSummary>,
+}
+
+impl<O> RunReport<O> {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self {
+            outputs: Vec::new(),
+            committed: 0,
+            aborted: 0,
+            throughput: Throughput::default(),
+            latency: LatencyRecorder::new(),
+            breakdown: Breakdown::new(),
+            memory: MemoryTimeline::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Total events processed.
+    pub fn events(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Throughput in thousands of events per second (the paper's unit).
+    pub fn k_events_per_second(&self) -> f64 {
+        self.throughput.k_events_per_second()
+    }
+
+    /// The scheduling decisions taken across batches, deduplicated in order —
+    /// shows how the engine morphed during a dynamic workload.
+    pub fn decision_trace(&self) -> Vec<SchedulingDecision> {
+        let mut trace: Vec<SchedulingDecision> = Vec::new();
+        for b in &self.batches {
+            if trace.last() != Some(&b.decision) {
+                trace.push(b.decision);
+            }
+        }
+        trace
+    }
+}
+
+impl<O> Default for RunReport<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_summary_computes_throughput() {
+        let b = BatchSummary {
+            batch: 0,
+            events: 1000,
+            committed: 990,
+            aborted: 10,
+            elapsed: Duration::from_millis(100),
+            decision: SchedulingDecision::default(),
+            redone_ops: 0,
+            bytes_retained: 0,
+        };
+        assert!((b.events_per_second() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn decision_trace_deduplicates_consecutive_decisions() {
+        let mut report: RunReport<()> = RunReport::new();
+        let mut fine = SchedulingDecision::default();
+        fine.granularity = morphstream_scheduler::Granularity::Fine;
+        for (i, d) in [SchedulingDecision::default(), SchedulingDecision::default(), fine]
+            .into_iter()
+            .enumerate()
+        {
+            report.batches.push(BatchSummary {
+                batch: i,
+                events: 1,
+                committed: 1,
+                aborted: 0,
+                elapsed: Duration::from_millis(1),
+                decision: d,
+                redone_ops: 0,
+                bytes_retained: 0,
+            });
+        }
+        assert_eq!(report.decision_trace().len(), 2);
+        assert_eq!(report.events(), 0);
+        assert_eq!(report.k_events_per_second(), 0.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Exploration drivers: how worker threads traverse the scheduling units of a
+//! TPG (Section 5.1).
+//!
+//! All three drivers operate on the unit partition produced by the
+//! granularity decision (fine = one operation per unit, coarse = operation
+//! chains). The drivers differ in how ready units are discovered:
+//!
+//! * **structured BFS** — units are stratified by their longest dependency
+//!   path; all threads process one stratum and synchronise on a barrier
+//!   before moving to the next (barrier wait is accounted as `sync` time);
+//! * **structured DFS** — units are statically assigned to threads; a thread
+//!   spins until the dependencies of its next unit resolve (spin time is
+//!   accounted as `explore` time);
+//! * **non-structured** — a shared ready queue plus per-unit dependency
+//!   counters; finishing a unit asynchronously enqueues its newly-ready
+//!   children (queue wait is accounted as `explore` time).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use morphstream_common::metrics::{Breakdown, BreakdownBucket};
+use morphstream_scheduler::ExplorationStrategy;
+use morphstream_tpg::SchedulingUnits;
+
+use crate::context::ExecContext;
+
+/// Run every unit of the batch with `num_threads` workers following the given
+/// exploration strategy, merging per-worker breakdowns into `breakdown`.
+pub fn run(
+    ctx: &ExecContext,
+    units: &SchedulingUnits,
+    strategy: ExplorationStrategy,
+    num_threads: usize,
+    breakdown: &mut Breakdown,
+) {
+    if units.num_units() == 0 {
+        return;
+    }
+    let partials = match strategy {
+        ExplorationStrategy::StructuredBfs => run_bfs(ctx, units, num_threads),
+        ExplorationStrategy::StructuredDfs => run_dfs(ctx, units, num_threads),
+        ExplorationStrategy::NonStructured => run_ns(ctx, units, num_threads),
+    };
+    for partial in partials {
+        breakdown.merge(&partial);
+    }
+}
+
+/// Process one unit: run its operations in timestamp order.
+fn process_unit(ctx: &ExecContext, units: &SchedulingUnits, unit: usize, breakdown: &mut Breakdown) {
+    for &op in &units.units()[unit].ops {
+        ctx.run_op(op, breakdown);
+    }
+}
+
+/// Longest-path rank of every unit over the unit DAG, plus the number of
+/// strata.
+fn unit_strata(units: &SchedulingUnits) -> (Vec<usize>, usize) {
+    let n = units.num_units();
+    let mut rank = vec![0usize; n];
+    let mut indegree: Vec<usize> = (0..n).map(|u| units.parents(u).len()).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&u| indegree[u] == 0).collect();
+    let mut max_rank = 0;
+    let mut visited = 0;
+    while let Some(u) = queue.pop_front() {
+        visited += 1;
+        max_rank = max_rank.max(rank[u]);
+        for &c in units.children(u) {
+            rank[c] = rank[c].max(rank[u] + 1);
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push_back(c);
+            }
+        }
+    }
+    debug_assert_eq!(visited, n, "unit graph must be acyclic after merging");
+    (rank, if n == 0 { 0 } else { max_rank + 1 })
+}
+
+// ---------------------------------------------------------------------------
+// structured BFS
+// ---------------------------------------------------------------------------
+
+fn run_bfs(ctx: &ExecContext, units: &SchedulingUnits, num_threads: usize) -> Vec<Breakdown> {
+    let (rank, num_strata) = unit_strata(units);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); num_strata];
+    for (unit, &r) in rank.iter().enumerate() {
+        strata[r].push(unit);
+    }
+    let barrier = Barrier::new(num_threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for worker in 0..num_threads {
+            let strata = &strata;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut breakdown = Breakdown::new();
+                for stratum in strata {
+                    // every worker takes an interleaved slice of the stratum
+                    for unit in stratum.iter().skip(worker).step_by(num_threads) {
+                        process_unit(ctx, units, *unit, &mut breakdown);
+                    }
+                    let wait = Instant::now();
+                    barrier.wait();
+                    breakdown.add(BreakdownBucket::Sync, wait.elapsed());
+                }
+                breakdown
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("BFS worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// structured DFS
+// ---------------------------------------------------------------------------
+
+fn run_dfs(ctx: &ExecContext, units: &SchedulingUnits, num_threads: usize) -> Vec<Breakdown> {
+    let (rank, _) = unit_strata(units);
+    let n = units.num_units();
+    // Assign units to threads round-robin in rank order so that every thread
+    // processes its own units in topological order.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&u| (rank[u], u));
+    let assignments: Vec<Vec<usize>> = (0..num_threads)
+        .map(|w| order.iter().copied().skip(w).step_by(num_threads).collect())
+        .collect();
+
+    // settled[unit] counts remaining unfinished parent units.
+    let remaining: Vec<AtomicUsize> = (0..n)
+        .map(|u| AtomicUsize::new(units.parents(u).len()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for assignment in assignments.iter() {
+            let remaining = &remaining;
+            handles.push(scope.spawn(move || {
+                let mut breakdown = Breakdown::new();
+                for &unit in assignment {
+                    // spin until the unit's dependencies are settled
+                    let wait = Instant::now();
+                    while remaining[unit].load(Ordering::Acquire) > 0 {
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                    breakdown.add(BreakdownBucket::Explore, wait.elapsed());
+                    process_unit(ctx, units, unit, &mut breakdown);
+                    for &child in units.children(unit) {
+                        remaining[child].fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                breakdown
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("DFS worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// non-structured
+// ---------------------------------------------------------------------------
+
+struct ReadyQueue {
+    queue: Mutex<VecDeque<usize>>,
+    available: Condvar,
+    settled: AtomicUsize,
+    total: usize,
+}
+
+impl ReadyQueue {
+    fn push(&self, unit: usize) {
+        self.queue.lock().push_back(unit);
+        self.available.notify_one();
+    }
+
+    /// Pop the next ready unit; returns `None` when every unit has settled.
+    /// The wait time is added to the `explore` bucket.
+    fn pop(&self, breakdown: &mut Breakdown) -> Option<usize> {
+        let wait = Instant::now();
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(unit) = queue.pop_front() {
+                breakdown.add(BreakdownBucket::Explore, wait.elapsed());
+                return Some(unit);
+            }
+            if self.settled.load(Ordering::Acquire) >= self.total {
+                breakdown.add(BreakdownBucket::Explore, wait.elapsed());
+                return None;
+            }
+            self.available
+                .wait_for(&mut queue, std::time::Duration::from_millis(1));
+        }
+    }
+
+    fn mark_settled(&self) {
+        if self.settled.fetch_add(1, Ordering::AcqRel) + 1 >= self.total {
+            self.available.notify_all();
+        }
+    }
+}
+
+fn run_ns(ctx: &ExecContext, units: &SchedulingUnits, num_threads: usize) -> Vec<Breakdown> {
+    let n = units.num_units();
+    let remaining: Vec<AtomicUsize> = (0..n)
+        .map(|u| AtomicUsize::new(units.parents(u).len()))
+        .collect();
+    let ready = ReadyQueue {
+        queue: Mutex::new((0..n).filter(|&u| units.parents(u).is_empty()).collect()),
+        available: Condvar::new(),
+        settled: AtomicUsize::new(0),
+        total: n,
+    };
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for _ in 0..num_threads {
+            let ready = &ready;
+            let remaining = &remaining;
+            handles.push(scope.spawn(move || {
+                let mut breakdown = Breakdown::new();
+                while let Some(unit) = ready.pop(&mut breakdown) {
+                    process_unit(ctx, units, unit, &mut breakdown);
+                    // asynchronously notify dependents (the signal-holder of
+                    // the paper's ns-explore)
+                    for &child in units.children(unit) {
+                        if remaining[child].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ready.push(child);
+                        }
+                    }
+                    ready.mark_settled();
+                }
+                breakdown
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ns-explore worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use morphstream_common::{StateRef, TableId, Value};
+    use morphstream_scheduler::AbortHandling;
+    use morphstream_storage::StateStore;
+    use morphstream_tpg::{udfs, OperationSpec, TpgBuilder, Transaction, TransactionBatch};
+    use std::sync::Arc;
+
+    const T: TableId = TableId(0);
+
+    fn transfer_workload(num_accounts: u64, num_txns: u64) -> TransactionBatch {
+        let mut batch = TransactionBatch::new();
+        for ts in 1..=num_txns {
+            let from = ts % num_accounts;
+            let to = (ts * 7 + 3) % num_accounts;
+            if from == to {
+                batch.push(Transaction::new(
+                    ts,
+                    vec![OperationSpec::write(T, from, vec![], udfs::add_delta(1))],
+                ));
+            } else {
+                batch.push(Transaction::new(
+                    ts,
+                    vec![
+                        OperationSpec::write(T, from, vec![], udfs::withdraw(10)),
+                        OperationSpec::write(
+                            T,
+                            to,
+                            vec![StateRef::new(T, from)],
+                            udfs::credit_if_param_at_least(10, 10),
+                        ),
+                    ],
+                ));
+            }
+        }
+        batch
+    }
+
+    fn fresh_store(accounts: u64, balance: Value) -> StateStore {
+        let store = StateStore::new();
+        let t = store.create_table("accounts", balance, false);
+        store.preallocate_range(t, accounts).unwrap();
+        store
+    }
+
+    fn total_balance(store: &StateStore, accounts: u64) -> Value {
+        (0..accounts).map(|k| store.read_latest(T, k).unwrap()).sum()
+    }
+
+    fn run_with(
+        strategy: ExplorationStrategy,
+        coarse: bool,
+        threads: usize,
+    ) -> (StateStore, Value) {
+        const ACCOUNTS: u64 = 32;
+        const TXNS: u64 = 200;
+        let store = fresh_store(ACCOUNTS, 1_000);
+        let initial = total_balance(&store, ACCOUNTS);
+        let tpg = Arc::new(TpgBuilder::new().build(transfer_workload(ACCOUNTS, TXNS)));
+        let units = if coarse {
+            morphstream_tpg::SchedulingUnits::coarse(&tpg)
+        } else {
+            morphstream_tpg::SchedulingUnits::fine(&tpg)
+        };
+        let ctx = ExecContext::new(tpg, store.clone(), AbortHandling::Eager);
+        let mut breakdown = Breakdown::new();
+        run(&ctx, &units, strategy, threads, &mut breakdown);
+        (store, initial)
+    }
+
+    #[test]
+    fn bfs_exploration_preserves_total_balance() {
+        let (store, initial) = run_with(ExplorationStrategy::StructuredBfs, false, 4);
+        assert_eq!(total_balance(&store, 32), initial);
+    }
+
+    #[test]
+    fn dfs_exploration_preserves_total_balance() {
+        let (store, initial) = run_with(ExplorationStrategy::StructuredDfs, false, 4);
+        assert_eq!(total_balance(&store, 32), initial);
+    }
+
+    #[test]
+    fn ns_exploration_preserves_total_balance() {
+        let (store, initial) = run_with(ExplorationStrategy::NonStructured, false, 4);
+        assert_eq!(total_balance(&store, 32), initial);
+    }
+
+    #[test]
+    fn coarse_units_preserve_total_balance_across_strategies() {
+        for strategy in [
+            ExplorationStrategy::StructuredBfs,
+            ExplorationStrategy::StructuredDfs,
+            ExplorationStrategy::NonStructured,
+        ] {
+            let (store, initial) = run_with(strategy, true, 4);
+            assert_eq!(total_balance(&store, 32), initial, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn single_threaded_execution_works_for_all_strategies() {
+        for strategy in [
+            ExplorationStrategy::StructuredBfs,
+            ExplorationStrategy::StructuredDfs,
+            ExplorationStrategy::NonStructured,
+        ] {
+            let (store, initial) = run_with(strategy, false, 1);
+            assert_eq!(total_balance(&store, 32), initial, "strategy {strategy}");
+        }
+    }
+
+    #[test]
+    fn strata_ranks_respect_unit_dependencies() {
+        let tpg = Arc::new(TpgBuilder::new().build(transfer_workload(8, 50)));
+        let units = morphstream_tpg::SchedulingUnits::coarse(&tpg);
+        let (rank, num_strata) = unit_strata(&units);
+        assert!(num_strata >= 1);
+        for unit in 0..units.num_units() {
+            for &parent in units.parents(unit) {
+                assert!(rank[parent] < rank[unit]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_unit_partition_is_a_no_op() {
+        let tpg = Arc::new(TpgBuilder::new().build(TransactionBatch::new()));
+        let units = morphstream_tpg::SchedulingUnits::fine(&tpg);
+        let store = fresh_store(1, 0);
+        let ctx = ExecContext::new(tpg, store, AbortHandling::Eager);
+        let mut breakdown = Breakdown::new();
+        run(&ctx, &units, ExplorationStrategy::NonStructured, 4, &mut breakdown);
+    }
+}

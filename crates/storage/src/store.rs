@@ -1,0 +1,239 @@
+//! The collection of named tables an application operates on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use morphstream_common::error::Result;
+use morphstream_common::{Key, MorphError, TableId, Timestamp, Value};
+
+use crate::table::MvTable;
+use crate::version::WriterId;
+
+/// The shared mutable state of a streaming application: a set of named
+/// multi-version tables. Cloning a `StateStore` is cheap (it is an `Arc`
+/// inside) and shares the underlying tables, which is how the execution
+/// workers all see the same state.
+#[derive(Clone)]
+pub struct StateStore {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    tables: RwLock<Vec<Arc<MvTable>>>,
+    by_name: RwLock<HashMap<String, TableId>>,
+}
+
+impl StateStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                tables: RwLock::new(Vec::new()),
+                by_name: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Create a table and return its id. `default_value` seeds newly created
+    /// keys; `auto_create` allows keys to materialise on first access.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        default_value: Value,
+        auto_create: bool,
+    ) -> TableId {
+        let name = name.into();
+        let mut tables = self.inner.tables.write();
+        let mut by_name = self.inner.by_name.write();
+        if let Some(existing) = by_name.get(&name) {
+            return *existing;
+        }
+        let id = TableId(tables.len() as u32);
+        tables.push(Arc::new(MvTable::new(id, name.clone(), default_value, auto_create)));
+        by_name.insert(name, id);
+        id
+    }
+
+    /// Look a table up by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.inner.by_name.read().get(name).copied()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.inner.tables.read().len()
+    }
+
+    /// Get a handle on a table.
+    pub fn table(&self, id: TableId) -> Result<Arc<MvTable>> {
+        self.inner
+            .tables
+            .read()
+            .get(id.index())
+            .cloned()
+            .ok_or(MorphError::UnknownTable(id.0))
+    }
+
+    /// Pre-allocate the dense key range `[0, n)` of `table`.
+    pub fn preallocate_range(&self, table: TableId, n: u64) -> Result<()> {
+        self.table(table)?.preallocate_range(n);
+        Ok(())
+    }
+
+    /// Seed a single key with an initial value.
+    pub fn seed(&self, table: TableId, key: Key, value: Value) -> Result<()> {
+        self.table(table)?.seed(key, value);
+        Ok(())
+    }
+
+    /// Read the newest version of `(table, key)` visible at `(ts, stmt)`.
+    pub fn read_before(&self, table: TableId, key: Key, ts: Timestamp, stmt: u32) -> Result<Value> {
+        self.table(table)?.read_before(key, ts, stmt)
+    }
+
+    /// Latest value of `(table, key)`.
+    pub fn read_latest(&self, table: TableId, key: Key) -> Result<Value> {
+        self.table(table)?.read_latest(key)
+    }
+
+    /// Append a version of `(table, key)`.
+    pub fn write(
+        &self,
+        table: TableId,
+        key: Key,
+        ts: Timestamp,
+        stmt: u32,
+        writer: WriterId,
+        value: Value,
+    ) -> Result<()> {
+        self.table(table)?.write(key, ts, stmt, writer, value)
+    }
+
+    /// Remove the versions of `(table, key)` written by `writer`.
+    pub fn rollback_writer(&self, table: TableId, key: Key, writer: WriterId) -> Result<usize> {
+        Ok(self.table(table)?.rollback_writer(key, writer))
+    }
+
+    /// Values of versions of `(table, key)` inside the window `[lo, hi]`.
+    pub fn window_values(&self, table: TableId, key: Key, lo: Timestamp, hi: Timestamp) -> Result<Vec<Value>> {
+        Ok(self
+            .table(table)?
+            .window(key, lo, hi)?
+            .into_iter()
+            .map(|v| v.value)
+            .collect())
+    }
+
+    /// Reclaim old versions of every table (keep only the newest visible at
+    /// `ts` plus anything newer).
+    pub fn truncate_before(&self, ts: Timestamp) {
+        for table in self.inner.tables.read().iter() {
+            table.truncate_before(ts);
+        }
+    }
+
+    /// Total retained versions across all tables.
+    pub fn version_count(&self) -> u64 {
+        self.inner.tables.read().iter().map(|t| t.version_count()).sum()
+    }
+
+    /// Approximate bytes retained across all tables.
+    pub fn bytes_retained(&self) -> u64 {
+        self.inner.tables.read().iter().map(|t| t.bytes_retained()).sum()
+    }
+
+    /// Latest value of every key of `table`, for verification.
+    pub fn snapshot_latest(&self, table: TableId) -> Result<HashMap<Key, Value>> {
+        Ok(self.table(table)?.snapshot_latest())
+    }
+}
+
+impl Default for StateStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for StateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateStore")
+            .field("tables", &self.table_count())
+            .field("versions", &self.version_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creating_the_same_table_twice_returns_the_same_id() {
+        let store = StateStore::new();
+        let a = store.create_table("accounts", 0, false);
+        let b = store.create_table("accounts", 0, false);
+        assert_eq!(a, b);
+        assert_eq!(store.table_count(), 1);
+        assert_eq!(store.table_id("accounts"), Some(a));
+        assert_eq!(store.table_id("missing"), None);
+    }
+
+    #[test]
+    fn reads_writes_and_rollbacks_round_trip_through_the_store() {
+        let store = StateStore::new();
+        let t = store.create_table("t", 10, false);
+        store.preallocate_range(t, 4).unwrap();
+        store.write(t, 1, 5, 0, 99, 55).unwrap();
+        assert_eq!(store.read_before(t, 1, 6, 0).unwrap(), 55);
+        assert_eq!(store.read_before(t, 1, 5, 0).unwrap(), 10);
+        assert_eq!(store.rollback_writer(t, 1, 99).unwrap(), 1);
+        assert_eq!(store.read_latest(t, 1).unwrap(), 10);
+    }
+
+    #[test]
+    fn unknown_table_is_reported() {
+        let store = StateStore::new();
+        assert!(matches!(
+            store.read_latest(TableId(3), 0),
+            Err(MorphError::UnknownTable(3))
+        ));
+    }
+
+    #[test]
+    fn window_values_and_truncation_work_store_wide() {
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, false);
+        store.preallocate_range(t, 2).unwrap();
+        for ts in [1u64, 2, 3, 4, 5] {
+            store.write(t, 0, ts, 0, ts, ts as Value).unwrap();
+        }
+        assert_eq!(store.window_values(t, 0, 2, 4).unwrap(), vec![2, 3, 4]);
+        let before = store.version_count();
+        store.truncate_before(5);
+        assert!(store.version_count() < before);
+        assert_eq!(store.read_latest(t, 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn clones_share_underlying_state() {
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, false);
+        store.preallocate_range(t, 1).unwrap();
+        let clone = store.clone();
+        clone.write(t, 0, 1, 0, 1, 42).unwrap();
+        assert_eq!(store.read_latest(t, 0).unwrap(), 42);
+        assert!(store.bytes_retained() > 0);
+    }
+
+    #[test]
+    fn seeding_through_the_store_sets_initial_values() {
+        let store = StateStore::new();
+        let t = store.create_table("balances", 0, false);
+        store.seed(t, 5, 500).unwrap();
+        assert_eq!(store.read_latest(t, 5).unwrap(), 500);
+        let snap = store.snapshot_latest(t).unwrap();
+        assert_eq!(snap[&5], 500);
+    }
+}

@@ -1,0 +1,486 @@
+//! State access operations — the vertices of the TPG.
+//!
+//! An operation is the atomic unit a state transaction decomposes into
+//! (Section 2.1.1): a read or a write of one state entry, possibly windowed
+//! (Section 4.3) or with a non-deterministically resolved key (Section 4.4).
+//! The value written by a write operation is produced by a user-defined
+//! function over the values of its *parameter* states — those parameters are
+//! what parametric dependencies are tracked over.
+
+use std::fmt;
+use std::sync::Arc;
+
+use morphstream_common::{AbortReason, Key, OpId, StateRef, TableId, Timestamp, TxnId, Value};
+
+/// How an operation touches its target state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Plain read of the target state.
+    Read,
+    /// Plain write of the target state.
+    Write,
+    /// Read of every version of the target state inside the trailing window.
+    WindowRead,
+    /// Write of the target state computed from the windowed versions of the
+    /// parameter states.
+    WindowWrite,
+    /// Read whose target key is resolved at execution time.
+    NonDetRead,
+    /// Write whose target key is resolved at execution time.
+    NonDetWrite,
+}
+
+impl AccessKind {
+    /// Whether the operation appends a version to the state table.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            AccessKind::Write | AccessKind::WindowWrite | AccessKind::NonDetWrite
+        )
+    }
+
+    /// Whether the target key is only known at execution time.
+    pub fn is_non_deterministic(self) -> bool {
+        matches!(self, AccessKind::NonDetRead | AccessKind::NonDetWrite)
+    }
+
+    /// Whether the operation reads a window of versions.
+    pub fn is_windowed(self) -> bool {
+        matches!(self, AccessKind::WindowRead | AccessKind::WindowWrite)
+    }
+}
+
+/// Resolves the key of a non-deterministic state access at execution time.
+/// The resolver must be a pure function of the timestamp so that redoing the
+/// operation after a rollback touches the same state again.
+pub type KeyResolver = Arc<dyn Fn(Timestamp) -> Key + Send + Sync>;
+
+/// The target key of an operation.
+#[derive(Clone)]
+pub enum KeySpec {
+    /// Key known at planning time.
+    Known(Key),
+    /// Key resolved by a user-defined function at execution time
+    /// (non-deterministic state access, Section 4.4).
+    NonDeterministic(KeyResolver),
+}
+
+impl KeySpec {
+    /// The planning-time key, if deterministic.
+    pub fn known(&self) -> Option<Key> {
+        match self {
+            KeySpec::Known(k) => Some(*k),
+            KeySpec::NonDeterministic(_) => None,
+        }
+    }
+
+    /// Resolve the key for execution at timestamp `ts`.
+    pub fn resolve(&self, ts: Timestamp) -> Key {
+        match self {
+            KeySpec::Known(k) => *k,
+            KeySpec::NonDeterministic(f) => f(ts),
+        }
+    }
+}
+
+impl fmt::Debug for KeySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeySpec::Known(k) => write!(f, "Known({k})"),
+            KeySpec::NonDeterministic(_) => write!(f, "NonDeterministic(..)"),
+        }
+    }
+}
+
+/// Inputs handed to a user-defined function when an operation executes.
+#[derive(Debug, Clone, Default)]
+pub struct UdfInput {
+    /// Current value of the target state (latest version visible at the
+    /// operation's timestamp). Zero for window writes whose target has no
+    /// visible version requirement.
+    pub target: Value,
+    /// Values of the parameter states, in declaration order. For windowed
+    /// writes these are per-parameter window aggregates are not pre-applied —
+    /// the raw latest values are provided here and windowed versions in
+    /// [`UdfInput::window`].
+    pub params: Vec<Value>,
+    /// Versions of the windowed state(s) inside the window range, in
+    /// timestamp order. Empty for non-windowed operations.
+    pub window: Vec<Value>,
+    /// Timestamp of the executing operation.
+    pub ts: Timestamp,
+}
+
+/// What a user-defined function decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdfOutcome {
+    /// Write this value to the target state (for writes) or report it as the
+    /// operation result (for reads with a derived result).
+    Value(Value),
+    /// Keep the target unchanged and report its current value (identity
+    /// reads).
+    Unchanged,
+}
+
+/// The user-defined function attached to an operation. Returning an error
+/// aborts the operation — and, through logical dependencies, its whole
+/// transaction.
+pub type Udf = Arc<dyn Fn(&UdfInput) -> Result<UdfOutcome, AbortReason> + Send + Sync>;
+
+/// A state access operation as specified by the application, before the
+/// planner assigns batch-global identifiers.
+#[derive(Clone)]
+pub struct OperationSpec {
+    /// Table holding the target state.
+    pub table: TableId,
+    /// Target key (possibly non-deterministic).
+    pub target: KeySpec,
+    /// Access kind.
+    pub kind: AccessKind,
+    /// Parameter states whose values feed the UDF (parametric dependencies).
+    pub params: Vec<StateRef>,
+    /// Trailing window length in event-time units for windowed accesses.
+    pub window: Option<Timestamp>,
+    /// User-defined function producing the written value / derived result.
+    /// `None` means an identity read.
+    pub udf: Option<Udf>,
+    /// Emulated computation cost in microseconds (the paper's `C` knob).
+    pub cost_us: u64,
+}
+
+impl OperationSpec {
+    /// A plain read of `(table, key)`.
+    pub fn read(table: TableId, key: Key) -> Self {
+        Self {
+            table,
+            target: KeySpec::Known(key),
+            kind: AccessKind::Read,
+            params: Vec::new(),
+            window: None,
+            udf: None,
+            cost_us: 0,
+        }
+    }
+
+    /// A write of `(table, key)` computed by `udf` from the target's current
+    /// value and the values of `params`.
+    pub fn write(table: TableId, key: Key, params: Vec<StateRef>, udf: Udf) -> Self {
+        Self {
+            table,
+            target: KeySpec::Known(key),
+            kind: AccessKind::Write,
+            params,
+            window: None,
+            udf: Some(udf),
+            cost_us: 0,
+        }
+    }
+
+    /// A windowed read of `(table, key)` over the trailing `window` range,
+    /// aggregated by `udf`.
+    pub fn window_read(table: TableId, key: Key, window: Timestamp, udf: Udf) -> Self {
+        Self {
+            table,
+            target: KeySpec::Known(key),
+            kind: AccessKind::WindowRead,
+            params: Vec::new(),
+            window: Some(window),
+            udf: Some(udf),
+            cost_us: 0,
+        }
+    }
+
+    /// A windowed write: `(table, key)` is updated with `udf` applied to the
+    /// versions of `params` inside the trailing `window` range.
+    pub fn window_write(
+        table: TableId,
+        key: Key,
+        params: Vec<StateRef>,
+        window: Timestamp,
+        udf: Udf,
+    ) -> Self {
+        Self {
+            table,
+            target: KeySpec::Known(key),
+            kind: AccessKind::WindowWrite,
+            params,
+            window: Some(window),
+            udf: Some(udf),
+            cost_us: 0,
+        }
+    }
+
+    /// A non-deterministic read: the key is resolved by `resolver` when the
+    /// operation executes.
+    pub fn non_det_read(table: TableId, resolver: KeyResolver, udf: Option<Udf>) -> Self {
+        Self {
+            table,
+            target: KeySpec::NonDeterministic(resolver),
+            kind: AccessKind::NonDetRead,
+            params: Vec::new(),
+            window: None,
+            udf,
+            cost_us: 0,
+        }
+    }
+
+    /// A non-deterministic write: the key is resolved by `resolver` and the
+    /// value computed by `udf` over `params`.
+    pub fn non_det_write(
+        table: TableId,
+        resolver: KeyResolver,
+        params: Vec<StateRef>,
+        udf: Udf,
+    ) -> Self {
+        Self {
+            table,
+            target: KeySpec::NonDeterministic(resolver),
+            kind: AccessKind::NonDetWrite,
+            params,
+            window: None,
+            udf: Some(udf),
+            cost_us: 0,
+        }
+    }
+
+    /// Attach an emulated computation cost (microseconds).
+    pub fn with_cost_us(mut self, cost_us: u64) -> Self {
+        self.cost_us = cost_us;
+        self
+    }
+}
+
+impl fmt::Debug for OperationSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OperationSpec")
+            .field("table", &self.table)
+            .field("target", &self.target)
+            .field("kind", &self.kind)
+            .field("params", &self.params)
+            .field("window", &self.window)
+            .field("cost_us", &self.cost_us)
+            .finish()
+    }
+}
+
+/// A planned operation: an [`OperationSpec`] plus the identifiers assigned by
+/// the planner (batch-global id, owning transaction, timestamp, statement
+/// index).
+#[derive(Clone)]
+pub struct Operation {
+    /// Batch-global operation id; doubles as the vertex id in the TPG and the
+    /// writer id in the multi-version store.
+    pub id: OpId,
+    /// Owning state transaction (index into the batch).
+    pub txn: TxnId,
+    /// Timestamp shared by all operations of the transaction.
+    pub ts: Timestamp,
+    /// Statement index within the transaction (LD ordering).
+    pub stmt: u32,
+    /// The application-provided specification.
+    pub spec: OperationSpec,
+}
+
+impl Operation {
+    /// Planning-time target key, if deterministic.
+    pub fn known_key(&self) -> Option<Key> {
+        self.spec.target.known()
+    }
+
+    /// Whether this operation writes state.
+    pub fn is_write(&self) -> bool {
+        self.spec.kind.is_write()
+    }
+
+    /// Convenient handle of the target state when deterministic.
+    pub fn target_ref(&self) -> Option<StateRef> {
+        self.known_key().map(|k| StateRef::new(self.spec.table, k))
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Operation")
+            .field("id", &self.id)
+            .field("txn", &self.txn)
+            .field("ts", &self.ts)
+            .field("stmt", &self.stmt)
+            .field("kind", &self.spec.kind)
+            .field("table", &self.spec.table)
+            .field("target", &self.spec.target)
+            .finish()
+    }
+}
+
+/// Helper constructors for common UDFs, shared by tests and workloads.
+pub mod udfs {
+    use super::*;
+
+    /// UDF that adds `delta` to the target value.
+    pub fn add_delta(delta: Value) -> Udf {
+        Arc::new(move |input: &UdfInput| Ok(UdfOutcome::Value(input.target + delta)))
+    }
+
+    /// UDF that overwrites the target with a constant.
+    pub fn set_value(value: Value) -> Udf {
+        Arc::new(move |_input: &UdfInput| Ok(UdfOutcome::Value(value)))
+    }
+
+    /// UDF that subtracts `amount` from the target and aborts when the result
+    /// would drop below zero (the Streaming Ledger consistency rule).
+    pub fn withdraw(amount: Value) -> Udf {
+        Arc::new(move |input: &UdfInput| {
+            if input.target >= amount {
+                Ok(UdfOutcome::Value(input.target - amount))
+            } else {
+                Err(AbortReason::ConsistencyViolation {
+                    state: StateRef::new(TableId(u32::MAX), 0),
+                    detail: format!("balance {} below withdrawal {}", input.target, amount),
+                })
+            }
+        })
+    }
+
+    /// UDF that adds the first parameter value to the target (used by
+    /// transfer credits: `recver += f(sender)`), aborting when the parameter
+    /// is below `guard`.
+    pub fn credit_if_param_at_least(amount: Value, guard: Value) -> Udf {
+        Arc::new(move |input: &UdfInput| {
+            let sender = input.params.first().copied().unwrap_or(0);
+            if sender >= guard {
+                Ok(UdfOutcome::Value(input.target + amount))
+            } else {
+                Err(AbortReason::ConsistencyViolation {
+                    state: StateRef::new(TableId(u32::MAX), 0),
+                    detail: format!("guard value {sender} below {guard}"),
+                })
+            }
+        })
+    }
+
+    /// UDF that sums the windowed versions and writes the sum.
+    pub fn window_sum() -> Udf {
+        Arc::new(|input: &UdfInput| Ok(UdfOutcome::Value(input.window.iter().sum())))
+    }
+
+    /// UDF that writes the sum of its parameter values.
+    pub fn sum_params() -> Udf {
+        Arc::new(|input: &UdfInput| Ok(UdfOutcome::Value(input.params.iter().sum())))
+    }
+
+    /// UDF that always aborts (used to inject failures).
+    pub fn always_abort() -> Udf {
+        Arc::new(|_input: &UdfInput| Err(AbortReason::Injected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_classification() {
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::WindowWrite.is_write());
+        assert!(AccessKind::NonDetWrite.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::NonDetRead.is_non_deterministic());
+        assert!(!AccessKind::Write.is_non_deterministic());
+        assert!(AccessKind::WindowRead.is_windowed());
+        assert!(!AccessKind::Read.is_windowed());
+    }
+
+    #[test]
+    fn key_spec_resolution() {
+        let known = KeySpec::Known(7);
+        assert_eq!(known.known(), Some(7));
+        assert_eq!(known.resolve(100), 7);
+
+        let nd = KeySpec::NonDeterministic(Arc::new(|ts| ts % 13));
+        assert_eq!(nd.known(), None);
+        assert_eq!(nd.resolve(27), 1);
+        // resolution must be deterministic in the timestamp
+        assert_eq!(nd.resolve(27), nd.resolve(27));
+    }
+
+    #[test]
+    fn spec_constructors_set_expected_kinds() {
+        let t = TableId(0);
+        assert_eq!(OperationSpec::read(t, 1).kind, AccessKind::Read);
+        assert_eq!(
+            OperationSpec::write(t, 1, vec![], udfs::set_value(1)).kind,
+            AccessKind::Write
+        );
+        assert_eq!(
+            OperationSpec::window_read(t, 1, 10, udfs::window_sum()).kind,
+            AccessKind::WindowRead
+        );
+        assert_eq!(
+            OperationSpec::window_write(t, 1, vec![], 10, udfs::window_sum()).kind,
+            AccessKind::WindowWrite
+        );
+        let resolver: KeyResolver = Arc::new(|_| 0);
+        assert_eq!(
+            OperationSpec::non_det_read(t, resolver.clone(), None).kind,
+            AccessKind::NonDetRead
+        );
+        assert_eq!(
+            OperationSpec::non_det_write(t, resolver, vec![], udfs::sum_params()).kind,
+            AccessKind::NonDetWrite
+        );
+        let costed = OperationSpec::read(t, 1).with_cost_us(25);
+        assert_eq!(costed.cost_us, 25);
+    }
+
+    #[test]
+    fn udf_helpers_behave_as_documented() {
+        let input = UdfInput {
+            target: 100,
+            params: vec![40],
+            window: vec![1, 2, 3],
+            ts: 5,
+        };
+        assert_eq!(
+            udfs::add_delta(5)(&input).unwrap(),
+            UdfOutcome::Value(105)
+        );
+        assert_eq!(udfs::set_value(9)(&input).unwrap(), UdfOutcome::Value(9));
+        assert_eq!(udfs::withdraw(60)(&input).unwrap(), UdfOutcome::Value(40));
+        assert!(udfs::withdraw(200)(&input).is_err());
+        assert_eq!(
+            udfs::credit_if_param_at_least(10, 30)(&input).unwrap(),
+            UdfOutcome::Value(110)
+        );
+        assert!(udfs::credit_if_param_at_least(10, 50)(&input).is_err());
+        assert_eq!(udfs::window_sum()(&input).unwrap(), UdfOutcome::Value(6));
+        assert_eq!(udfs::sum_params()(&input).unwrap(), UdfOutcome::Value(40));
+        assert!(udfs::always_abort()(&input).is_err());
+    }
+
+    #[test]
+    fn operation_exposes_target_ref_for_known_keys() {
+        let op = Operation {
+            id: 3,
+            txn: 1,
+            ts: 10,
+            stmt: 0,
+            spec: OperationSpec::read(TableId(2), 5),
+        };
+        assert_eq!(op.target_ref(), Some(StateRef::new(TableId(2), 5)));
+        assert!(!op.is_write());
+        let nd = Operation {
+            id: 4,
+            txn: 1,
+            ts: 10,
+            stmt: 1,
+            spec: OperationSpec::non_det_write(
+                TableId(2),
+                Arc::new(|_| 9),
+                vec![],
+                udfs::set_value(0),
+            ),
+        };
+        assert_eq!(nd.target_ref(), None);
+        assert!(nd.is_write());
+    }
+}

@@ -1,0 +1,154 @@
+//! The dynamically changing 4-phase workload of Section 8.2.2.
+//!
+//! Phases (each built on Streaming Ledger):
+//!
+//! 1. scattered deposit transactions (many LDs/TDs, few PDs, uniform degree
+//!    distribution);
+//! 2. increasing key skewness over time;
+//! 3. increasing ratio of transfer transactions over time;
+//! 4. increasing ratio of aborting transactions over time.
+
+use morphstream_common::WorkloadConfig;
+
+use crate::sl::{SlEvent, StreamingLedgerApp};
+
+/// One phase of the dynamic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicPhase {
+    /// Scattered deposits.
+    Deposits,
+    /// Skewness rising from the base θ to 0.9.
+    RisingSkew,
+    /// Transfer ratio rising from 0.2 to 0.9.
+    RisingTransfers,
+    /// Abort ratio rising from 0 to 0.6.
+    RisingAborts,
+}
+
+impl DynamicPhase {
+    /// All four phases in order.
+    pub const ALL: [DynamicPhase; 4] = [
+        DynamicPhase::Deposits,
+        DynamicPhase::RisingSkew,
+        DynamicPhase::RisingTransfers,
+        DynamicPhase::RisingAborts,
+    ];
+}
+
+/// Generator of the 4-phase dynamic workload.
+#[derive(Debug, Clone)]
+pub struct DynamicWorkload {
+    /// Base configuration (key space, seeds, UDF cost).
+    pub config: WorkloadConfig,
+    /// Events per phase.
+    pub events_per_phase: usize,
+    /// Number of sub-steps within a phase over which the rising parameter is
+    /// interpolated.
+    pub steps_per_phase: usize,
+}
+
+impl DynamicWorkload {
+    /// Dynamic workload over `config` with `events_per_phase` events in each
+    /// of the four phases.
+    pub fn new(config: WorkloadConfig, events_per_phase: usize) -> Self {
+        Self {
+            config,
+            events_per_phase,
+            steps_per_phase: 4,
+        }
+    }
+
+    /// Generate the events of one phase.
+    pub fn phase_events(&self, phase: DynamicPhase) -> Vec<SlEvent> {
+        let steps = self.steps_per_phase.max(1);
+        let per_step = (self.events_per_phase / steps).max(1);
+        let mut events = Vec::with_capacity(self.events_per_phase);
+        for step in 0..steps {
+            let progress = step as f64 / steps as f64;
+            let (theta, transfer_ratio, abort_ratio) = match phase {
+                DynamicPhase::Deposits => (self.config.zipf_theta, 0.0, 0.0),
+                DynamicPhase::RisingSkew => {
+                    (self.config.zipf_theta + progress * (0.9 - self.config.zipf_theta), 0.2, 0.0)
+                }
+                DynamicPhase::RisingTransfers => (self.config.zipf_theta, 0.2 + progress * 0.7, 0.0),
+                DynamicPhase::RisingAborts => (self.config.zipf_theta, 0.9, progress * 0.6),
+            };
+            let step_config = self
+                .config
+                .with_zipf_theta(theta.min(1.0))
+                .with_abort_ratio(abort_ratio)
+                .with_seed(self.config.seed ^ ((phase as u64) << 32) ^ step as u64);
+            events.extend(StreamingLedgerApp::generate(
+                &step_config,
+                per_step,
+                transfer_ratio,
+            ));
+        }
+        events
+    }
+
+    /// Generate all four phases back to back, returning `(phase, events)`
+    /// pairs.
+    pub fn all_phases(&self) -> Vec<(DynamicPhase, Vec<SlEvent>)> {
+        DynamicPhase::ALL
+            .into_iter()
+            .map(|phase| (phase, self.phase_events(phase)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> DynamicWorkload {
+        DynamicWorkload::new(
+            WorkloadConfig::streaming_ledger()
+                .with_key_space(512)
+                .with_udf_complexity_us(0),
+            400,
+        )
+    }
+
+    #[test]
+    fn phases_have_the_requested_size() {
+        let w = workload();
+        for phase in DynamicPhase::ALL {
+            assert_eq!(w.phase_events(phase).len(), 400, "{phase:?}");
+        }
+        assert_eq!(w.all_phases().len(), 4);
+    }
+
+    #[test]
+    fn deposit_phase_contains_only_deposits() {
+        let events = workload().phase_events(DynamicPhase::Deposits);
+        assert!(events.iter().all(|e| matches!(e, SlEvent::Deposit { .. })));
+    }
+
+    #[test]
+    fn transfer_phase_transfer_ratio_rises() {
+        let events = workload().phase_events(DynamicPhase::RisingTransfers);
+        let half = events.len() / 2;
+        let early = events[..half]
+            .iter()
+            .filter(|e| matches!(e, SlEvent::Transfer { .. }))
+            .count();
+        let late = events[half..]
+            .iter()
+            .filter(|e| matches!(e, SlEvent::Transfer { .. }))
+            .count();
+        assert!(late > early);
+    }
+
+    #[test]
+    fn abort_phase_injects_large_transfers_late() {
+        let events = workload().phase_events(DynamicPhase::RisingAborts);
+        let huge = |e: &SlEvent| {
+            matches!(e, SlEvent::Transfer { amount, .. } if *amount > crate::sl::INITIAL_BALANCE)
+        };
+        let half = events.len() / 2;
+        let early = events[..half].iter().filter(|e| huge(e)).count();
+        let late = events[half..].iter().filter(|e| huge(e)).count();
+        assert!(late > early);
+    }
+}

@@ -1,0 +1,30 @@
+//! Benchmark workloads for transactional stream processing.
+//!
+//! The paper evaluates MorphStream with three micro-benchmark applications
+//! taken from the TStream benchmark suite — Streaming Ledger ([`sl`]),
+//! GrepSum ([`gs`]) and Toll Processing ([`tp`]) — a dynamically changing
+//! 4-phase workload ([`dynamic`]), and two real-world case studies: Online
+//! Social Event Detection ([`osed`]) and Stock Exchange Analysis ([`sea`]).
+//!
+//! All generators are deterministic functions of a [`WorkloadConfig`]
+//! seed, so every figure can be regenerated bit-for-bit, and every
+//! application implements [`morphstream::StreamApp`] so it can run unchanged
+//! on MorphStream and on the reconstructed baselines.
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod gs;
+pub mod osed;
+pub mod sea;
+pub mod sl;
+pub mod tp;
+
+pub use dynamic::{DynamicPhase, DynamicWorkload};
+pub use gs::{GrepSumApp, GsEvent};
+pub use osed::{OsedApp, OsedReport, Tweet, TweetGenerator};
+pub use sea::{SeaApp, SeaEvent, SeaGenerator};
+pub use sl::{SlEvent, StreamingLedgerApp};
+pub use tp::{TollProcessingApp, TpEvent};
+
+pub use morphstream_common::WorkloadConfig;

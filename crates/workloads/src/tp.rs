@@ -1,0 +1,200 @@
+//! Toll Processing (TP): the Linear-Road-inspired workload.
+//!
+//! Vehicles report positions; the application maintains per-segment road
+//! statistics and charges tolls to per-vehicle accounts. The configuration
+//! used by the multiple-scheduling-strategy experiment (Section 8.2.3) splits
+//! the input into two groups with very different characteristics:
+//!
+//! * **group 0** — skewed segment accesses and a high abort ratio;
+//! * **group 1** — uniform accesses with (almost) no aborts.
+
+use morphstream::storage::StateStore;
+use morphstream::{udfs, StreamApp, TxnBuilder, TxnOutcome};
+use morphstream_common::rng::DetRng;
+use morphstream_common::zipf::Zipf;
+use morphstream_common::{StateRef, TableId, Value, WorkloadConfig};
+
+/// A toll-processing input event: one position report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpEvent {
+    /// Road segment the vehicle is on.
+    pub segment: u64,
+    /// Vehicle account charged for the toll.
+    pub vehicle: u64,
+    /// Toll amount.
+    pub toll: Value,
+    /// Which transaction group the event belongs to (0 or 1).
+    pub group: usize,
+    /// Whether the event violates the consistency rule (insufficient prepaid
+    /// balance) and aborts.
+    pub inject_abort: bool,
+}
+
+/// The Toll Processing application.
+pub struct TollProcessingApp {
+    segments: TableId,
+    vehicles: TableId,
+    cost_us: u64,
+    expected_abort_ratio: f64,
+}
+
+/// Initial prepaid balance of every vehicle account.
+pub const PREPAID_BALANCE: Value = 10_000;
+
+impl TollProcessingApp {
+    /// Create the application and its `segments`/`vehicles` tables.
+    pub fn new(store: &StateStore, config: &WorkloadConfig) -> Self {
+        let segments = store.create_table("segments", 0, false);
+        let vehicles = store.create_table("vehicles", PREPAID_BALANCE, false);
+        store
+            .preallocate_range(segments, config.key_space)
+            .expect("segments table exists");
+        store
+            .preallocate_range(vehicles, config.key_space)
+            .expect("vehicles table exists");
+        Self {
+            segments,
+            vehicles,
+            cost_us: config.udf_complexity_us,
+            expected_abort_ratio: config.abort_ratio,
+        }
+    }
+
+    /// Table of per-segment statistics.
+    pub fn segments_table(&self) -> TableId {
+        self.segments
+    }
+
+    /// Table of per-vehicle prepaid accounts.
+    pub fn vehicles_table(&self) -> TableId {
+        self.vehicles
+    }
+
+    /// Generate `count` events split between the two groups: `group0_ratio`
+    /// of the events belong to the skewed, abort-heavy group 0; the rest to
+    /// the uniform, clean group 1.
+    ///
+    /// The two groups model different road regions, so they operate on
+    /// disjoint halves of the key space — which is also what makes them safe
+    /// to schedule with independent strategies (the nested configuration of
+    /// Section 8.2.3).
+    pub fn generate_two_groups(
+        config: &WorkloadConfig,
+        count: usize,
+        group0_ratio: f64,
+        group0_abort_ratio: f64,
+        group0_theta: f64,
+    ) -> Vec<TpEvent> {
+        let half = (config.key_space / 2).max(1);
+        let skewed = Zipf::new(half, group0_theta, config.seed);
+        let uniform = Zipf::new(config.key_space - half, 0.0, config.seed.wrapping_add(1));
+        let mut rng = DetRng::new(config.seed ^ 0x7011);
+        (0..count)
+            .map(|_| {
+                if rng.next_bool(group0_ratio) {
+                    TpEvent {
+                        segment: skewed.sample(&mut rng),
+                        vehicle: skewed.sample(&mut rng),
+                        toll: rng.next_range(1, 5) as Value,
+                        group: 0,
+                        inject_abort: rng.next_bool(group0_abort_ratio),
+                    }
+                } else {
+                    TpEvent {
+                        segment: half + uniform.sample(&mut rng),
+                        vehicle: half + uniform.sample(&mut rng),
+                        toll: rng.next_range(1, 5) as Value,
+                        group: 1,
+                        inject_abort: rng.next_bool(0.001),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Generate a single-group workload following `config` directly.
+    pub fn generate(config: &WorkloadConfig, count: usize) -> Vec<TpEvent> {
+        Self::generate_two_groups(config, count, 1.0, config.abort_ratio, config.zipf_theta)
+    }
+}
+
+impl StreamApp for TollProcessingApp {
+    type Event = TpEvent;
+    type Output = bool;
+
+    fn state_access(&self, event: &TpEvent, txn: &mut TxnBuilder) {
+        txn.set_cost_us(self.cost_us);
+        // update the segment's vehicle counter
+        txn.write(self.segments, event.segment, udfs::add_delta(1));
+        // charge the toll against the prepaid balance, aborting when the
+        // balance would go negative (injected aborts charge an impossible
+        // toll)
+        let toll = if event.inject_abort {
+            PREPAID_BALANCE * 100
+        } else {
+            event.toll
+        };
+        txn.write_with_params(
+            self.vehicles,
+            event.vehicle,
+            vec![StateRef::new(self.segments, event.segment)],
+            udfs::withdraw(toll),
+        );
+    }
+
+    fn post_process(&self, _event: &TpEvent, outcome: &TxnOutcome) -> bool {
+        outcome.committed
+    }
+
+    fn expected_abort_ratio(&self) -> f64 {
+        self.expected_abort_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morphstream::{EngineConfig, MorphStream};
+
+    fn config() -> WorkloadConfig {
+        WorkloadConfig::toll_processing()
+            .with_key_space(256)
+            .with_udf_complexity_us(0)
+    }
+
+    #[test]
+    fn two_group_generator_produces_both_groups() {
+        let events = TollProcessingApp::generate_two_groups(&config(), 1000, 0.5, 0.3, 0.8);
+        let group0 = events.iter().filter(|e| e.group == 0).count();
+        assert!((300..700).contains(&group0));
+        let aborts0 = events
+            .iter()
+            .filter(|e| e.group == 0 && e.inject_abort)
+            .count();
+        let aborts1 = events
+            .iter()
+            .filter(|e| e.group == 1 && e.inject_abort)
+            .count();
+        assert!(aborts0 > aborts1);
+    }
+
+    #[test]
+    fn toll_processing_runs_grouped_and_plain() {
+        let cfg = config();
+        let store = StateStore::new();
+        let app = TollProcessingApp::new(&store, &cfg);
+        let segments = app.segments_table();
+        let events = TollProcessingApp::generate_two_groups(&cfg, 400, 0.5, 0.2, 0.8);
+        let committed_expected = events.iter().filter(|e| !e.inject_abort).count();
+        let mut engine = MorphStream::new(
+            app,
+            store.clone(),
+            EngineConfig::with_threads(4).with_punctuation_interval(100),
+        );
+        let report = engine.process_grouped(events, |e| e.group);
+        assert_eq!(report.committed, committed_expected);
+        // committed events each incremented one segment counter
+        let total_counts: Value = store.snapshot_latest(segments).unwrap().values().sum();
+        assert_eq!(total_counts, committed_expected as Value);
+    }
+}

@@ -1,0 +1,44 @@
+//! Online Social Event Detection (OSED) case study: detect bursting crisis
+//! events in a (synthetic) tweet stream and compare the detected popularity
+//! of each event with the ground truth (Figure 23 in miniature).
+//!
+//! ```text
+//! cargo run --release --example social_event_detection
+//! ```
+
+use morphstream::storage::StateStore;
+use morphstream::{EngineConfig, MorphStream};
+use morphstream_common::Timestamp;
+use morphstream_workloads::{OsedApp, OsedReport, TweetGenerator};
+
+fn main() {
+    let generator = TweetGenerator {
+        tweets: 6_000,
+        window: 300,
+        ..TweetGenerator::default()
+    };
+    let (tweets, expected) = generator.generate();
+    println!("processing {} synthetic tweets in windows of {}", tweets.len(), generator.window);
+
+    let store = StateStore::new();
+    let app = OsedApp::new(&store, generator.window as Timestamp + 1);
+    let mut engine = MorphStream::new(
+        app,
+        store,
+        EngineConfig::with_threads(4)
+            .with_punctuation_interval(generator.window + 1)
+            .with_reclaim_after_batch(false),
+    );
+    let report = engine.process(tweets);
+    let osed = OsedReport::from_outputs(expected, &report.outputs);
+
+    println!(
+        "throughput: {:.2}k tweets/s, detection accuracy (±10): {:.1}%",
+        report.k_events_per_second(),
+        osed.detection_accuracy(10) * 100.0
+    );
+    for (event, expected) in osed.expected.iter().enumerate() {
+        println!("event {event} expected popularity: {expected:?}");
+        println!("event {event} detected popularity: {:?}", osed.detected[event]);
+    }
+}

@@ -1,0 +1,12 @@
+//! Workspace umbrella crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). It re-exports the public
+//! crates so examples and tests can use one import root.
+
+pub use morphstream;
+pub use morphstream_baselines as baselines;
+pub use morphstream_common as common;
+pub use morphstream_executor as executor;
+pub use morphstream_scheduler as scheduler;
+pub use morphstream_storage as storage;
+pub use morphstream_tpg as tpg;
+pub use morphstream_workloads as workloads;
