@@ -42,7 +42,10 @@ where
     let run_started = Instant::now();
     let mut next_ts: Timestamp = 0;
 
-    for (batch_index, chunk) in events.chunks(punctuation.min(events.len().max(1))).enumerate() {
+    for (batch_index, chunk) in events
+        .chunks(punctuation.min(events.len().max(1)))
+        .enumerate()
+    {
         let batch_started = Instant::now();
         let mut batch =
             TransactionBatch::new().with_expected_abort_ratio(app.expected_abort_ratio());

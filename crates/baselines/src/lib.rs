@@ -66,7 +66,9 @@ mod tests {
     fn system_labels_match_figure_11() {
         assert_eq!(SystemUnderTest::MorphStream.to_string(), "MorphStream");
         assert_eq!(SystemUnderTest::SStore.to_string(), "S-Store");
-        assert!(SystemUnderTest::LockedSpeWithLocks.to_string().contains("w/ locks"));
+        assert!(SystemUnderTest::LockedSpeWithLocks
+            .to_string()
+            .contains("w/ locks"));
         assert!(SystemUnderTest::LockedSpeWithoutLocks
             .to_string()
             .contains("w/o locks"));

@@ -69,16 +69,22 @@ impl<A: StreamApp> LockedSpeEngine<A> {
         // far above any event timestamp so the newest write of the external
         // store always wins over event-time versions.
         let exec_clock = Arc::new(std::sync::atomic::AtomicU64::new(1 << 32));
-        run_pipeline(&self.app, &self.store, &self.config, events, |batch, store, threads| {
-            execute_locked_batch(
-                batch.into_sorted(),
-                store,
-                threads,
-                with_locks,
-                remote_latency,
-                &exec_clock,
-            )
-        })
+        run_pipeline(
+            &self.app,
+            &self.store,
+            &self.config,
+            events,
+            |batch, store, threads| {
+                execute_locked_batch(
+                    batch.into_sorted(),
+                    store,
+                    threads,
+                    with_locks,
+                    remote_latency,
+                    &exec_clock,
+                )
+            },
+        )
     }
 }
 
@@ -147,7 +153,10 @@ fn execute_locked_batch(
     }
     let outcomes = outcomes
         .into_iter()
-        .map(|o| o.into_inner().expect("every transaction produced an outcome"))
+        .map(|o| {
+            o.into_inner()
+                .expect("every transaction produced an outcome")
+        })
         .collect();
     ExecutedBatch {
         outcomes,
@@ -245,10 +254,7 @@ fn run_transaction(
         txn: txn_idx,
         committed: abort_reason.is_none(),
         abort_reason,
-        op_results: op_results
-            .into_iter()
-            .map(|(stmt, v)| (stmt, v))
-            .collect(),
+        op_results: op_results.into_iter().collect(),
     }
 }
 

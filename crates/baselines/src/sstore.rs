@@ -67,16 +67,22 @@ impl<A: StreamApp> SStoreEngine<A> {
         };
         let planner = TpgBuilder::new();
         let num_partitions = self.num_partitions;
-        run_pipeline(&self.app, &self.store, &self.config, events, |batch, store, threads| {
-            let tpg = Arc::new(planner.build(batch));
-            let units = SchedulingUnits::by_partitioned_transaction(&tpg, num_partitions);
-            let report = execute_batch_with_units(tpg, units, decision, store, threads);
-            ExecutedBatch {
-                redone_ops: report.redone_ops,
-                breakdown: report.breakdown.clone(),
-                outcomes: report.outcomes,
-            }
-        })
+        run_pipeline(
+            &self.app,
+            &self.store,
+            &self.config,
+            events,
+            |batch, store, threads| {
+                let tpg = Arc::new(planner.build(batch));
+                let units = SchedulingUnits::by_partitioned_transaction(&tpg, num_partitions);
+                let report = execute_batch_with_units(tpg, units, decision, store, threads);
+                ExecutedBatch {
+                    redone_ops: report.redone_ops,
+                    breakdown: report.breakdown.clone(),
+                    outcomes: report.outcomes,
+                }
+            },
+        )
     }
 }
 
@@ -125,11 +131,7 @@ mod tests {
             (0..200).map(|i| (i % 32, (i * 7 + 1) % 32, 5)).collect();
         let report = engine.process(events);
         assert_eq!(report.events(), 200);
-        let total: Value = store
-            .snapshot_latest(accounts)
-            .unwrap()
-            .values()
-            .sum();
+        let total: Value = store.snapshot_latest(accounts).unwrap().values().sum();
         assert_eq!(total, 32 * 1_000);
         assert!(report.k_events_per_second() > 0.0);
     }
@@ -139,12 +141,9 @@ mod tests {
         let store = StateStore::new();
         let accounts = store.create_table("accounts", 100, false);
         store.preallocate_range(accounts, 8).unwrap();
-        let engine = SStoreEngine::new(
-            Transfers { accounts },
-            store,
-            EngineConfig::with_threads(2),
-        )
-        .with_partitions(1);
+        let engine =
+            SStoreEngine::new(Transfers { accounts }, store, EngineConfig::with_threads(2))
+                .with_partitions(1);
         assert_eq!(engine.num_partitions, 1);
     }
 }

@@ -69,28 +69,34 @@ impl<A: StreamApp> TStreamEngine<A> {
         };
         let planner = TpgBuilder::new();
         let emulate_batch_redo = self.emulate_batch_redo;
-        run_pipeline(&self.app, &self.store, &self.config, events, |batch, store, threads| {
-            let tpg = Arc::new(planner.build(batch));
-            let units = SchedulingUnits::coarse(&tpg);
-            let execute_started = Instant::now();
-            let report = execute_batch_with_units(tpg, units, decision, store, threads);
-            let execute_elapsed = execute_started.elapsed();
-            let mut breakdown = report.breakdown.clone();
-            if emulate_batch_redo && report.aborted() > 0 {
-                // TStream redoes the entire batch once aborts are discovered;
-                // emulate the wasted wall-clock time of that redo.
-                let redo_deadline = Instant::now() + execute_elapsed;
-                while Instant::now() < redo_deadline {
-                    std::hint::spin_loop();
+        run_pipeline(
+            &self.app,
+            &self.store,
+            &self.config,
+            events,
+            |batch, store, threads| {
+                let tpg = Arc::new(planner.build(batch));
+                let units = SchedulingUnits::coarse(&tpg);
+                let execute_started = Instant::now();
+                let report = execute_batch_with_units(tpg, units, decision, store, threads);
+                let execute_elapsed = execute_started.elapsed();
+                let mut breakdown = report.breakdown.clone();
+                if emulate_batch_redo && report.aborted() > 0 {
+                    // TStream redoes the entire batch once aborts are discovered;
+                    // emulate the wasted wall-clock time of that redo.
+                    let redo_deadline = Instant::now() + execute_elapsed;
+                    while Instant::now() < redo_deadline {
+                        std::hint::spin_loop();
+                    }
+                    breakdown.add(BreakdownBucket::Abort, execute_elapsed);
                 }
-                breakdown.add(BreakdownBucket::Abort, execute_elapsed);
-            }
-            ExecutedBatch {
-                redone_ops: report.redone_ops,
-                breakdown,
-                outcomes: report.outcomes,
-            }
-        })
+                ExecutedBatch {
+                    redone_ops: report.redone_ops,
+                    breakdown,
+                    outcomes: report.outcomes,
+                }
+            },
+        )
     }
 }
 
@@ -112,7 +118,7 @@ mod tests {
         type Output = bool;
 
         fn state_access(&self, event: &u64, txn: &mut TxnBuilder) {
-            if self.abort_every > 0 && event % self.abort_every == 0 {
+            if self.abort_every > 0 && event.is_multiple_of(self.abort_every) {
                 txn.write(self.accounts, event % 16, udfs::always_abort());
             } else {
                 txn.write(self.accounts, event % 16, udfs::add_delta(10));

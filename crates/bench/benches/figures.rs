@@ -36,8 +36,8 @@ fn fig11_systems(c: &mut Criterion) {
 
 /// Figure 18/19/20 ablations: one representative point per dimension.
 fn ablation_decisions(c: &mut Criterion) {
+    use morphstream::{storage::StateStore, MorphStream};
     use morphstream::{AbortHandling, ExplorationStrategy, Granularity, SchedulingDecision};
-    use morphstream::{MorphStream, storage::StateStore};
     use morphstream_workloads::GrepSumApp;
 
     let config = morphstream_common::WorkloadConfig::grep_sum()

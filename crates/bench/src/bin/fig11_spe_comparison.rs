@@ -1,5 +1,14 @@
-//! Regenerates Figure 11 of the paper. Pass `--full` for the larger run.
+//! Regenerates Figure 11 of the paper. Pass `--full` for the larger run and
+//! `--json PATH` to also write the rows as machine-readable JSON (used by the
+//! CI smoke-bench job to seed the `BENCH_*.json` perf trajectory).
 fn main() {
     let scale = morphstream_bench::Scale::from_args();
-    morphstream_bench::figs::fig11::run(scale);
+    // Validate the argument list before the (multi-second) measurement runs.
+    let json_path = morphstream_bench::harness::json_path_from_args();
+    let reports = morphstream_bench::figs::fig11::run(scale);
+    if let Some(path) = json_path {
+        morphstream_bench::harness::write_json(&path, "fig11_spe_comparison", scale, &reports)
+            .expect("failed to write bench JSON");
+        println!("\nwrote {}", path.display());
+    }
 }

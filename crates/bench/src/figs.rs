@@ -3,8 +3,7 @@
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream,
-    SchedulingDecision,
+    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream, SchedulingDecision,
 };
 use morphstream_baselines::{SStoreEngine, SystemUnderTest, TStreamEngine};
 use morphstream_common::metrics::BreakdownBucket;
@@ -74,13 +73,19 @@ pub mod fig11 {
         .collect()
     }
 
-    /// Print the figure.
-    pub fn run(scale: Scale) {
-        banner("Figure 11", "SL throughput: MorphStream vs TSPEs vs conventional SPE");
+    /// Print the figure and return the measured rows (so callers like the CI
+    /// smoke-bench wrapper can persist them without re-measuring).
+    pub fn run(scale: Scale) -> Vec<SystemReport> {
+        banner(
+            "Figure 11",
+            "SL throughput: MorphStream vs TSPEs vs conventional SPE",
+        );
         println!("{}", SystemReport::header());
-        for report in measure(scale) {
+        let reports = measure(scale);
+        for report in &reports {
             println!("{}", report.row());
         }
+        reports
     }
 }
 
@@ -89,8 +94,11 @@ pub mod fig12 {
     use super::*;
     use morphstream_workloads::DynamicPhase;
 
+    /// Per-phase `(phase, k events/s, p95 latency ms)` rows.
+    pub type PhaseSeries = Vec<(DynamicPhase, f64, f64)>;
+
     /// Per-system, per-phase throughput (k events/s).
-    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, Vec<(DynamicPhase, f64, f64)>)> {
+    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, PhaseSeries)> {
         let (config, events) = bench_sl_config(scale);
         let workload = DynamicWorkload::new(config, events / 2);
         let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
@@ -122,7 +130,13 @@ pub mod fig12 {
         );
         for (system, rows) in measure(scale) {
             for (phase, kps, p95) in rows {
-                println!("{:<28} {:<18} {:>12.2} {:>12.2}", system.to_string(), format!("{phase:?}"), kps, p95);
+                println!(
+                    "{:<28} {:<18} {:>12.2} {:>12.2}",
+                    system.to_string(),
+                    format!("{phase:?}"),
+                    kps,
+                    p95
+                );
             }
         }
     }
@@ -161,7 +175,11 @@ pub mod fig13 {
             let mut engine = MorphStream::new(app, store, engine_config);
             let report = engine.process_grouped(events.clone(), |e| e.group);
             let r = SystemReport::from_run(SystemUnderTest::MorphStream, report);
-            rows.push(("Nested".to_string(), r.k_events_per_second, r.p95_latency_ms));
+            rows.push((
+                "Nested".to_string(),
+                r.k_events_per_second,
+                r.p95_latency_ms,
+            ));
         }
         for (label, decision) in [("Plain-1", plain1), ("Plain-2", plain2)] {
             let store = StateStore::new();
@@ -177,15 +195,24 @@ pub mod fig13 {
             let store = StateStore::new();
             let app = TollProcessingApp::new(&store, &config);
             let mut engine = TStreamEngine::new(app, store, engine_config);
-            let r = SystemReport::from_run(SystemUnderTest::TStream, engine.process(events.clone()));
-            rows.push(("TStream".to_string(), r.k_events_per_second, r.p95_latency_ms));
+            let r =
+                SystemReport::from_run(SystemUnderTest::TStream, engine.process(events.clone()));
+            rows.push((
+                "TStream".to_string(),
+                r.k_events_per_second,
+                r.p95_latency_ms,
+            ));
         }
         {
             let store = StateStore::new();
             let app = TollProcessingApp::new(&store, &config);
             let mut engine = SStoreEngine::new(app, store, engine_config);
             let r = SystemReport::from_run(SystemUnderTest::SStore, engine.process(events));
-            rows.push(("S-Store".to_string(), r.k_events_per_second, r.p95_latency_ms));
+            rows.push((
+                "S-Store".to_string(),
+                r.k_events_per_second,
+                r.p95_latency_ms,
+            ));
         }
         rows
     }
@@ -204,8 +231,13 @@ pub mod fig13 {
 pub mod fig14 {
     use super::*;
 
+    /// `(window size, k events/s)` series.
+    pub type WindowSeries = Vec<(u64, f64)>;
+    /// `(trigger period, k events/s)` series.
+    pub type TriggerSeries = Vec<(usize, f64)>;
+
     /// `(window size, k events/s)` and `(trigger period, k events/s)` series.
-    pub fn measure(scale: Scale) -> (Vec<(u64, f64)>, Vec<(usize, f64)>) {
+    pub fn measure(scale: Scale) -> (WindowSeries, TriggerSeries) {
         let (config, count) = gs_config(scale);
         let config = config.with_abort_ratio(0.0);
         let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
@@ -236,7 +268,10 @@ pub mod fig14 {
 
     /// Print the figure.
     pub fn run(scale: Scale) {
-        banner("Figure 14", "GS window queries: window size & trigger period");
+        banner(
+            "Figure 14",
+            "GS window queries: window size & trigger period",
+        );
         let (by_window, by_period) = measure(scale);
         println!("{:<20} {:>12}", "window size (ts)", "k events/s");
         for (w, kps) in by_window {
@@ -308,8 +343,11 @@ pub mod fig15 {
 pub mod fig16 {
     use super::*;
 
+    /// Fraction of runtime spent per breakdown bucket.
+    pub type BucketFractions = Vec<(BreakdownBucket, f64)>;
+
     /// Per-system breakdown fractions and peak memory.
-    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, Vec<(BreakdownBucket, f64)>, u64)> {
+    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, BucketFractions, u64)> {
         let (config, events) = bench_sl_config(scale);
         let workload = DynamicWorkload::new(config, events / 2);
         let mut all_events = Vec::new();
@@ -351,13 +389,19 @@ pub mod fig16 {
 
     /// Print the figure.
     pub fn run(scale: Scale) {
-        banner("Figure 16", "runtime breakdown and memory footprint (dynamic SL)");
+        banner(
+            "Figure 16",
+            "runtime breakdown and memory footprint (dynamic SL)",
+        );
         for (system, fractions, peak) in measure(scale) {
             println!("{}:", system);
             for (bucket, fraction) in fractions {
                 println!("    {:<10} {:>6.1}%", bucket.label(), fraction * 100.0);
             }
-            println!("    peak auxiliary memory: {:.1} MiB", peak as f64 / (1024.0 * 1024.0));
+            println!(
+                "    peak auxiliary memory: {:.1} MiB",
+                peak as f64 / (1024.0 * 1024.0)
+            );
         }
     }
 }
@@ -446,13 +490,22 @@ pub mod fig18 {
 
     /// Print the figure.
     pub fn run(scale: Scale) {
-        banner("Figure 18", "exploration strategies vs punctuation interval & skew");
+        banner(
+            "Figure 18",
+            "exploration strategies vs punctuation interval & skew",
+        );
         let (by_interval, by_skew) = measure(scale);
-        println!("{:<16} {:>14} {:>12}", "strategy", "punct interval", "k events/s");
+        println!(
+            "{:<16} {:>14} {:>12}",
+            "strategy", "punct interval", "k events/s"
+        );
         for (label, interval, kps) in by_interval {
             println!("{label:<16} {interval:>14} {kps:>12.2}");
         }
-        println!("{:<16} {:>14} {:>12}", "strategy", "zipf theta", "k events/s");
+        println!(
+            "{:<16} {:>14} {:>12}",
+            "strategy", "zipf theta", "k events/s"
+        );
         for (label, theta, kps) in by_skew {
             println!("{label:<16} {theta:>14.2} {kps:>12.2}");
         }
@@ -473,15 +526,24 @@ pub mod fig19 {
         Vec<(String, usize, f64)>,
     ) {
         let (config, count) = gs_config(scale);
-        let granularities = [("f-schedule", Granularity::Fine), ("c-schedule", Granularity::Coarse)];
+        let granularities = [
+            ("f-schedule", Granularity::Fine),
+            ("c-schedule", Granularity::Coarse),
+        ];
 
         // (a) cyclic (multi-state writes create interleaved chains) vs acyclic
         let mut by_cycles = Vec::new();
         for (case, states_per_op) in [("acyclic", 1usize), ("cyclic", 3usize)] {
-            let cfg = config.with_states_per_op(states_per_op).with_abort_ratio(0.0);
+            let cfg = config
+                .with_states_per_op(states_per_op)
+                .with_abort_ratio(0.0);
             let events = GrepSumApp::generate(&cfg, count);
             for (label, granularity) in granularities {
-                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let decision = fixed(
+                    ExplorationStrategy::NonStructured,
+                    granularity,
+                    AbortHandling::Eager,
+                );
                 let kps = run_gs_fixed(
                     &cfg,
                     events.clone(),
@@ -501,7 +563,11 @@ pub mod fig19 {
                 .with_txns_per_batch(interval);
             let events = GrepSumApp::generate(&cfg, count);
             for (label, granularity) in granularities {
-                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let decision = fixed(
+                    ExplorationStrategy::NonStructured,
+                    granularity,
+                    AbortHandling::Eager,
+                );
                 let kps = run_gs_fixed(
                     &cfg,
                     events.clone(),
@@ -529,7 +595,11 @@ pub mod fig19 {
                 })
                 .collect();
             for (label, granularity) in granularities {
-                let decision = fixed(ExplorationStrategy::NonStructured, granularity, AbortHandling::Eager);
+                let decision = fixed(
+                    ExplorationStrategy::NonStructured,
+                    granularity,
+                    AbortHandling::Eager,
+                );
                 let kps = run_gs_fixed(
                     &cfg,
                     events.clone(),
@@ -546,15 +616,24 @@ pub mod fig19 {
     pub fn run(scale: Scale) {
         banner("Figure 19", "scheduling granularities");
         let (by_cycles, by_interval, by_ratio) = measure(scale);
-        println!("{:<14} {:>10} {:>12}", "granularity", "workload", "k events/s");
+        println!(
+            "{:<14} {:>10} {:>12}",
+            "granularity", "workload", "k events/s"
+        );
         for (label, case, kps) in by_cycles {
             println!("{label:<14} {case:>10} {kps:>12.2}");
         }
-        println!("{:<14} {:>10} {:>12}", "granularity", "interval", "k events/s");
+        println!(
+            "{:<14} {:>10} {:>12}",
+            "granularity", "interval", "k events/s"
+        );
         for (label, interval, kps) in by_interval {
             println!("{label:<14} {interval:>10} {kps:>12.2}");
         }
-        println!("{:<14} {:>10} {:>12}", "granularity", "multi %", "k events/s");
+        println!(
+            "{:<14} {:>10} {:>12}",
+            "granularity", "multi %", "k events/s"
+        );
         for (label, ratio, kps) in by_ratio {
             println!("{label:<14} {ratio:>10} {kps:>12.2}");
         }
@@ -569,7 +648,10 @@ pub mod fig20 {
     #[allow(clippy::type_complexity)]
     pub fn measure(scale: Scale) -> (Vec<(String, u64, f64)>, Vec<(String, usize, f64)>) {
         let (config, count) = gs_config(scale);
-        let mechanisms = [("e-abort", AbortHandling::Eager), ("l-abort", AbortHandling::Lazy)];
+        let mechanisms = [
+            ("e-abort", AbortHandling::Eager),
+            ("l-abort", AbortHandling::Lazy),
+        ];
 
         let mut by_complexity = Vec::new();
         for &cost in &[0u64, 20, 50] {
@@ -629,7 +711,12 @@ pub mod fig21 {
     /// `(system, total busy seconds, memory-wait fraction)` rows and
     /// `(system, cores, k events/s)` scalability series.
     #[allow(clippy::type_complexity)]
-    pub fn measure(scale: Scale) -> (Vec<(SystemUnderTest, f64, f64)>, Vec<(SystemUnderTest, usize, f64)>) {
+    pub fn measure(
+        scale: Scale,
+    ) -> (
+        Vec<(SystemUnderTest, f64, f64)>,
+        Vec<(SystemUnderTest, usize, f64)>,
+    ) {
         let (config, events) = bench_sl_config(scale);
         let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
         let systems = [
@@ -675,11 +762,21 @@ pub mod fig21 {
 
     /// Print the figure.
     pub fn run(scale: Scale) {
-        banner("Figure 21", "clock-tick breakdown and multicore scalability (SL)");
+        banner(
+            "Figure 21",
+            "clock-tick breakdown and multicore scalability (SL)",
+        );
         let (ticks, scalability) = measure(scale);
-        println!("{:<28} {:>16} {:>16}", "system", "busy seconds", "waiting share");
+        println!(
+            "{:<28} {:>16} {:>16}",
+            "system", "busy seconds", "waiting share"
+        );
         for (system, total, waiting) in ticks {
-            println!("{:<28} {total:>16.3} {:>15.1}%", system.to_string(), waiting * 100.0);
+            println!(
+                "{:<28} {total:>16.3} {:>15.1}%",
+                system.to_string(),
+                waiting * 100.0
+            );
         }
         println!("{:<28} {:>8} {:>12}", "system", "cores", "k events/s");
         for (system, cores, kps) in scalability {
@@ -719,7 +816,10 @@ pub mod fig23 {
         banner("Figure 23", "OSED: expected vs detected event popularity");
         let (report, kps) = measure(scale);
         println!("throughput: {kps:.2} k tweets/s");
-        println!("detection accuracy (±10 tweets): {:.1}%", report.detection_accuracy(10) * 100.0);
+        println!(
+            "detection accuracy (±10 tweets): {:.1}%",
+            report.detection_accuracy(10) * 100.0
+        );
         for (event, series) in report.expected.iter().enumerate() {
             let detected = &report.detected[event];
             println!("event {event}: expected {series:?}");
@@ -751,7 +851,11 @@ pub mod fig25 {
         );
         let report = engine.process(events);
         let actual: i64 = report.outputs.iter().sum();
-        (*expected.last().unwrap_or(&0), actual, report.k_events_per_second())
+        (
+            *expected.last().unwrap_or(&0),
+            actual,
+            report.k_events_per_second(),
+        )
     }
 
     /// Print the figure.

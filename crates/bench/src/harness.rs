@@ -34,6 +34,14 @@ impl Scale {
             Scale::Full => 8,
         }
     }
+
+    /// Stable lowercase name, used in machine-readable output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Condensed result of running one system on one workload.
@@ -96,6 +104,69 @@ impl SystemReport {
             "system", "k events/s", "p50 ms", "p95 ms", "committed", "aborted"
         )
     }
+
+    /// One JSON object row. Serde is feature-gated off in offline builds, so
+    /// the (flat, numeric) shape is formatted by hand.
+    pub fn json(&self) -> String {
+        format!(
+            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{}}}"#,
+            json_escape(&self.system.to_string()),
+            self.k_events_per_second,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.committed,
+            self.aborted
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Parse `--json PATH` from the command line of a `fig*` binary. Exits with
+/// an error if `--json` is present without a following path, so a malformed
+/// invocation cannot silently skip writing the file.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            return match args.next() {
+                Some(path) => Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --json requires a path argument");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    None
+}
+
+/// Write `reports` to `path` as one JSON document, tagging the benchmark name
+/// and scale. This is what the CI smoke-bench job uploads to seed the
+/// `BENCH_*.json` perf trajectory.
+pub fn write_json(
+    path: &std::path::Path,
+    bench: &str,
+    scale: Scale,
+    reports: &[SystemReport],
+) -> std::io::Result<()> {
+    let rows: Vec<String> = reports.iter().map(SystemReport::json).collect();
+    let doc = format!(
+        "{{\"bench\":\"{}\",\"scale\":\"{}\",\"rows\":[\n  {}\n]}}\n",
+        json_escape(bench),
+        scale.name(),
+        rows.join(",\n  ")
+    );
+    std::fs::write(path, doc)
 }
 
 /// Benchmark engine configuration: all available cores, paper-style
@@ -171,4 +242,54 @@ pub fn banner(figure: &str, description: &str) {
     println!("==============================================================");
     println!("{figure}: {description}");
     println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SystemReport {
+        SystemReport {
+            system: SystemUnderTest::LockedSpeWithLocks,
+            k_events_per_second: 12.5,
+            p50_latency_ms: 1.25,
+            p95_latency_ms: 2.5,
+            committed: 10,
+            aborted: 2,
+        }
+    }
+
+    #[test]
+    fn json_row_carries_every_field() {
+        let json = sample_report().json();
+        for needle in [
+            r#""system":"Flink+Redis (w/ locks)""#,
+            r#""k_events_per_second":12.500"#,
+            r#""p50_latency_ms":1.2500"#,
+            r#""p95_latency_ms":2.5000"#,
+            r#""committed":10"#,
+            r#""aborted":2"#,
+        ] {
+            assert!(json.contains(needle), "{json} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn write_json_produces_one_row_per_report() {
+        let dir = std::env::temp_dir().join("morphstream_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let reports = vec![sample_report(), sample_report()];
+        write_json(&path, "fig11_spe_comparison", Scale::Smoke, &reports).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.starts_with(r#"{"bench":"fig11_spe_comparison","scale":"smoke","#));
+        assert_eq!(doc.matches(r#""system":"#).count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -6,10 +6,12 @@
 //! system-level knobs (worker threads, punctuation interval, version
 //! reclamation) shared by MorphStream and the baselines.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Workload characteristics of Table 6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct WorkloadConfig {
     /// `θ` — Zipf skew of the state access distribution (0.0 = uniform).
     pub zipf_theta: f64,
@@ -131,10 +133,16 @@ impl WorkloadConfig {
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.zipf_theta) {
-            return Err(format!("zipf_theta must be in [0,1], got {}", self.zipf_theta));
+            return Err(format!(
+                "zipf_theta must be in [0,1], got {}",
+                self.zipf_theta
+            ));
         }
         if !(0.0..=1.0).contains(&self.abort_ratio) {
-            return Err(format!("abort_ratio must be in [0,1], got {}", self.abort_ratio));
+            return Err(format!(
+                "abort_ratio must be in [0,1], got {}",
+                self.abort_ratio
+            ));
         }
         if self.txn_length == 0 {
             return Err("txn_length must be at least 1".into());
@@ -159,7 +167,8 @@ impl Default for WorkloadConfig {
 }
 
 /// System-level engine configuration shared by MorphStream and the baselines.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct EngineConfig {
     /// Number of worker threads used by the execution stage.
     pub num_threads: usize,

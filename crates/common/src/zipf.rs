@@ -101,7 +101,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(max / min < 1.6, "uniform sampling should be flat: {min}..{max}");
+        assert!(
+            max / min < 1.6,
+            "uniform sampling should be flat: {min}..{max}"
+        );
     }
 
     #[test]

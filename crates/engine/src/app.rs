@@ -60,7 +60,13 @@ impl TxnBuilder {
 
     /// `READ(win_f(d, size))`: windowed read of `(table, key)` over the
     /// trailing `window` range, aggregated by `udf`.
-    pub fn window_read(&mut self, table: TableId, key: Key, window: Timestamp, udf: Udf) -> &mut Self {
+    pub fn window_read(
+        &mut self,
+        table: TableId,
+        key: Key,
+        window: Timestamp,
+        udf: Udf,
+    ) -> &mut Self {
         self.push(OperationSpec::window_read(table, key, window, udf));
         self
     }
@@ -82,7 +88,12 @@ impl TxnBuilder {
 
     /// `READ(f, ...)`: non-deterministic read — the key is produced by
     /// `resolver` at execution time.
-    pub fn non_det_read(&mut self, table: TableId, resolver: KeyResolver, udf: Option<Udf>) -> &mut Self {
+    pub fn non_det_read(
+        &mut self,
+        table: TableId,
+        resolver: KeyResolver,
+        udf: Option<Udf>,
+    ) -> &mut Self {
         self.push(OperationSpec::non_det_read(table, resolver, udf));
         self
     }

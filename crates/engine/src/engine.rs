@@ -135,10 +135,11 @@ impl<A: StreamApp> MorphStream<A> {
             .unwrap_or(usize::MAX)
             .max(1);
         let run_started = Instant::now();
-        let mut batch_index = 0usize;
-        for chunk in events.chunks(punctuation.min(events.len().max(1))) {
+        for (batch_index, chunk) in events
+            .chunks(punctuation.min(events.len().max(1)))
+            .enumerate()
+        {
             self.process_batch(chunk, &group_of, batch_index, run_started, &mut report);
-            batch_index += 1;
         }
         report
     }
@@ -243,7 +244,9 @@ impl<A: StreamApp> MorphStream<A> {
         }
         report.committed += committed;
         report.aborted += aborted;
-        report.throughput.merge(&Throughput::new(events.len() as u64, elapsed));
+        report
+            .throughput
+            .merge(&Throughput::new(events.len() as u64, elapsed));
         report.breakdown.merge(&breakdown);
         let bytes_retained = self.store.bytes_retained();
         report.memory.record(run_started.elapsed(), bytes_retained);

@@ -122,11 +122,17 @@ mod tests {
     #[test]
     fn decision_trace_deduplicates_consecutive_decisions() {
         let mut report: RunReport<()> = RunReport::new();
-        let mut fine = SchedulingDecision::default();
-        fine.granularity = morphstream_scheduler::Granularity::Fine;
-        for (i, d) in [SchedulingDecision::default(), SchedulingDecision::default(), fine]
-            .into_iter()
-            .enumerate()
+        let fine = SchedulingDecision {
+            granularity: morphstream_scheduler::Granularity::Fine,
+            ..Default::default()
+        };
+        for (i, d) in [
+            SchedulingDecision::default(),
+            SchedulingDecision::default(),
+            fine,
+        ]
+        .into_iter()
+        .enumerate()
         {
             report.batches.push(BatchSummary {
                 batch: i,

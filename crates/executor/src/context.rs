@@ -213,7 +213,11 @@ impl ExecContext {
 
         let mut params = Vec::with_capacity(spec.params.len());
         for p in &spec.params {
-            params.push(self.store.read_before(p.table, p.key, ts, 0).unwrap_or_default());
+            params.push(
+                self.store
+                    .read_before(p.table, p.key, ts, 0)
+                    .unwrap_or_default(),
+            );
         }
 
         let window_values = if let Some(window) = spec.window {
@@ -587,10 +591,7 @@ mod tests {
         assert_eq!(report.aborted(), 1);
         // the second op never wrote because the txn was already aborted.
         assert_eq!(store.read_latest(T, 1).unwrap(), 0);
-        assert_eq!(
-            report.outcomes[0].abort_reason,
-            Some(AbortReason::Injected)
-        );
+        assert_eq!(report.outcomes[0].abort_reason, Some(AbortReason::Injected));
     }
 
     #[test]
@@ -640,7 +641,12 @@ mod tests {
         for ts in 1..=5u64 {
             batch.push(Transaction::new(
                 ts,
-                vec![OperationSpec::write(T, 0, vec![], udfs::set_value(ts as Value))],
+                vec![OperationSpec::write(
+                    T,
+                    0,
+                    vec![],
+                    udfs::set_value(ts as Value),
+                )],
             ));
         }
         batch.push(Transaction::new(

@@ -51,7 +51,12 @@ pub fn run(
 }
 
 /// Process one unit: run its operations in timestamp order.
-fn process_unit(ctx: &ExecContext, units: &SchedulingUnits, unit: usize, breakdown: &mut Breakdown) {
+fn process_unit(
+    ctx: &ExecContext,
+    units: &SchedulingUnits,
+    unit: usize,
+    breakdown: &mut Breakdown,
+) {
     for &op in &units.units()[unit].ops {
         ctx.run_op(op, breakdown);
     }
@@ -299,7 +304,9 @@ mod tests {
     }
 
     fn total_balance(store: &StateStore, accounts: u64) -> Value {
-        (0..accounts).map(|k| store.read_latest(T, k).unwrap()).sum()
+        (0..accounts)
+            .map(|k| store.read_latest(T, k).unwrap())
+            .sum()
     }
 
     fn run_with(
@@ -385,6 +392,12 @@ mod tests {
         let store = fresh_store(1, 0);
         let ctx = ExecContext::new(tpg, store, AbortHandling::Eager);
         let mut breakdown = Breakdown::new();
-        run(&ctx, &units, ExplorationStrategy::NonStructured, 4, &mut breakdown);
+        run(
+            &ctx,
+            &units,
+            ExplorationStrategy::NonStructured,
+            4,
+            &mut breakdown,
+        );
     }
 }

@@ -58,7 +58,13 @@ pub fn execute_batch_with_units(
     let ctx = ExecContext::new(tpg.clone(), store.clone(), decision.abort_handling);
 
     let mut breakdown = Breakdown::new();
-    explore::run(&ctx, &units, decision.exploration, num_threads, &mut breakdown);
+    explore::run(
+        &ctx,
+        &units,
+        decision.exploration,
+        num_threads,
+        &mut breakdown,
+    );
 
     // Lazy abort handling: clean up every logged failure now that the TPG has
     // been fully explored.

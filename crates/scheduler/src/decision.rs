@@ -1,10 +1,12 @@
 //! The three scheduling dimensions and their possible decisions (Table 1).
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How worker threads traverse the TPG to find operations to execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ExplorationStrategy {
     /// Structured exploration, breadth-first: all threads process one stratum
     /// of the TPG, synchronise on a barrier, and advance together. Minimal
@@ -24,7 +26,10 @@ pub enum ExplorationStrategy {
 impl ExplorationStrategy {
     /// Whether this is one of the structured (stratum-based) variants.
     pub fn is_structured(self) -> bool {
-        matches!(self, ExplorationStrategy::StructuredBfs | ExplorationStrategy::StructuredDfs)
+        matches!(
+            self,
+            ExplorationStrategy::StructuredBfs | ExplorationStrategy::StructuredDfs
+        )
     }
 }
 
@@ -40,7 +45,8 @@ impl fmt::Display for ExplorationStrategy {
 }
 
 /// The size of the unit handed to a worker thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Granularity {
     /// `f-schedule`: a single operation per scheduling unit. Maximum
     /// parallelism, highest context-switching overhead.
@@ -61,7 +67,8 @@ impl fmt::Display for Granularity {
 }
 
 /// When transaction aborts are processed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum AbortHandling {
     /// `e-abort`: abort the failing transaction immediately, roll back and
     /// redo affected operations right away. Less wasted work, more context
@@ -83,7 +90,8 @@ impl fmt::Display for AbortHandling {
 }
 
 /// A complete scheduling decision: one choice per dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SchedulingDecision {
     /// Exploration strategy.
     pub exploration: ExplorationStrategy,
@@ -163,7 +171,10 @@ mod tests {
     #[test]
     fn display_matches_paper_terminology() {
         assert_eq!(ExplorationStrategy::NonStructured.to_string(), "ns-explore");
-        assert_eq!(ExplorationStrategy::StructuredBfs.to_string(), "s-explore(BFS)");
+        assert_eq!(
+            ExplorationStrategy::StructuredBfs.to_string(),
+            "s-explore(BFS)"
+        );
         assert_eq!(Granularity::Fine.to_string(), "f-schedule");
         assert_eq!(Granularity::Coarse.to_string(), "c-schedule");
         assert_eq!(AbortHandling::Eager.to_string(), "e-abort");

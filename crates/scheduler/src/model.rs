@@ -19,6 +19,7 @@
 //! the paper derives its bracketed threshold numbers experimentally.
 
 use morphstream_tpg::TpgStats;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::decision::{AbortHandling, ExplorationStrategy, Granularity, SchedulingDecision};
@@ -69,7 +70,8 @@ impl WorkloadObservation {
 
 /// Tunable thresholds of the decision model (the bracketed numbers of
 /// Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ModelThresholds {
     /// Dependencies per operation above which the batch counts as having a
     /// "high" number of dependencies.
@@ -101,7 +103,8 @@ impl Default for ModelThresholds {
 }
 
 /// The heuristic decision model.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct DecisionModel {
     thresholds: ModelThresholds,
 }
@@ -246,10 +249,16 @@ mod tests {
     fn abort_handling_follows_cost_and_abort_ratio() {
         let model = DecisionModel::new();
         let cheap_aborty = WorkloadObservation::new(stats(100, 0, 0, 1.0, 5.0, 0.5), false);
-        assert_eq!(model.decide_abort_handling(&cheap_aborty), AbortHandling::Lazy);
+        assert_eq!(
+            model.decide_abort_handling(&cheap_aborty),
+            AbortHandling::Lazy
+        );
 
         let cheap_clean = WorkloadObservation::new(stats(100, 0, 0, 1.0, 5.0, 0.01), false);
-        assert_eq!(model.decide_abort_handling(&cheap_clean), AbortHandling::Eager);
+        assert_eq!(
+            model.decide_abort_handling(&cheap_clean),
+            AbortHandling::Eager
+        );
 
         let expensive_aborty = WorkloadObservation::new(stats(100, 0, 0, 1.0, 90.0, 0.5), false);
         assert_eq!(

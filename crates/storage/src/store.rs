@@ -51,7 +51,12 @@ impl StateStore {
             return *existing;
         }
         let id = TableId(tables.len() as u32);
-        tables.push(Arc::new(MvTable::new(id, name.clone(), default_value, auto_create)));
+        tables.push(Arc::new(MvTable::new(
+            id,
+            name.clone(),
+            default_value,
+            auto_create,
+        )));
         by_name.insert(name, id);
         id
     }
@@ -117,7 +122,13 @@ impl StateStore {
     }
 
     /// Values of versions of `(table, key)` inside the window `[lo, hi]`.
-    pub fn window_values(&self, table: TableId, key: Key, lo: Timestamp, hi: Timestamp) -> Result<Vec<Value>> {
+    pub fn window_values(
+        &self,
+        table: TableId,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+    ) -> Result<Vec<Value>> {
         Ok(self
             .table(table)?
             .window(key, lo, hi)?
@@ -136,12 +147,22 @@ impl StateStore {
 
     /// Total retained versions across all tables.
     pub fn version_count(&self) -> u64 {
-        self.inner.tables.read().iter().map(|t| t.version_count()).sum()
+        self.inner
+            .tables
+            .read()
+            .iter()
+            .map(|t| t.version_count())
+            .sum()
     }
 
     /// Approximate bytes retained across all tables.
     pub fn bytes_retained(&self) -> u64 {
-        self.inner.tables.read().iter().map(|t| t.bytes_retained()).sum()
+        self.inner
+            .tables
+            .read()
+            .iter()
+            .map(|t| t.bytes_retained())
+            .sum()
     }
 
     /// Latest value of every key of `table`, for verification.

@@ -36,7 +36,12 @@ impl MvTable {
     /// that was never pre-allocated implicitly create it with
     /// `default_value` (workloads such as OSED register new words on the fly,
     /// while the ledger tables are fully pre-allocated).
-    pub fn new(id: TableId, name: impl Into<String>, default_value: Value, auto_create: bool) -> Self {
+    pub fn new(
+        id: TableId,
+        name: impl Into<String>,
+        default_value: Value,
+        auto_create: bool,
+    ) -> Self {
         let shards = (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect();
         Self {
             id,
@@ -74,13 +79,10 @@ impl MvTable {
         let mut created = 0u64;
         for key in keys {
             let mut shard = self.shard_for(key).write();
-            shard
-                .chains
-                .entry(key)
-                .or_insert_with(|| {
-                    created += 1;
-                    VersionChain::with_initial(self.default_value)
-                });
+            shard.chains.entry(key).or_insert_with(|| {
+                created += 1;
+                VersionChain::with_initial(self.default_value)
+            });
         }
         self.version_count.fetch_add(created, Ordering::Relaxed);
     }
@@ -120,13 +122,12 @@ impl MvTable {
         {
             let shard = self.shard_for(key).read();
             if let Some(chain) = shard.chains.get(&key) {
-                return chain
-                    .read_before(ts, stmt)
-                    .map(|v| v.value)
-                    .ok_or(MorphError::NoVisibleVersion {
+                return chain.read_before(ts, stmt).map(|v| v.value).ok_or(
+                    MorphError::NoVisibleVersion {
                         state: self.state_ref(key),
                         at: ts,
-                    });
+                    },
+                );
             }
         }
         if self.auto_create {
@@ -158,7 +159,14 @@ impl MvTable {
     }
 
     /// Append a new version of `key`.
-    pub fn write(&self, key: Key, ts: Timestamp, stmt: u32, writer: WriterId, value: Value) -> Result<()> {
+    pub fn write(
+        &self,
+        key: Key,
+        ts: Timestamp,
+        stmt: u32,
+        writer: WriterId,
+        value: Value,
+    ) -> Result<()> {
         let mut shard = self.shard_for(key).write();
         let chain = match shard.chains.get_mut(&key) {
             Some(chain) => chain,
@@ -190,7 +198,8 @@ impl MvTable {
         let mut shard = self.shard_for(key).write();
         if let Some(chain) = shard.chains.get_mut(&key) {
             let removed = chain.remove_writer(writer);
-            self.version_count.fetch_sub(removed as u64, Ordering::Relaxed);
+            self.version_count
+                .fetch_sub(removed as u64, Ordering::Relaxed);
             removed
         } else {
             0

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 
-use morphstream_storage::{MvTable, VersionChain, Version};
 use morphstream_common::TableId;
+use morphstream_storage::{MvTable, Version, VersionChain};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -43,8 +43,8 @@ proptest! {
         let expected = chain
             .versions()
             .iter()
-            .filter(|v| v.ts < probe_ts)
-            .last()
+            .rev()
+            .find(|v| v.ts < probe_ts)
             .map(|v| v.value);
         let got = chain.read_before(probe_ts, 0).map(|v| v.value);
         prop_assert_eq!(got, expected);

@@ -132,12 +132,12 @@ impl TpgBuilder {
         } else {
             let shards = self.num_threads.min(finalized.len());
             let chunk = finalized.len().div_ceil(shards);
-            let results: Vec<Vec<(OpId, OpId, DepKind)>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Vec<(OpId, OpId, DepKind)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = finalized
                     .chunks(chunk)
                     .map(|chunk_lists| {
                         let txn_of = &txn_of;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let same_txn = |a: OpId, b: OpId| txn_of[a] == txn_of[b];
                             let mut local = Vec::new();
                             for list in chunk_lists {
@@ -153,9 +153,11 @@ impl TpgBuilder {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("phase-2 worker panicked")).collect()
-            })
-            .expect("phase-2 scope panicked");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("phase-2 worker panicked"))
+                    .collect()
+            });
             for mut part in results {
                 edges.append(&mut part);
             }
@@ -191,7 +193,10 @@ mod tests {
     /// transfer transactions over accounts A (key 0) and B (key 1).
     fn figure3_batch() -> TransactionBatch {
         // txn1 (ts 1): O1 = Write(A)
-        let txn1 = Transaction::new(1, vec![OperationSpec::write(T, 0, vec![], udfs::add_delta(10))]);
+        let txn1 = Transaction::new(
+            1,
+            vec![OperationSpec::write(T, 0, vec![], udfs::add_delta(10))],
+        );
         // txn2 (ts 2): O2 = Write(A), O3 = Write(B, f(A))
         let txn2 = Transaction::new(
             2,
@@ -234,8 +239,14 @@ mod tests {
         // earlier write of B is O4 (same ts? no, ts3 same txn → skipped), so
         // O3 at ts2.
         assert_eq!(s.pd_edges, 2);
-        assert!(tpg.parents(2).iter().any(|(p, k)| *k == DepKind::Pd && tpg.op(*p).ts == 1));
-        assert!(tpg.parents(4).iter().any(|(p, k)| *k == DepKind::Pd && tpg.op(*p).ts == 2));
+        assert!(tpg
+            .parents(2)
+            .iter()
+            .any(|(p, k)| *k == DepKind::Pd && tpg.op(*p).ts == 1));
+        assert!(tpg
+            .parents(4)
+            .iter()
+            .any(|(p, k)| *k == DepKind::Pd && tpg.op(*p).ts == 2));
         // LDs: one per multi-op transaction.
         assert_eq!(s.ld_edges, 2);
     }
@@ -336,7 +347,10 @@ mod tests {
         let parents3: Vec<OpId> = tpg.parents(3).iter().map(|(p, _)| *p).collect();
         assert!(parents3.contains(&2));
         // the non-det op's key spec stays unresolved at planning time.
-        assert!(matches!(tpg.op(2).spec.target, KeySpec::NonDeterministic(_)));
+        assert!(matches!(
+            tpg.op(2).spec.target,
+            KeySpec::NonDeterministic(_)
+        ));
     }
 
     #[test]

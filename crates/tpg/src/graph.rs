@@ -116,10 +116,7 @@ impl Tpg {
             parents[to].push((from, kind));
         }
 
-        let ld_edges = txn_ops
-            .iter()
-            .map(|ops| ops.len().saturating_sub(1))
-            .sum();
+        let ld_edges = txn_ops.iter().map(|ops| ops.len().saturating_sub(1)).sum();
 
         let mut stats = TpgStats {
             num_ops: n,
@@ -136,7 +133,11 @@ impl Tpg {
             stats.max_out_degree = stats.max_out_degree.max(c.len());
             degree_sum += c.len();
         }
-        stats.mean_out_degree = if n == 0 { 0.0 } else { degree_sum as f64 / n as f64 };
+        stats.mean_out_degree = if n == 0 {
+            0.0
+        } else {
+            degree_sum as f64 / n as f64
+        };
         stats.degree_skew = if stats.mean_out_degree > 0.0 {
             stats.max_out_degree as f64 / stats.mean_out_degree
         } else {
@@ -155,7 +156,11 @@ impl Tpg {
                 stats.multi_param_ops += 1;
             }
         }
-        stats.mean_cost_us = if n == 0 { 0.0 } else { cost_sum as f64 / n as f64 };
+        stats.mean_cost_us = if n == 0 {
+            0.0
+        } else {
+            cost_sum as f64 / n as f64
+        };
 
         Self {
             ops,
@@ -271,7 +276,7 @@ impl Tpg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operation::{OperationSpec, udfs};
+    use crate::operation::{udfs, OperationSpec};
     use morphstream_common::TableId;
 
     fn op(id: OpId, txn: TxnId, ts: Timestamp, stmt: u32, key: u64, write: bool) -> Operation {

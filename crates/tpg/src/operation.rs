@@ -440,10 +440,7 @@ mod tests {
             window: vec![1, 2, 3],
             ts: 5,
         };
-        assert_eq!(
-            udfs::add_delta(5)(&input).unwrap(),
-            UdfOutcome::Value(105)
-        );
+        assert_eq!(udfs::add_delta(5)(&input).unwrap(), UdfOutcome::Value(105));
         assert_eq!(udfs::set_value(9)(&input).unwrap(), UdfOutcome::Value(9));
         assert_eq!(udfs::withdraw(60)(&input).unwrap(), UdfOutcome::Value(40));
         assert!(udfs::withdraw(200)(&input).is_err());

@@ -56,9 +56,9 @@ impl SchedulingUnits {
         let unit_of = (0..n).collect::<Vec<_>>();
         let mut parents = vec![Vec::new(); n];
         let mut children = vec![Vec::new(); n];
-        for op in 0..n {
+        for (op, op_parents) in parents.iter_mut().enumerate() {
             for (p, _) in tpg.parents(op) {
-                parents[op].push(*p);
+                op_parents.push(*p);
                 children[*p].push(op);
             }
         }
@@ -118,9 +118,7 @@ impl SchedulingUnits {
             partitions.dedup();
             for p in partitions {
                 if let Some(&prev) = last_unit_of_partition.get(&p) {
-                    if prev != unit
-                        && !units.children[prev].contains(&unit)
-                    {
+                    if prev != unit && !units.children[prev].contains(&unit) {
                         units.children[prev].push(unit);
                         units.parents[unit].push(prev);
                     }
@@ -131,16 +129,13 @@ impl SchedulingUnits {
         units
     }
 
-    fn grouped(
-        tpg: &Tpg,
-        group_key: impl Fn(&Tpg, OpId) -> Option<GroupKey>,
-    ) -> Self {
+    fn grouped(tpg: &Tpg, group_key: impl Fn(&Tpg, OpId) -> Option<GroupKey>) -> Self {
         let n = tpg.num_ops();
         // --- initial grouping ---
         let mut group_of = vec![usize::MAX; n];
         let mut groups: Vec<Vec<OpId>> = Vec::new();
         let mut by_target: HashMap<GroupKey, usize> = HashMap::new();
-        for op in 0..n {
+        for (op, slot) in group_of.iter_mut().enumerate() {
             let group = match group_key(tpg, op) {
                 Some(key) => *by_target.entry(key).or_insert_with(|| {
                     groups.push(Vec::new());
@@ -151,7 +146,7 @@ impl SchedulingUnits {
                     groups.len() - 1
                 }
             };
-            group_of[op] = group;
+            *slot = group;
             groups[group].push(op);
         }
 
@@ -426,7 +421,10 @@ mod tests {
         ));
         let tpg = TpgBuilder::new().build(batch);
         let units = SchedulingUnits::coarse(&tpg);
-        assert!(units.had_cycles, "interleaved chains must be detected as a cycle");
+        assert!(
+            units.had_cycles,
+            "interleaved chains must be detected as a cycle"
+        );
         units.validate_acyclic().unwrap();
         // all three ops end up in one merged unit
         assert_eq!(units.num_units(), 1);

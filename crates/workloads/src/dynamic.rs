@@ -67,10 +67,14 @@ impl DynamicWorkload {
             let progress = step as f64 / steps as f64;
             let (theta, transfer_ratio, abort_ratio) = match phase {
                 DynamicPhase::Deposits => (self.config.zipf_theta, 0.0, 0.0),
-                DynamicPhase::RisingSkew => {
-                    (self.config.zipf_theta + progress * (0.9 - self.config.zipf_theta), 0.2, 0.0)
+                DynamicPhase::RisingSkew => (
+                    self.config.zipf_theta + progress * (0.9 - self.config.zipf_theta),
+                    0.2,
+                    0.0,
+                ),
+                DynamicPhase::RisingTransfers => {
+                    (self.config.zipf_theta, 0.2 + progress * 0.7, 0.0)
                 }
-                DynamicPhase::RisingTransfers => (self.config.zipf_theta, 0.2 + progress * 0.7, 0.0),
                 DynamicPhase::RisingAborts => (self.config.zipf_theta, 0.9, progress * 0.6),
             };
             let step_config = self
@@ -143,9 +147,7 @@ mod tests {
     #[test]
     fn abort_phase_injects_large_transfers_late() {
         let events = workload().phase_events(DynamicPhase::RisingAborts);
-        let huge = |e: &SlEvent| {
-            matches!(e, SlEvent::Transfer { amount, .. } if *amount > crate::sl::INITIAL_BALANCE)
-        };
+        let huge = |e: &SlEvent| matches!(e, SlEvent::Transfer { amount, .. } if *amount > crate::sl::INITIAL_BALANCE);
         let half = events.len() / 2;
         let early = events[..half].iter().filter(|e| huge(e)).count();
         let late = events[half..].iter().filter(|e| huge(e)).count();

@@ -112,7 +112,10 @@ impl GrepSumApp {
             .map(|i| {
                 if read_period > 0 && i % read_period == read_period - 1 {
                     GsEvent::WindowSum {
-                        keys: zipf.sample_distinct(&mut rng, keys_per_read.min(config.key_space as usize)),
+                        keys: zipf.sample_distinct(
+                            &mut rng,
+                            keys_per_read.min(config.key_space as usize),
+                        ),
                         window,
                     }
                 } else {
@@ -136,7 +139,11 @@ impl GrepSumApp {
     ) -> Vec<GsEvent> {
         let zipf = Zipf::new(config.key_space, config.zipf_theta, config.seed);
         let mut rng = DetRng::new(config.seed ^ 0x0D01);
-        let stride = if non_det == 0 { usize::MAX } else { count / non_det.max(1) + 1 };
+        let stride = if non_det == 0 {
+            usize::MAX
+        } else {
+            count / non_det.max(1) + 1
+        };
         (0..count)
             .map(|i| {
                 if i % stride == stride - 1 {
@@ -314,7 +321,10 @@ mod tests {
     #[test]
     fn generators_are_deterministic() {
         let cfg = config();
-        assert_eq!(GrepSumApp::generate(&cfg, 50), GrepSumApp::generate(&cfg, 50));
+        assert_eq!(
+            GrepSumApp::generate(&cfg, 50),
+            GrepSumApp::generate(&cfg, 50)
+        );
         assert_eq!(
             GrepSumApp::generate_windowed(&cfg, 50, 5, 2, 10),
             GrepSumApp::generate_windowed(&cfg, 50, 5, 2, 10)

@@ -78,6 +78,10 @@ impl TweetGenerator {
             .map(|e| (e as f64 + 0.5) * windows as f64 / NUM_EVENTS as f64)
             .collect();
         let mut id = 0u64;
+        // `window_idx` indexes the inner dimension of `expected` (outer is
+        // the event id), so iterating `expected` directly would invert the
+        // loop nest.
+        #[allow(clippy::needless_range_loop)]
         for window_idx in 0..windows {
             let in_window = self.window.min(self.tweets - window_idx * self.window);
             for _ in 0..in_window {
@@ -101,7 +105,9 @@ impl TweetGenerator {
                     }
                     pick -= w;
                 }
-                let mut words: Vec<u64> = (0..4).map(|_| 100 + rng.next_below(self.vocabulary)).collect();
+                let mut words: Vec<u64> = (0..4)
+                    .map(|_| 100 + rng.next_below(self.vocabulary))
+                    .collect();
                 if let Some(e) = event {
                     // burst keyword of the event: word ids 0..NUM_EVENTS
                     words.push(e as u64);

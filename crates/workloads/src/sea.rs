@@ -135,8 +135,12 @@ impl SeaApp {
     pub fn new(store: &StateStore, stocks: u64, window: Timestamp) -> Self {
         let quotes = store.create_table("quotes_index", 0, false);
         let trades = store.create_table("trades_index", 0, false);
-        store.preallocate_range(quotes, stocks).expect("quotes table");
-        store.preallocate_range(trades, stocks).expect("trades table");
+        store
+            .preallocate_range(quotes, stocks)
+            .expect("quotes table");
+        store
+            .preallocate_range(trades, stocks)
+            .expect("trades table");
         Self {
             quotes,
             trades,
@@ -195,7 +199,10 @@ mod tests {
         let a = generator.generate();
         let b = generator.generate();
         assert_eq!(a, b);
-        let trades = a.iter().filter(|e| matches!(e, SeaEvent::Trade { .. })).count();
+        let trades = a
+            .iter()
+            .filter(|e| matches!(e, SeaEvent::Trade { .. }))
+            .count();
         assert!((350..650).contains(&trades));
     }
 

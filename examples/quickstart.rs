@@ -1,61 +1,17 @@
 //! Quickstart: a minimal transactional stream application on MorphStream.
 //!
 //! A stream of bank events (deposits and transfers) is processed with full
-//! transactional semantics over shared mutable account balances. Run with:
+//! transactional semantics over shared mutable account balances. The
+//! application itself lives in `morphstream_repro::quickstart` so that
+//! `tests/quickstart_flow.rs` exercises exactly the same code. Run with:
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use morphstream::storage::StateStore;
-use morphstream::{udfs, EngineConfig, MorphStream, StreamApp, TxnBuilder, TxnOutcome};
-use morphstream_common::{StateRef, TableId, Value};
-
-/// Input events of the quickstart application.
-enum BankEvent {
-    Deposit { account: u64, amount: Value },
-    Transfer { from: u64, to: u64, amount: Value },
-}
-
-/// The application: one table of account balances, deposits credit an
-/// account, transfers move money and abort on insufficient funds.
-struct Bank {
-    accounts: TableId,
-}
-
-impl StreamApp for Bank {
-    type Event = BankEvent;
-    type Output = String;
-
-    fn state_access(&self, event: &BankEvent, txn: &mut TxnBuilder) {
-        match event {
-            BankEvent::Deposit { account, amount } => {
-                txn.write(self.accounts, *account, udfs::add_delta(*amount));
-            }
-            BankEvent::Transfer { from, to, amount } => {
-                txn.write(self.accounts, *from, udfs::withdraw(*amount));
-                txn.write_with_params(
-                    self.accounts,
-                    *to,
-                    vec![StateRef::new(self.accounts, *from)],
-                    udfs::credit_if_param_at_least(*amount, *amount),
-                );
-            }
-        }
-    }
-
-    fn post_process(&self, event: &BankEvent, outcome: &TxnOutcome) -> String {
-        let verb = match event {
-            BankEvent::Deposit { account, amount } => format!("deposit {amount} -> {account}"),
-            BankEvent::Transfer { from, to, amount } => format!("transfer {amount}: {from} -> {to}"),
-        };
-        if outcome.committed {
-            format!("{verb}: committed")
-        } else {
-            format!("{verb}: ABORTED ({})", outcome.abort_reason.as_ref().unwrap())
-        }
-    }
-}
+use morphstream::{EngineConfig, MorphStream};
+use morphstream_repro::quickstart::{quickstart_events, Bank};
 
 fn main() {
     // 1. create the shared mutable state
@@ -72,15 +28,7 @@ fn main() {
     );
 
     // 3. feed a stream of events
-    let events = vec![
-        BankEvent::Deposit { account: 1, amount: 100 },
-        BankEvent::Deposit { account: 2, amount: 50 },
-        BankEvent::Transfer { from: 1, to: 2, amount: 30 },
-        BankEvent::Transfer { from: 2, to: 3, amount: 60 },
-        BankEvent::Transfer { from: 3, to: 1, amount: 1_000 }, // aborts: not enough money
-        BankEvent::Deposit { account: 3, amount: 5 },
-    ];
-    let report = engine.process(events);
+    let report = engine.process(quickstart_events());
 
     // 4. inspect outputs and metrics
     for line in &report.outputs {
@@ -91,7 +39,11 @@ fn main() {
         report.committed,
         report.aborted,
         report.k_events_per_second(),
-        report.decision_trace().iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        report
+            .decision_trace()
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
     );
     for account in 0..4u64 {
         println!(

@@ -18,7 +18,11 @@ fn main() {
         ..TweetGenerator::default()
     };
     let (tweets, expected) = generator.generate();
-    println!("processing {} synthetic tweets in windows of {}", tweets.len(), generator.window);
+    println!(
+        "processing {} synthetic tweets in windows of {}",
+        tweets.len(),
+        generator.window
+    );
 
     let store = StateStore::new();
     let app = OsedApp::new(&store, generator.window as Timestamp + 1);
@@ -39,6 +43,9 @@ fn main() {
     );
     for (event, expected) in osed.expected.iter().enumerate() {
         println!("event {event} expected popularity: {expected:?}");
-        println!("event {event} detected popularity: {:?}", osed.detected[event]);
+        println!(
+            "event {event} detected popularity: {:?}",
+            osed.detected[event]
+        );
     }
 }

@@ -39,6 +39,10 @@ fn main() {
     );
     println!("expected accumulated matches: {}", expected.last().unwrap());
     println!("actual accumulated matches:   {actual}");
-    assert_eq!(*expected.last().unwrap() as i64, actual, "join must match the oracle");
+    assert_eq!(
+        *expected.last().unwrap() as i64,
+        actual,
+        "join must match the oracle"
+    );
     println!("join output matches the analytical oracle ✔");
 }

@@ -18,12 +18,21 @@ fn main() {
         .with_udf_complexity_us(2)
         .with_txns_per_batch(1_024);
     let events = StreamingLedgerApp::generate(&config, 8_192, 0.6);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let engine_config = EngineConfig::with_threads(threads)
-        .with_punctuation_interval(config.txns_per_batch);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let engine_config =
+        EngineConfig::with_threads(threads).with_punctuation_interval(config.txns_per_batch);
 
-    println!("Streaming Ledger, {} events, {} threads", events.len(), threads);
-    println!("{:<14} {:>14} {:>12} {:>10}", "system", "k events/s", "p95 ms", "aborted");
+    println!(
+        "Streaming Ledger, {} events, {} threads",
+        events.len(),
+        threads
+    );
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "system", "k events/s", "p95 ms", "aborted"
+    );
 
     {
         let store = StateStore::new();
@@ -34,7 +43,12 @@ fn main() {
             "{:<14} {:>14.2} {:>12.2} {:>10}",
             "MorphStream",
             report.k_events_per_second(),
-            report.latency.percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
+            report
+                .latency
+                .percentile(95.0)
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e3,
             report.aborted
         );
     }
@@ -47,7 +61,12 @@ fn main() {
             "{:<14} {:>14.2} {:>12.2} {:>10}",
             "TStream",
             report.k_events_per_second(),
-            report.latency.percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
+            report
+                .latency
+                .percentile(95.0)
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e3,
             report.aborted
         );
     }
@@ -60,7 +79,12 @@ fn main() {
             "{:<14} {:>14.2} {:>12.2} {:>10}",
             "S-Store",
             report.k_events_per_second(),
-            report.latency.percentile(95.0).unwrap_or_default().as_secs_f64() * 1e3,
+            report
+                .latency
+                .percentile(95.0)
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e3,
             report.aborted
         );
     }

@@ -2,6 +2,8 @@
 //! the cross-crate integration tests (`tests/`). It re-exports the public
 //! crates so examples and tests can use one import root.
 
+pub mod quickstart;
+
 pub use morphstream;
 pub use morphstream_baselines as baselines;
 pub use morphstream_common as common;

@@ -1,0 +1,105 @@
+//! The quickstart bank application, shared by `examples/quickstart.rs` and
+//! its guard test `tests/quickstart_flow.rs` so the two cannot drift apart.
+
+use morphstream::{udfs, StreamApp, TxnBuilder, TxnOutcome};
+use morphstream_common::{StateRef, TableId, Value};
+
+/// Input events of the quickstart application.
+pub enum BankEvent {
+    /// Credit `amount` to `account`.
+    Deposit {
+        /// Target account.
+        account: u64,
+        /// Amount credited.
+        amount: Value,
+    },
+    /// Move `amount` from `from` to `to`; aborts on insufficient funds.
+    Transfer {
+        /// Source account.
+        from: u64,
+        /// Destination account.
+        to: u64,
+        /// Amount moved.
+        amount: Value,
+    },
+}
+
+/// The application: one table of account balances, deposits credit an
+/// account, transfers move money and abort on insufficient funds.
+pub struct Bank {
+    /// The account-balances table.
+    pub accounts: TableId,
+}
+
+impl StreamApp for Bank {
+    type Event = BankEvent;
+    type Output = String;
+
+    fn state_access(&self, event: &BankEvent, txn: &mut TxnBuilder) {
+        match event {
+            BankEvent::Deposit { account, amount } => {
+                txn.write(self.accounts, *account, udfs::add_delta(*amount));
+            }
+            BankEvent::Transfer { from, to, amount } => {
+                txn.write(self.accounts, *from, udfs::withdraw(*amount));
+                txn.write_with_params(
+                    self.accounts,
+                    *to,
+                    vec![StateRef::new(self.accounts, *from)],
+                    udfs::credit_if_param_at_least(*amount, *amount),
+                );
+            }
+        }
+    }
+
+    fn post_process(&self, event: &BankEvent, outcome: &TxnOutcome) -> String {
+        let verb = match event {
+            BankEvent::Deposit { account, amount } => format!("deposit {amount} -> {account}"),
+            BankEvent::Transfer { from, to, amount } => {
+                format!("transfer {amount}: {from} -> {to}")
+            }
+        };
+        if outcome.committed {
+            format!("{verb}: committed")
+        } else {
+            format!(
+                "{verb}: ABORTED ({})",
+                outcome.abort_reason.as_ref().unwrap()
+            )
+        }
+    }
+}
+
+/// The event stream the quickstart feeds: five commits plus one overdraft
+/// that must abort (account 3 only holds 60 when asked for 1000).
+pub fn quickstart_events() -> Vec<BankEvent> {
+    vec![
+        BankEvent::Deposit {
+            account: 1,
+            amount: 100,
+        },
+        BankEvent::Deposit {
+            account: 2,
+            amount: 50,
+        },
+        BankEvent::Transfer {
+            from: 1,
+            to: 2,
+            amount: 30,
+        },
+        BankEvent::Transfer {
+            from: 2,
+            to: 3,
+            amount: 60,
+        },
+        BankEvent::Transfer {
+            from: 3,
+            to: 1,
+            amount: 1_000,
+        },
+        BankEvent::Deposit {
+            account: 3,
+            amount: 5,
+        },
+    ]
+}

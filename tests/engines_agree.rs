@@ -37,7 +37,11 @@ fn oracle_balances(config: &WorkloadConfig, events: &[SlEvent]) -> Vec<Value> {
     balances
 }
 
-fn final_balances(store: &StateStore, app: &StreamingLedgerApp, config: &WorkloadConfig) -> Vec<Value> {
+fn final_balances(
+    store: &StateStore,
+    app: &StreamingLedgerApp,
+    config: &WorkloadConfig,
+) -> Vec<Value> {
     let snapshot = store.snapshot_latest(app.accounts_table()).unwrap();
     (0..config.key_space).map(|k| snapshot[&k]).collect()
 }
@@ -102,7 +106,11 @@ fn tstream_and_sstore_baselines_match_the_oracle() {
         );
         engine.process(events.clone());
         let app = StreamingLedgerApp::new(&store, &config);
-        assert_eq!(final_balances(&store, &app, &config), expected, "TStream diverged");
+        assert_eq!(
+            final_balances(&store, &app, &config),
+            expected,
+            "TStream diverged"
+        );
     }
     {
         let store = StateStore::new();
@@ -114,7 +122,11 @@ fn tstream_and_sstore_baselines_match_the_oracle() {
         );
         engine.process(events.clone());
         let app = StreamingLedgerApp::new(&store, &config);
-        assert_eq!(final_balances(&store, &app, &config), expected, "S-Store diverged");
+        assert_eq!(
+            final_balances(&store, &app, &config),
+            expected,
+            "S-Store diverged"
+        );
     }
 }
 

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream,
-    SchedulingDecision, StreamApp, TxnBuilder, TxnOutcome,
+    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream, SchedulingDecision,
+    StreamApp, TxnBuilder, TxnOutcome,
 };
 use morphstream_common::{StateRef, TableId, Value};
 use morphstream_tpg::udfs;
@@ -71,9 +71,10 @@ fn oracle(events: &[Op]) -> Vec<Value> {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..ACCOUNTS, 1..30i64).prop_map(|(account, amount)| Op::Deposit { account, amount }),
-        (0..ACCOUNTS, 0..ACCOUNTS, 1..60i64).prop_filter_map("self transfer", |(from, to, amount)| {
-            (from != to).then_some(Op::Transfer { from, to, amount })
-        }),
+        (0..ACCOUNTS, 0..ACCOUNTS, 1..60i64)
+            .prop_filter_map("self transfer", |(from, to, amount)| {
+                (from != to).then_some(Op::Transfer { from, to, amount })
+            }),
     ]
 }
 
@@ -87,11 +88,13 @@ fn decision_strategy() -> impl Strategy<Value = SchedulingDecision> {
         prop_oneof![Just(Granularity::Fine), Just(Granularity::Coarse)],
         prop_oneof![Just(AbortHandling::Eager), Just(AbortHandling::Lazy)],
     )
-        .prop_map(|(exploration, granularity, abort_handling)| SchedulingDecision {
-            exploration,
-            granularity,
-            abort_handling,
-        })
+        .prop_map(
+            |(exploration, granularity, abort_handling)| SchedulingDecision {
+                exploration,
+                granularity,
+                abort_handling,
+            },
+        )
 }
 
 proptest! {

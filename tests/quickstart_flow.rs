@@ -1,0 +1,54 @@
+//! Guards the `examples/quickstart.rs` flow with `cargo test`: the same bank
+//! application (shared via `morphstream_repro::quickstart`), events, and
+//! engine configuration, with the printed results turned into assertions. If
+//! this test fails, the quickstart a new user runs first is broken.
+
+use morphstream::storage::StateStore;
+use morphstream::{EngineConfig, MorphStream};
+use morphstream_repro::quickstart::{quickstart_events, Bank};
+
+#[test]
+fn quickstart_flow_end_to_end() {
+    let store = StateStore::new();
+    let accounts = store.create_table("accounts", 0, false);
+    store.preallocate_range(accounts, 10).unwrap();
+
+    let mut engine = MorphStream::new(
+        Bank { accounts },
+        store.clone(),
+        EngineConfig::with_threads(4).with_punctuation_interval(4),
+    );
+    let report = engine.process(quickstart_events());
+
+    // The report counts every event, commits all but the overdraft, and
+    // carries per-event outputs in input order.
+    assert_eq!(report.events(), 6);
+    assert_eq!(report.committed, 5);
+    assert_eq!(report.aborted, 1);
+    assert_eq!(report.outputs.len(), 6);
+    for (i, output) in report.outputs.iter().enumerate() {
+        if i == 4 {
+            assert!(output.contains("ABORTED"), "event 4 should abort: {output}");
+        } else {
+            assert!(
+                output.ends_with(": committed"),
+                "event {i} should commit: {output}"
+            );
+        }
+    }
+    assert!(report.k_events_per_second() > 0.0);
+    assert!(
+        !report.decision_trace().is_empty(),
+        "the engine should record at least one scheduling decision"
+    );
+
+    // Final balances match the sequential execution of the event stream.
+    let expected = [(0u64, 0i64), (1, 70), (2, 20), (3, 65)];
+    for (account, balance) in expected {
+        assert_eq!(
+            store.read_latest(accounts, account).unwrap(),
+            balance,
+            "account {account}"
+        );
+    }
+}
