@@ -1,16 +1,23 @@
-//! Shared batching pipeline for the baseline engines.
+//! Shared push-based ingestion glue for the baseline engines.
 //!
 //! All baselines consume the same [`StreamApp`] applications as MorphStream
 //! and report the same [`RunReport`] metrics; they differ only in how a batch
-//! of transactions is executed. This module factors the common
-//! punctuation/batching/measurement loop so each baseline only supplies an
-//! `execute` closure.
+//! of transactions is executed. The session mechanics (event buffer,
+//! punctuation cuts, batch indexing, hook firing, metric folding, finish-time
+//! reset) come from the engine crate's
+//! [`SessionState`](morphstream::SessionState) — the same state machine
+//! MorphStream itself runs on — so the systems under comparison cannot drift
+//! in their bookkeeping. This module adds only what is baseline-specific:
+//! turning a chunk of events into a timestamped [`TransactionBatch`] and
+//! handing it to the baseline's `execute` closure.
 
 use std::time::Instant;
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, StreamApp, TxnBuilder, TxnOutcome};
-use morphstream_common::metrics::{Breakdown, Throughput};
+use morphstream::{
+    BatchHook, EngineConfig, PendingBatch, SessionState, StreamApp, TxnBuilder, TxnOutcome,
+};
+use morphstream_common::metrics::Breakdown;
 use morphstream_common::Timestamp;
 use morphstream_tpg::{Transaction, TransactionBatch};
 
@@ -23,37 +30,81 @@ pub(crate) struct ExecutedBatch {
     pub redone_ops: usize,
 }
 
-/// Drive the common pipeline: split `events` into punctuation-delimited
-/// batches, build transactions through the application, call `execute` per
-/// batch, post-process, and gather metrics.
-pub(crate) fn run_pipeline<A, F>(
-    app: &A,
-    store: &StateStore,
-    config: &EngineConfig,
-    events: Vec<A::Event>,
-    mut execute: F,
-) -> RunReport<A::Output>
-where
-    A: StreamApp,
-    F: FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch,
-{
-    let mut report = RunReport::new();
-    let punctuation = config.punctuation_interval.unwrap_or(usize::MAX).max(1);
-    let run_started = Instant::now();
-    let mut next_ts: Timestamp = 0;
+/// Punctuation-driven ingestion state shared by every baseline: the common
+/// [`SessionState`] plus the monotonically increasing event timestamp the
+/// baselines stamp their transactions with.
+pub(crate) struct IngestState<A: StreamApp> {
+    session: SessionState<A::Event, A::Output>,
+    next_ts: Timestamp,
+}
 
-    for (batch_index, chunk) in events
-        .chunks(punctuation.min(events.len().max(1)))
-        .enumerate()
+impl<A: StreamApp> IngestState<A> {
+    pub fn new() -> Self {
+        Self {
+            session: SessionState::new(),
+            next_ts: 0,
+        }
+    }
+
+    /// Buffer `event`; returns `true` when the punctuation interval was
+    /// crossed and the caller must cut a batch with [`IngestState::flush`].
+    /// Split from the flush so the per-event path stays a plain buffer push
+    /// and baselines build their batch executor only when a batch is due.
+    pub fn buffer_event(&mut self, event: A::Event, config: &EngineConfig) -> bool {
+        let punctuation = config.punctuation_interval.unwrap_or(usize::MAX);
+        self.session.ingest(event, punctuation)
+    }
+
+    /// Process the buffered events as a (possibly partial) batch; a no-op on
+    /// an empty buffer.
+    pub fn flush<F>(&mut self, app: &A, store: &StateStore, config: &EngineConfig, execute: F)
+    where
+        F: FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch,
     {
+        self.process_pending(app, store, config, execute);
+    }
+
+    /// Close the session and return the accumulated report.
+    pub fn finish(&mut self) -> RunReport<A::Output> {
+        self.session.finish()
+    }
+
+    /// The report accumulated so far in the current session.
+    pub fn report(&self) -> &RunReport<A::Output> {
+        self.session.report()
+    }
+
+    /// Install (or clear) the per-batch observability hook.
+    pub fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.session.set_batch_hook(hook);
+    }
+
+    fn process_pending<F>(
+        &mut self,
+        app: &A,
+        store: &StateStore,
+        config: &EngineConfig,
+        mut execute: F,
+    ) where
+        F: FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch,
+    {
+        let Some(PendingBatch {
+            events: chunk,
+            batch: batch_index,
+        }) = self.session.begin_batch()
+        else {
+            return;
+        };
         let batch_started = Instant::now();
         let mut batch =
             TransactionBatch::new().with_expected_abort_ratio(app.expected_abort_ratio());
         for (event_index, event) in chunk.iter().enumerate() {
-            next_ts += 1;
+            self.next_ts += 1;
             let mut builder = TxnBuilder::new();
             app.state_access(event, &mut builder);
-            batch.push(Transaction::new(next_ts, builder.into_ops()).with_event_index(event_index));
+            batch.push(
+                Transaction::new(self.next_ts, builder.into_ops()).with_event_index(event_index),
+            );
         }
 
         let executed = execute(batch, store, config.num_threads);
@@ -61,35 +112,23 @@ where
         let aborted = executed.outcomes.len() - committed;
 
         for (event, outcome) in chunk.iter().zip(&executed.outcomes) {
-            report.outputs.push(app.post_process(event, outcome));
+            self.session.push_output(app.post_process(event, outcome));
         }
 
         if config.reclaim_after_batch {
-            store.truncate_before(next_ts);
+            store.truncate_before(self.next_ts);
         }
-        let elapsed = batch_started.elapsed();
-        let latency_us = elapsed.as_micros() as u64;
-        for _ in 0..chunk.len() {
-            report.latency.record_micros(latency_us);
-        }
-        report.committed += committed;
-        report.aborted += aborted;
-        report
-            .throughput
-            .merge(&Throughput::new(chunk.len() as u64, elapsed));
-        report.breakdown.merge(&executed.breakdown);
-        let bytes_retained = store.bytes_retained();
-        report.memory.record(run_started.elapsed(), bytes_retained);
-        report.batches.push(BatchSummary {
+        let summary = BatchSummary {
             batch: batch_index,
             events: chunk.len(),
             committed,
             aborted,
-            elapsed,
+            elapsed: batch_started.elapsed(),
             decision: Default::default(),
             redone_ops: executed.redone_ops,
-            bytes_retained,
-        });
+            bytes_retained: store.bytes_retained(),
+        };
+        self.session
+            .complete_batch(chunk, summary, &executed.breakdown);
     }
-    report
 }

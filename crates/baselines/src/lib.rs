@@ -16,8 +16,11 @@
 //! None of these systems is available as a Rust artefact, so they are
 //! reconstructed here on top of the same transaction descriptors, the same
 //! state store, and the same workloads as MorphStream (see DESIGN.md,
-//! substitution 2). All engines expose the same `process` interface returning
-//! a [`RunReport`](morphstream::RunReport).
+//! substitution 2). All engines implement the push-based
+//! [`TxnEngine`](morphstream::TxnEngine) trait — ingest / flush / finish
+//! returning a [`RunReport`](morphstream::RunReport) — so one driver loop
+//! covers every system; the `process(Vec<Event>)` methods remain as thin
+//! convenience wrappers.
 
 #![warn(missing_docs)]
 

@@ -19,12 +19,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, RunReport, StreamApp, TxnOutcome};
+use morphstream::{BatchHook, EngineConfig, RunReport, StreamApp, TxnEngine, TxnOutcome};
 use morphstream_common::metrics::{Breakdown, BreakdownBucket};
 use morphstream_common::{AbortReason, Timestamp};
 use morphstream_tpg::{AccessKind, Transaction, UdfInput, UdfOutcome};
 
-use crate::harness::{run_pipeline, ExecutedBatch};
+use crate::harness::{ExecutedBatch, IngestState};
 
 /// The conventional-SPE baseline engine.
 pub struct LockedSpeEngine<A: StreamApp> {
@@ -32,27 +32,33 @@ pub struct LockedSpeEngine<A: StreamApp> {
     store: StateStore,
     config: EngineConfig,
     with_locks: bool,
+    /// Execution-order clock shared by every batch of the engine's lifetime;
+    /// it starts far above any event timestamp so the newest write of the
+    /// external store always wins over event-time versions.
+    exec_clock: Arc<std::sync::atomic::AtomicU64>,
+    state: IngestState<A>,
 }
 
 impl<A: StreamApp> LockedSpeEngine<A> {
     /// Engine that guards every transaction with a global lock (correct but
     /// slow).
     pub fn with_locks(app: A, store: StateStore, config: EngineConfig) -> Self {
-        Self {
-            app,
-            store,
-            config,
-            with_locks: true,
-        }
+        Self::new(app, store, config, true)
     }
 
     /// Engine without locking (fast but incorrect under contention).
     pub fn without_locks(app: A, store: StateStore, config: EngineConfig) -> Self {
+        Self::new(app, store, config, false)
+    }
+
+    fn new(app: A, store: StateStore, config: EngineConfig, with_locks: bool) -> Self {
         Self {
             app,
             store,
             config,
-            with_locks: false,
+            with_locks,
+            exec_clock: Arc::new(std::sync::atomic::AtomicU64::new(1 << 32)),
+            state: IngestState::new(),
         }
     }
 
@@ -61,30 +67,62 @@ impl<A: StreamApp> LockedSpeEngine<A> {
         &self.store
     }
 
-    /// Process a stream of events.
+    /// Process a stream of events — convenience wrapper over the push-based
+    /// [`TxnEngine`] session.
     pub fn process(&mut self, events: Vec<A::Event>) -> RunReport<A::Output> {
+        self.run(events)
+    }
+
+    /// Batch executor: round-robin workers against the latest state values,
+    /// optionally under the global lock.
+    fn execute(
+        &self,
+    ) -> impl FnMut(morphstream_tpg::TransactionBatch, &StateStore, usize) -> ExecutedBatch {
         let with_locks = self.with_locks;
         let remote_latency = Duration::from_micros(self.config.remote_state_latency_us);
-        // Execution-order clock shared by every batch of the run; it starts
-        // far above any event timestamp so the newest write of the external
-        // store always wins over event-time versions.
-        let exec_clock = Arc::new(std::sync::atomic::AtomicU64::new(1 << 32));
-        run_pipeline(
-            &self.app,
-            &self.store,
-            &self.config,
-            events,
-            |batch, store, threads| {
-                execute_locked_batch(
-                    batch.into_sorted(),
-                    store,
-                    threads,
-                    with_locks,
-                    remote_latency,
-                    &exec_clock,
-                )
-            },
-        )
+        let exec_clock = self.exec_clock.clone();
+        move |batch, store, threads| {
+            execute_locked_batch(
+                batch.into_sorted(),
+                store,
+                threads,
+                with_locks,
+                remote_latency,
+                &exec_clock,
+            )
+        }
+    }
+}
+
+impl<A: StreamApp> TxnEngine for LockedSpeEngine<A> {
+    type Event = A::Event;
+    type Output = A::Output;
+
+    fn ingest(&mut self, event: A::Event) {
+        // Plain buffer push per event; the executor is only built when the
+        // punctuation interval is crossed and a batch must be cut.
+        if self.state.buffer_event(event, &self.config) {
+            TxnEngine::flush(self);
+        }
+    }
+
+    fn flush(&mut self) {
+        let execute = self.execute();
+        self.state
+            .flush(&self.app, &self.store, &self.config, execute);
+    }
+
+    fn finish(&mut self) -> RunReport<A::Output> {
+        TxnEngine::flush(self);
+        self.state.finish()
+    }
+
+    fn report(&self) -> &RunReport<A::Output> {
+        self.state.report()
+    }
+
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.state.set_batch_hook(hook);
     }
 }
 

@@ -17,13 +17,13 @@ use std::sync::Arc;
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, RunReport, SchedulingDecision,
-    StreamApp,
+    AbortHandling, BatchHook, EngineConfig, ExplorationStrategy, Granularity, RunReport,
+    SchedulingDecision, StreamApp, TxnEngine,
 };
 use morphstream_executor::execute_batch_with_units;
-use morphstream_tpg::{SchedulingUnits, TpgBuilder};
+use morphstream_tpg::{SchedulingUnits, TpgBuilder, TransactionBatch};
 
-use crate::harness::{run_pipeline, ExecutedBatch};
+use crate::harness::{ExecutedBatch, IngestState};
 
 /// The S-Store baseline engine.
 pub struct SStoreEngine<A: StreamApp> {
@@ -33,6 +33,7 @@ pub struct SStoreEngine<A: StreamApp> {
     /// Number of state partitions; defaults to the worker-thread count, as in
     /// the original system where each partition is owned by one site.
     num_partitions: usize,
+    state: IngestState<A>,
 }
 
 impl<A: StreamApp> SStoreEngine<A> {
@@ -44,6 +45,7 @@ impl<A: StreamApp> SStoreEngine<A> {
             store,
             config,
             num_partitions,
+            state: IngestState::new(),
         }
     }
 
@@ -58,31 +60,67 @@ impl<A: StreamApp> SStoreEngine<A> {
         &self.store
     }
 
-    /// Process a stream of events.
+    /// Process a stream of events — convenience wrapper over the push-based
+    /// [`TxnEngine`] session.
     pub fn process(&mut self, events: Vec<A::Event>) -> RunReport<A::Output> {
+        self.run(events)
+    }
+
+    /// Batch executor: whole transactions scheduled per state partition.
+    fn execute(
+        num_partitions: usize,
+    ) -> impl FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch {
         let decision = SchedulingDecision {
             exploration: ExplorationStrategy::NonStructured,
             granularity: Granularity::Coarse,
             abort_handling: AbortHandling::Eager,
         };
         let planner = TpgBuilder::new();
-        let num_partitions = self.num_partitions;
-        run_pipeline(
+        move |batch, store, threads| {
+            let tpg = Arc::new(planner.build(batch));
+            let units = SchedulingUnits::by_partitioned_transaction(&tpg, num_partitions);
+            let report = execute_batch_with_units(tpg, units, decision, store, threads);
+            ExecutedBatch {
+                redone_ops: report.redone_ops,
+                breakdown: report.breakdown.clone(),
+                outcomes: report.outcomes,
+            }
+        }
+    }
+}
+
+impl<A: StreamApp> TxnEngine for SStoreEngine<A> {
+    type Event = A::Event;
+    type Output = A::Output;
+
+    fn ingest(&mut self, event: A::Event) {
+        // Plain buffer push per event; the executor is only built when the
+        // punctuation interval is crossed and a batch must be cut.
+        if self.state.buffer_event(event, &self.config) {
+            TxnEngine::flush(self);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.state.flush(
             &self.app,
             &self.store,
             &self.config,
-            events,
-            |batch, store, threads| {
-                let tpg = Arc::new(planner.build(batch));
-                let units = SchedulingUnits::by_partitioned_transaction(&tpg, num_partitions);
-                let report = execute_batch_with_units(tpg, units, decision, store, threads);
-                ExecutedBatch {
-                    redone_ops: report.redone_ops,
-                    breakdown: report.breakdown.clone(),
-                    outcomes: report.outcomes,
-                }
-            },
-        )
+            Self::execute(self.num_partitions),
+        );
+    }
+
+    fn finish(&mut self) -> RunReport<A::Output> {
+        TxnEngine::flush(self);
+        self.state.finish()
+    }
+
+    fn report(&self) -> &RunReport<A::Output> {
+        self.state.report()
+    }
+
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.state.set_batch_hook(hook);
     }
 }
 

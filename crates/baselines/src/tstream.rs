@@ -19,14 +19,14 @@ use std::time::Instant;
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    AbortHandling, EngineConfig, ExplorationStrategy, Granularity, RunReport, SchedulingDecision,
-    StreamApp,
+    AbortHandling, BatchHook, EngineConfig, ExplorationStrategy, Granularity, RunReport,
+    SchedulingDecision, StreamApp, TxnEngine,
 };
 use morphstream_common::metrics::BreakdownBucket;
 use morphstream_executor::execute_batch_with_units;
-use morphstream_tpg::{SchedulingUnits, TpgBuilder};
+use morphstream_tpg::{SchedulingUnits, TpgBuilder, TransactionBatch};
 
-use crate::harness::{run_pipeline, ExecutedBatch};
+use crate::harness::{ExecutedBatch, IngestState};
 
 /// The TStream baseline engine.
 pub struct TStreamEngine<A: StreamApp> {
@@ -36,6 +36,7 @@ pub struct TStreamEngine<A: StreamApp> {
     /// Emulate the whole-batch redo TStream performs when any transaction of
     /// the batch aborted. Enabled by default; disabled in a few unit tests.
     emulate_batch_redo: bool,
+    state: IngestState<A>,
 }
 
 impl<A: StreamApp> TStreamEngine<A> {
@@ -46,6 +47,7 @@ impl<A: StreamApp> TStreamEngine<A> {
             store,
             config,
             emulate_batch_redo: true,
+            state: IngestState::new(),
         }
     }
 
@@ -60,43 +62,80 @@ impl<A: StreamApp> TStreamEngine<A> {
         &self.store
     }
 
-    /// Process a stream of events.
+    /// Process a stream of events — convenience wrapper over the push-based
+    /// [`TxnEngine`] session.
     pub fn process(&mut self, events: Vec<A::Event>) -> RunReport<A::Output> {
+        self.run(events)
+    }
+
+    /// Batch executor: per-key operation chains with lazy aborts and the
+    /// whole-batch redo penalty.
+    fn execute(
+        emulate_batch_redo: bool,
+    ) -> impl FnMut(TransactionBatch, &StateStore, usize) -> ExecutedBatch {
         let decision = SchedulingDecision {
             exploration: ExplorationStrategy::StructuredDfs,
             granularity: Granularity::Coarse,
             abort_handling: AbortHandling::Lazy,
         };
         let planner = TpgBuilder::new();
-        let emulate_batch_redo = self.emulate_batch_redo;
-        run_pipeline(
+        move |batch, store, threads| {
+            let tpg = Arc::new(planner.build(batch));
+            let units = SchedulingUnits::coarse(&tpg);
+            let execute_started = Instant::now();
+            let report = execute_batch_with_units(tpg, units, decision, store, threads);
+            let execute_elapsed = execute_started.elapsed();
+            let mut breakdown = report.breakdown.clone();
+            if emulate_batch_redo && report.aborted() > 0 {
+                // TStream redoes the entire batch once aborts are discovered;
+                // emulate the wasted wall-clock time of that redo.
+                let redo_deadline = Instant::now() + execute_elapsed;
+                while Instant::now() < redo_deadline {
+                    std::hint::spin_loop();
+                }
+                breakdown.add(BreakdownBucket::Abort, execute_elapsed);
+            }
+            ExecutedBatch {
+                redone_ops: report.redone_ops,
+                breakdown,
+                outcomes: report.outcomes,
+            }
+        }
+    }
+}
+
+impl<A: StreamApp> TxnEngine for TStreamEngine<A> {
+    type Event = A::Event;
+    type Output = A::Output;
+
+    fn ingest(&mut self, event: A::Event) {
+        // Plain buffer push per event; the executor is only built when the
+        // punctuation interval is crossed and a batch must be cut.
+        if self.state.buffer_event(event, &self.config) {
+            TxnEngine::flush(self);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.state.flush(
             &self.app,
             &self.store,
             &self.config,
-            events,
-            |batch, store, threads| {
-                let tpg = Arc::new(planner.build(batch));
-                let units = SchedulingUnits::coarse(&tpg);
-                let execute_started = Instant::now();
-                let report = execute_batch_with_units(tpg, units, decision, store, threads);
-                let execute_elapsed = execute_started.elapsed();
-                let mut breakdown = report.breakdown.clone();
-                if emulate_batch_redo && report.aborted() > 0 {
-                    // TStream redoes the entire batch once aborts are discovered;
-                    // emulate the wasted wall-clock time of that redo.
-                    let redo_deadline = Instant::now() + execute_elapsed;
-                    while Instant::now() < redo_deadline {
-                        std::hint::spin_loop();
-                    }
-                    breakdown.add(BreakdownBucket::Abort, execute_elapsed);
-                }
-                ExecutedBatch {
-                    redone_ops: report.redone_ops,
-                    breakdown,
-                    outcomes: report.outcomes,
-                }
-            },
-        )
+            Self::execute(self.emulate_batch_redo),
+        );
+    }
+
+    fn finish(&mut self) -> RunReport<A::Output> {
+        TxnEngine::flush(self);
+        self.state.finish()
+    }
+
+    fn report(&self) -> &RunReport<A::Output> {
+        self.state.report()
+    }
+
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.state.set_batch_hook(hook);
     }
 }
 

@@ -4,17 +4,19 @@
 use morphstream::storage::StateStore;
 use morphstream::{
     AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream, SchedulingDecision,
+    TxnEngine,
 };
 use morphstream_baselines::{SStoreEngine, SystemUnderTest, TStreamEngine};
 use morphstream_common::metrics::BreakdownBucket;
 use morphstream_common::WorkloadConfig;
 use morphstream_workloads::{
     DynamicWorkload, GrepSumApp, OsedApp, OsedReport, SeaApp, SeaGenerator, StreamingLedgerApp,
-    TollProcessingApp, TweetGenerator,
+    TollProcessingApp, TpEvent, TweetGenerator,
 };
 
 use crate::harness::{
-    banner, bench_engine_config, bench_sl_config, bench_threads, run_sl_on, Scale, SystemReport,
+    banner, bench_engine_config, bench_sl_config, bench_threads, drive, run_sl_on, Scale,
+    SystemReport,
 };
 
 fn gs_config(scale: Scale) -> (WorkloadConfig, usize) {
@@ -49,7 +51,7 @@ fn run_gs_fixed(
     if let Some(decision) = decision {
         engine = engine.with_fixed_decision(decision);
     }
-    engine.process(events).k_events_per_second()
+    engine.run(events).k_events_per_second()
 }
 
 /// Figure 11: SL throughput comparison across systems on all cores.
@@ -172,9 +174,9 @@ pub mod fig13 {
         {
             let store = StateStore::new();
             let app = TollProcessingApp::new(&store, &config);
-            let mut engine = MorphStream::new(app, store, engine_config);
-            let report = engine.process_grouped(events.clone(), |e| e.group);
-            let r = SystemReport::from_run(SystemUnderTest::MorphStream, report);
+            let mut engine =
+                MorphStream::new(app, store, engine_config).with_group_fn(|e: &TpEvent| e.group);
+            let r = drive(SystemUnderTest::MorphStream, &mut engine, events.clone());
             rows.push((
                 "Nested".to_string(),
                 r.k_events_per_second,
@@ -186,8 +188,7 @@ pub mod fig13 {
             let app = TollProcessingApp::new(&store, &config);
             let mut engine =
                 MorphStream::new(app, store, engine_config).with_fixed_decision(decision);
-            let report = engine.process(events.clone());
-            let r = SystemReport::from_run(SystemUnderTest::MorphStream, report);
+            let r = drive(SystemUnderTest::MorphStream, &mut engine, events.clone());
             rows.push((label.to_string(), r.k_events_per_second, r.p95_latency_ms));
         }
         // Baselines.
@@ -195,8 +196,7 @@ pub mod fig13 {
             let store = StateStore::new();
             let app = TollProcessingApp::new(&store, &config);
             let mut engine = TStreamEngine::new(app, store, engine_config);
-            let r =
-                SystemReport::from_run(SystemUnderTest::TStream, engine.process(events.clone()));
+            let r = drive(SystemUnderTest::TStream, &mut engine, events.clone());
             rows.push((
                 "TStream".to_string(),
                 r.k_events_per_second,
@@ -207,7 +207,7 @@ pub mod fig13 {
             let store = StateStore::new();
             let app = TollProcessingApp::new(&store, &config);
             let mut engine = SStoreEngine::new(app, store, engine_config);
-            let r = SystemReport::from_run(SystemUnderTest::SStore, engine.process(events));
+            let r = drive(SystemUnderTest::SStore, &mut engine, events);
             rows.push((
                 "S-Store".to_string(),
                 r.k_events_per_second,
@@ -311,7 +311,7 @@ pub mod fig15 {
                 rows.push((
                     SystemUnderTest::TStream,
                     non_det,
-                    engine.process(events.clone()).k_events_per_second(),
+                    engine.run(events.clone()).k_events_per_second(),
                 ));
             }
             // S-Store
@@ -322,7 +322,7 @@ pub mod fig15 {
                 rows.push((
                     SystemUnderTest::SStore,
                     non_det,
-                    engine.process(events).k_events_per_second(),
+                    engine.run(events).k_events_per_second(),
                 ));
             }
         }
@@ -367,15 +367,15 @@ pub mod fig16 {
             let report = match system {
                 SystemUnderTest::MorphStream => {
                     let mut engine = MorphStream::new(app, store, engine_config);
-                    engine.process(all_events.clone())
+                    engine.run(all_events.clone())
                 }
                 SystemUnderTest::TStream => {
                     let mut engine = TStreamEngine::new(app, store, engine_config);
-                    engine.process(all_events.clone())
+                    engine.run(all_events.clone())
                 }
                 _ => {
                     let mut engine = SStoreEngine::new(app, store, engine_config);
-                    engine.process(all_events.clone())
+                    engine.run(all_events.clone())
                 }
             };
             let fractions = BreakdownBucket::ALL
@@ -421,7 +421,7 @@ pub mod fig17 {
             let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch)
                 .with_reclaim_after_batch(reclaim);
             let mut engine = MorphStream::new(app, store, engine_config);
-            let report = engine.process(events_vec.clone());
+            let report = engine.run(events_vec.clone());
             rows.push((
                 label.to_string(),
                 report.k_events_per_second(),
@@ -732,12 +732,12 @@ pub mod fig21 {
             let app = StreamingLedgerApp::new(&store, &config);
             let report = match system {
                 SystemUnderTest::MorphStream => {
-                    MorphStream::new(app, store, engine_config).process(events_vec.clone())
+                    MorphStream::new(app, store, engine_config).run(events_vec.clone())
                 }
                 SystemUnderTest::TStream => {
-                    TStreamEngine::new(app, store, engine_config).process(events_vec.clone())
+                    TStreamEngine::new(app, store, engine_config).run(events_vec.clone())
                 }
-                _ => SStoreEngine::new(app, store, engine_config).process(events_vec.clone()),
+                _ => SStoreEngine::new(app, store, engine_config).run(events_vec.clone()),
             };
             let total = report.breakdown.total().as_secs_f64();
             // "memory bound" stand-in: share of busy time spent waiting on
@@ -806,7 +806,7 @@ pub mod fig23 {
             bench_engine_config(bench_threads(), generator.window + 1)
                 .with_reclaim_after_batch(false),
         );
-        let report = engine.process(tweets);
+        let report = engine.run(tweets);
         let kps = report.k_events_per_second();
         (OsedReport::from_outputs(expected, &report.outputs), kps)
     }
@@ -849,7 +849,7 @@ pub mod fig25 {
             store,
             bench_engine_config(bench_threads(), 1_000).with_reclaim_after_batch(false),
         );
-        let report = engine.process(events);
+        let report = engine.run(events);
         let actual: i64 = report.outputs.iter().sum();
         (
             *expected.last().unwrap_or(&0),

@@ -2,7 +2,7 @@
 //! workload through it, and report throughput/latency in the paper's units.
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream, RunReport};
+use morphstream::{EngineConfig, MorphStream, RunReport, TxnEngine};
 use morphstream_baselines::{LockedSpeEngine, SStoreEngine, SystemUnderTest, TStreamEngine};
 use morphstream_common::WorkloadConfig;
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
@@ -59,6 +59,9 @@ pub struct SystemReport {
     pub committed: usize,
     /// Aborted transaction count.
     pub aborted: usize,
+    /// Peak bytes retained by the state store during the run (the memory
+    /// axis of Figures 16/17).
+    pub peak_bytes_retained: u64,
 }
 
 impl SystemReport {
@@ -81,6 +84,7 @@ impl SystemReport {
             p95_latency_ms: p95,
             committed: report.committed,
             aborted: report.aborted,
+            peak_bytes_retained: report.memory.peak_bytes(),
         }
     }
 
@@ -109,13 +113,14 @@ impl SystemReport {
     /// the (flat, numeric) shape is formatted by hand.
     pub fn json(&self) -> String {
         format!(
-            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{}}}"#,
+            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"peak_bytes_retained":{}}}"#,
             json_escape(&self.system.to_string()),
             self.k_events_per_second,
             self.p50_latency_ms,
             self.p95_latency_ms,
             self.committed,
-            self.aborted
+            self.aborted,
+            self.peak_bytes_retained
         )
     }
 }
@@ -175,48 +180,52 @@ pub fn bench_engine_config(threads: usize, punctuation: usize) -> EngineConfig {
     EngineConfig::with_threads(threads).with_punctuation_interval(punctuation)
 }
 
+/// Drive any engine through the unified [`TxnEngine`] trait and condense its
+/// report. The single driver loop shared by every figure and every system
+/// under test.
+pub fn drive<E, I>(system: SystemUnderTest, engine: &mut E, events: I) -> SystemReport
+where
+    E: TxnEngine,
+    I: IntoIterator<Item = E::Event>,
+{
+    SystemReport::from_run(system, engine.run(events))
+}
+
 /// Run the Streaming Ledger workload on one system and return its condensed
 /// report. This is the core comparison reused by Figures 11, 12, 16 and 21.
+/// Engine construction is per-system; the driving happens once, in [`drive`].
 pub fn run_sl_on(
     system: SystemUnderTest,
     config: &WorkloadConfig,
     engine_config: EngineConfig,
     events: Vec<SlEvent>,
 ) -> SystemReport {
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, config);
     match system {
         SystemUnderTest::MorphStream => {
-            let store = StateStore::new();
-            let app = StreamingLedgerApp::new(&store, config);
             let mut engine = MorphStream::new(app, store, engine_config);
-            SystemReport::from_run(system, engine.process(events))
+            drive(system, &mut engine, events)
         }
         SystemUnderTest::TStream => {
-            let store = StateStore::new();
-            let app = StreamingLedgerApp::new(&store, config);
             let mut engine = TStreamEngine::new(app, store, engine_config);
-            SystemReport::from_run(system, engine.process(events))
+            drive(system, &mut engine, events)
         }
         SystemUnderTest::SStore => {
-            let store = StateStore::new();
-            let app = StreamingLedgerApp::new(&store, config);
             let mut engine = SStoreEngine::new(app, store, engine_config);
-            SystemReport::from_run(system, engine.process(events))
+            drive(system, &mut engine, events)
         }
         SystemUnderTest::LockedSpeWithLocks => {
-            let store = StateStore::new();
-            let app = StreamingLedgerApp::new(&store, config);
             let mut cfg = engine_config;
             cfg.remote_state_latency_us = cfg.remote_state_latency_us.max(20);
             let mut engine = LockedSpeEngine::with_locks(app, store, cfg);
-            SystemReport::from_run(system, engine.process(events))
+            drive(system, &mut engine, events)
         }
         SystemUnderTest::LockedSpeWithoutLocks => {
-            let store = StateStore::new();
-            let app = StreamingLedgerApp::new(&store, config);
             let mut cfg = engine_config;
             cfg.remote_state_latency_us = cfg.remote_state_latency_us.max(20);
             let mut engine = LockedSpeEngine::without_locks(app, store, cfg);
-            SystemReport::from_run(system, engine.process(events))
+            drive(system, &mut engine, events)
         }
     }
 }
@@ -256,6 +265,7 @@ mod tests {
             p95_latency_ms: 2.5,
             committed: 10,
             aborted: 2,
+            peak_bytes_retained: 4_096,
         }
     }
 
@@ -269,6 +279,7 @@ mod tests {
             r#""p95_latency_ms":2.5000"#,
             r#""committed":10"#,
             r#""aborted":2"#,
+            r#""peak_bytes_retained":4096"#,
         ] {
             assert!(json.contains(needle), "{json} missing {needle}");
         }

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use morphstream_common::metrics::{Breakdown, BreakdownBucket, Throughput};
+use morphstream_common::metrics::{Breakdown, BreakdownBucket};
 use morphstream_common::{EngineConfig, Timestamp};
 use morphstream_executor::execute_batch_with_units;
 use morphstream_scheduler::{DecisionModel, Granularity, SchedulingDecision, WorkloadObservation};
@@ -22,7 +22,12 @@ use morphstream_storage::StateStore;
 use morphstream_tpg::{SchedulingUnits, TpgBuilder, Transaction, TransactionBatch};
 
 use crate::app::{StreamApp, TxnBuilder};
+use crate::pipeline::{BatchHook, PendingBatch, SessionState, TxnEngine};
 use crate::report::{BatchSummary, RunReport};
+
+/// Partitioning function assigning each event to a scheduling group (the
+/// *nested* configuration of Section 8.2.3).
+type GroupFn<E> = Arc<dyn Fn(&E) -> usize + Send + Sync>;
 
 /// How the engine picks scheduling decisions.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +71,8 @@ pub struct MorphStream<A: StreamApp> {
     mode: SchedulingMode,
     progress: ProgressController,
     planner: TpgBuilder,
+    group_of: Option<GroupFn<A::Event>>,
+    session: SessionState<A::Event, A::Output>,
 }
 
 impl<A: StreamApp> MorphStream<A> {
@@ -79,6 +86,8 @@ impl<A: StreamApp> MorphStream<A> {
             mode: SchedulingMode::default(),
             progress: ProgressController::default(),
             planner,
+            group_of: None,
+            session: SessionState::new(),
         }
     }
 
@@ -91,6 +100,22 @@ impl<A: StreamApp> MorphStream<A> {
     /// Fix the scheduling decision for every batch.
     pub fn with_fixed_decision(self, decision: SchedulingDecision) -> Self {
         self.with_scheduling_mode(SchedulingMode::Fixed(decision))
+    }
+
+    /// Partition ingested transactions into groups by `group_of`; each group
+    /// gets its own scheduling decision within a batch (the *nested*
+    /// configuration of Section 8.2.3). Applies to pushed sessions
+    /// ([`TxnEngine::ingest`] / [`TxnEngine::pipeline`]) and to
+    /// [`MorphStream::process`].
+    ///
+    /// Groups are planned and executed independently, so transactions of
+    /// different groups must access disjoint states.
+    pub fn with_group_fn(
+        mut self,
+        group_of: impl Fn(&A::Event) -> usize + Send + Sync + 'static,
+    ) -> Self {
+        self.group_of = Some(Arc::new(group_of));
+        self
     }
 
     /// Shared state store handle.
@@ -110,48 +135,68 @@ impl<A: StreamApp> MorphStream<A> {
 
     /// Process a stream of events, splitting it into punctuation-delimited
     /// batches, and return the run report.
+    ///
+    /// Convenience wrapper over the push-based session API: equivalent to
+    /// pushing every event through [`TxnEngine::pipeline`] and finishing.
+    /// Prefer the pipeline in new code — it ingests incrementally from any
+    /// iterator instead of requiring the whole stream as a `Vec`.
     pub fn process(&mut self, events: Vec<A::Event>) -> RunReport<A::Output> {
-        self.process_grouped(events, |_| 0)
+        self.run(events)
     }
 
     /// Process a stream of events whose transactions are partitioned into
-    /// groups by `group_of`; each group gets its own scheduling decision
-    /// within a batch (the *nested* configuration of Section 8.2.3). With a
+    /// groups by `group_of` (see [`MorphStream::with_group_fn`]). With a
     /// single group this degenerates to [`MorphStream::process`].
     ///
-    /// Groups are planned and executed independently, so transactions of
-    /// different groups must access disjoint states (e.g. different road
-    /// regions in Toll Processing); conflicting accesses across groups are
-    /// not serialized against each other.
+    /// Convenience wrapper over the push-based session, kept for one-shot
+    /// grouped runs with a non-`Send` grouping closure; sessions that push
+    /// incrementally install the grouping up front with
+    /// [`MorphStream::with_group_fn`].
     pub fn process_grouped(
         &mut self,
         events: Vec<A::Event>,
         group_of: impl Fn(&A::Event) -> usize,
     ) -> RunReport<A::Output> {
-        let mut report = RunReport::new();
-        let punctuation = self
-            .config
+        for event in events {
+            self.ingest_with(event, &group_of);
+        }
+        self.process_pending(&group_of);
+        self.finish()
+    }
+
+    /// The punctuation interval in events; `usize::MAX` when unset (one
+    /// batch per flush).
+    fn punctuation_interval(&self) -> usize {
+        self.config
             .punctuation_interval
             .unwrap_or(usize::MAX)
-            .max(1);
-        let run_started = Instant::now();
-        for (batch_index, chunk) in events
-            .chunks(punctuation.min(events.len().max(1)))
-            .enumerate()
-        {
-            self.process_batch(chunk, &group_of, batch_index, run_started, &mut report);
+            .max(1)
+    }
+
+    /// Buffer `event`; crossing the punctuation interval processes the batch.
+    fn ingest_with(&mut self, event: A::Event, group_of: &dyn Fn(&A::Event) -> usize) {
+        let punctuation = self.punctuation_interval();
+        if self.session.ingest(event, punctuation) {
+            self.process_pending(group_of);
         }
-        report
+    }
+
+    /// Process the buffered events as a (possibly partial) batch; a no-op on
+    /// an empty buffer.
+    fn process_pending(&mut self, group_of: &dyn Fn(&A::Event) -> usize) {
+        let Some(PendingBatch { events, batch }) = self.session.begin_batch() else {
+            return;
+        };
+        let (summary, breakdown) = self.process_batch(&events, group_of, batch);
+        self.session.complete_batch(events, summary, &breakdown);
     }
 
     fn process_batch(
         &mut self,
         events: &[A::Event],
-        group_of: &impl Fn(&A::Event) -> usize,
+        group_of: &dyn Fn(&A::Event) -> usize,
         batch_index: usize,
-        run_started: Instant,
-        report: &mut RunReport<A::Output>,
-    ) {
+    ) -> (BatchSummary, Breakdown) {
         let batch_started = Instant::now();
         let mut breakdown = Breakdown::new();
 
@@ -230,36 +275,65 @@ impl<A: StreamApp> MorphStream<A> {
         // ---- Post-processing ----
         for (event, (group, txn_idx)) in events.iter().zip(&txn_locator) {
             let outcome = &outcomes_per_group[*group][*txn_idx];
-            report.outputs.push(self.app.post_process(event, outcome));
+            let output = self.app.post_process(event, outcome);
+            self.session.push_output(output);
         }
 
         // ---- Bookkeeping ----
         if self.config.reclaim_after_batch {
             self.store.truncate_before(self.progress.high_watermark());
         }
-        let elapsed = batch_started.elapsed();
-        let latency_us = elapsed.as_micros() as u64;
-        for _ in 0..events.len() {
-            report.latency.record_micros(latency_us);
-        }
-        report.committed += committed;
-        report.aborted += aborted;
-        report
-            .throughput
-            .merge(&Throughput::new(events.len() as u64, elapsed));
-        report.breakdown.merge(&breakdown);
-        let bytes_retained = self.store.bytes_retained();
-        report.memory.record(run_started.elapsed(), bytes_retained);
-        report.batches.push(BatchSummary {
+        let summary = BatchSummary {
             batch: batch_index,
             events: events.len(),
             committed,
             aborted,
-            elapsed,
+            elapsed: batch_started.elapsed(),
             decision: decision_of_first_group.unwrap_or_default(),
             redone_ops,
-            bytes_retained,
-        });
+            bytes_retained: self.store.bytes_retained(),
+        };
+        (summary, breakdown)
+    }
+
+    /// The stored grouping function, defaulting to a single group.
+    fn group_fn(&self) -> GroupFn<A::Event> {
+        self.group_of
+            .clone()
+            .unwrap_or_else(|| Arc::new(|_: &A::Event| 0))
+    }
+}
+
+impl<A: StreamApp> TxnEngine for MorphStream<A> {
+    type Event = A::Event;
+    type Output = A::Output;
+
+    fn ingest(&mut self, event: A::Event) {
+        // The grouping function is only consulted when a batch is cut, so it
+        // is resolved lazily — the per-event path is a plain buffer push.
+        let punctuation = self.punctuation_interval();
+        if self.session.ingest(event, punctuation) {
+            let group_of = self.group_fn();
+            self.process_pending(group_of.as_ref());
+        }
+    }
+
+    fn flush(&mut self) {
+        let group_of = self.group_fn();
+        self.process_pending(group_of.as_ref());
+    }
+
+    fn finish(&mut self) -> RunReport<A::Output> {
+        TxnEngine::flush(self);
+        self.session.finish()
+    }
+
+    fn report(&self) -> &RunReport<A::Output> {
+        self.session.report()
+    }
+
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.session.set_batch_hook(hook);
     }
 }
 
@@ -469,6 +543,84 @@ mod tests {
         assert_eq!(total_balance(&store, accounts), 0);
         // outputs reflect the aborts
         assert!(report.outputs.iter().all(|committed| !committed));
+    }
+
+    #[test]
+    fn empty_stream_finishes_with_a_well_formed_report() {
+        let (store, accounts) = setup(100);
+        let mut engine = MorphStream::new(
+            Transfers { accounts },
+            store,
+            EngineConfig::with_threads(2).with_punctuation_interval(8),
+        );
+        let report = engine.pipeline().finish();
+        assert_eq!(report.events(), 0);
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.aborted, 0);
+        assert!(report.batches.is_empty());
+        assert_eq!(report.k_events_per_second(), 0.0);
+        assert!(report.decision_trace().is_empty());
+        assert_eq!(report.latency.len(), 0);
+        // the legacy wrapper behaves identically
+        let report = engine.process(Vec::new());
+        assert_eq!(report.events(), 0);
+        assert!(report.batches.is_empty());
+    }
+
+    #[test]
+    fn pushed_session_matches_process_and_fires_batch_hook() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let (ref_store, accounts) = setup(1_000);
+        let mut reference = MorphStream::new(
+            Transfers { accounts },
+            ref_store.clone(),
+            EngineConfig::with_threads(2).with_punctuation_interval(64),
+        );
+        let expected = reference.process(transfer_events(300));
+
+        let (store, accounts) = setup(1_000);
+        let mut engine = MorphStream::new(
+            Transfers { accounts },
+            store.clone(),
+            EngineConfig::with_threads(2).with_punctuation_interval(64),
+        );
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = fired.clone();
+        let mut pipeline = engine.pipeline().on_batch(move |batch| {
+            assert!(batch.events <= 64);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        for event in transfer_events(300) {
+            pipeline.push(event);
+        }
+        let report = pipeline.finish();
+        assert_eq!(report.events(), 300);
+        assert_eq!(report.batches.len(), expected.batches.len());
+        assert_eq!(fired.load(Ordering::Relaxed), report.batches.len());
+        assert_eq!(report.committed, expected.committed);
+        assert_eq!(report.aborted, expected.aborted);
+        assert_eq!(report.outputs, expected.outputs);
+        assert_eq!(
+            store.snapshot_latest(accounts).unwrap(),
+            ref_store.snapshot_latest(accounts).unwrap()
+        );
+    }
+
+    #[test]
+    fn sessions_are_reusable_after_finish() {
+        let (store, accounts) = setup(1_000);
+        let mut engine = MorphStream::new(
+            Transfers { accounts },
+            store,
+            EngineConfig::with_threads(2).with_punctuation_interval(32),
+        );
+        let first = engine.run(transfer_events(50));
+        let second = engine.run(transfer_events(50));
+        assert_eq!(first.events(), 50);
+        assert_eq!(second.events(), 50);
+        // batch indices restart per session; timestamps keep advancing
+        assert_eq!(second.batches.first().map(|b| b.batch), Some(0));
     }
 
     #[test]

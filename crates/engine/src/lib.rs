@@ -10,6 +10,12 @@
 //! [`RunReport`] with throughput, latency, runtime breakdown, and the
 //! scheduling decisions the engine morphed through.
 //!
+//! Ingestion is push-based: [`TxnEngine::pipeline`] opens a session whose
+//! `push`/`push_iter` calls trigger punctuation-delimited batch processing
+//! internally (see the [`pipeline`] module for the full lifecycle). The
+//! `process(Vec<Event>)` call below is a convenience wrapper over that
+//! session API for streams that are already materialised.
+//!
 //! ```
 //! use morphstream::{MorphStream, StreamApp, TxnBuilder, EngineConfig};
 //! use morphstream::storage::StateStore;
@@ -46,10 +52,12 @@
 
 pub mod app;
 pub mod engine;
+pub mod pipeline;
 pub mod report;
 
 pub use app::{StreamApp, TxnBuilder};
 pub use engine::{MorphStream, SchedulingMode};
+pub use pipeline::{BatchHook, PendingBatch, Pipeline, SessionState, TxnEngine};
 pub use report::{BatchSummary, RunReport};
 
 pub use morphstream_common::{AbortReason, EngineConfig, WorkloadConfig};

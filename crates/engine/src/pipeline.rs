@@ -1,0 +1,322 @@
+//! Push-based streaming ingestion: the [`TxnEngine`] trait and the
+//! [`Pipeline`] session wrapper.
+//!
+//! The paper's engine is punctuation-driven: events arrive continuously, the
+//! ProgressController injects punctuations, and each delimited batch flows
+//! through planning → scheduling → execution (Algorithm 4). [`TxnEngine`]
+//! captures exactly that contract — events are *ingested* one at a time, the
+//! engine cuts a batch internally every time the punctuation interval is
+//! crossed, and a [`RunReport`] accumulates until the session is *finished*.
+//! [`Pipeline`] is the ergonomic session handle over any such engine.
+//!
+//! The pull-style `process(Vec<Event>)` helpers remain as thin convenience
+//! wrappers, but new code should push:
+//!
+//! ```
+//! use morphstream::storage::StateStore;
+//! use morphstream::{udfs, EngineConfig, MorphStream, StreamApp, TxnBuilder, TxnEngine};
+//!
+//! /// Counts occurrences of words in a stream.
+//! struct WordCount {
+//!     words: morphstream_common::TableId,
+//! }
+//!
+//! impl StreamApp for WordCount {
+//!     type Event = u64;
+//!     type Output = bool;
+//!
+//!     fn state_access(&self, word: &u64, txn: &mut TxnBuilder) {
+//!         txn.write(self.words, *word, udfs::add_delta(1));
+//!     }
+//!
+//!     fn post_process(&self, _word: &u64, outcome: &morphstream::TxnOutcome) -> bool {
+//!         outcome.committed
+//!     }
+//! }
+//!
+//! let store = StateStore::new();
+//! let words = store.create_table("words", 0, true);
+//! let mut engine = MorphStream::new(
+//!     WordCount { words },
+//!     store.clone(),
+//!     EngineConfig::with_threads(2).with_punctuation_interval(3),
+//! );
+//!
+//! // Open a push session: every third event crosses a punctuation and is
+//! // batch-processed internally; `on_batch` observes each batch as it lands.
+//! let mut pipeline = engine.pipeline().on_batch(|batch| {
+//!     assert!(batch.events <= 3);
+//! });
+//! pipeline.push(1);
+//! pipeline.push_iter([2, 1, 3, 1]);
+//! pipeline.flush(); // force out the trailing partial batch
+//! let report = pipeline.finish();
+//!
+//! assert_eq!(report.committed, 5);
+//! assert_eq!(report.batches.len(), 2); // 3 + 2 events
+//! assert_eq!(store.read_latest(words, 1).unwrap(), 3);
+//! ```
+
+use std::time::Instant;
+
+use morphstream_common::metrics::Breakdown;
+
+use crate::report::{BatchSummary, RunReport};
+
+/// Callback observing every punctuation-delimited batch as it completes, so
+/// long-running sessions report progress without waiting for `finish()`.
+pub type BatchHook = Box<dyn FnMut(&BatchSummary) + Send>;
+
+/// A batch taken out of a [`SessionState`] for processing.
+pub struct PendingBatch<E> {
+    /// The buffered events forming the batch, in ingestion order.
+    pub events: Vec<E>,
+    /// Index of the batch within the session.
+    pub batch: usize,
+}
+
+/// The ingestion state machine shared by every [`TxnEngine`] implementation:
+/// the event buffer of at most one punctuation interval, the report
+/// accumulated across processed batches, and the per-batch hook.
+///
+/// Engines differ only in how a batch executes; the session mechanics —
+/// punctuation cuts, batch indexing, hook firing, metric folding, buffer
+/// recycling, finish-time reset — live here so MorphStream and the baselines
+/// cannot drift. The flow per batch is [`SessionState::ingest`] until it
+/// returns `true` → [`SessionState::begin_batch`] → execute, pushing
+/// per-event outputs with [`SessionState::push_output`] →
+/// [`SessionState::complete_batch`].
+pub struct SessionState<E, O> {
+    buffer: Vec<E>,
+    report: RunReport<O>,
+    batch_index: usize,
+    run_started: Option<Instant>,
+    on_batch: Option<BatchHook>,
+}
+
+impl<E, O> SessionState<E, O> {
+    /// Empty session.
+    pub fn new() -> Self {
+        Self {
+            buffer: Vec::new(),
+            report: RunReport::new(),
+            batch_index: 0,
+            run_started: None,
+            on_batch: None,
+        }
+    }
+
+    /// Buffer `event`; returns `true` when the buffer reached `punctuation`
+    /// events and the caller must cut a batch.
+    pub fn ingest(&mut self, event: E, punctuation: usize) -> bool {
+        self.run_started.get_or_insert_with(Instant::now);
+        self.buffer.push(event);
+        self.buffer.len() >= punctuation.max(1)
+    }
+
+    /// Take the buffered events as the next batch to process; `None` when
+    /// nothing is buffered (so an empty flush is a no-op).
+    pub fn begin_batch(&mut self) -> Option<PendingBatch<E>> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        self.run_started.get_or_insert_with(Instant::now);
+        let batch = self.batch_index;
+        self.batch_index += 1;
+        Some(PendingBatch {
+            events: std::mem::take(&mut self.buffer),
+            batch,
+        })
+    }
+
+    /// Append one per-event output (in input order) to the session report.
+    pub fn push_output(&mut self, output: O) {
+        self.report.outputs.push(output);
+    }
+
+    /// Record a processed batch: fire the hook, fold the metrics into the
+    /// report, and recycle the batch's buffer allocation so steady-state
+    /// ingestion does not re-grow the buffer every punctuation interval.
+    pub fn complete_batch(
+        &mut self,
+        mut events: Vec<E>,
+        summary: BatchSummary,
+        breakdown: &Breakdown,
+    ) {
+        if let Some(hook) = self.on_batch.as_mut() {
+            hook(&summary);
+        }
+        let at = self.run_started.map(|s| s.elapsed()).unwrap_or_default();
+        self.report.record_batch(summary, breakdown, at);
+        events.clear();
+        if self.buffer.is_empty() {
+            self.buffer = events;
+        }
+    }
+
+    /// Close the session and return the accumulated report. The caller must
+    /// have processed the buffer first (see [`SessionState::begin_batch`]);
+    /// an unflushed buffer would silently carry into the next session.
+    pub fn finish(&mut self) -> RunReport<O> {
+        debug_assert!(self.buffer.is_empty(), "finish() without flush()");
+        self.batch_index = 0;
+        self.run_started = None;
+        self.on_batch = None;
+        std::mem::take(&mut self.report)
+    }
+
+    /// The report accumulated so far in the current session.
+    pub fn report(&self) -> &RunReport<O> {
+        &self.report
+    }
+
+    /// Install (or clear) the per-batch observability hook.
+    pub fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.on_batch = hook;
+    }
+}
+
+impl<E, O> Default for SessionState<E, O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A transactional stream engine driven by pushed events.
+///
+/// Implemented by [`MorphStream`](crate::MorphStream) and by the three
+/// reconstructed baselines, so benchmarks and applications drive every system
+/// through one interface. Events accumulate in an internal buffer of at most
+/// one punctuation interval; crossing the interval triggers batch processing,
+/// which keeps ingestion memory bounded regardless of stream length.
+pub trait TxnEngine {
+    /// Input event type.
+    type Event;
+    /// Per-event output type produced by post-processing.
+    type Output;
+
+    /// Push one event into the session. When the pushed event crosses the
+    /// punctuation interval, the buffered batch is processed before this
+    /// method returns.
+    fn ingest(&mut self, event: Self::Event);
+
+    /// Process whatever is buffered as a (possibly partial) batch. A no-op
+    /// when nothing is buffered.
+    fn flush(&mut self);
+
+    /// Flush, close the session, and return the accumulated [`RunReport`].
+    /// The engine is reusable afterwards: a fresh session starts empty (state
+    /// and timestamps carry over, as they do across punctuations).
+    fn finish(&mut self) -> RunReport<Self::Output>;
+
+    /// The report accumulated so far in the current session.
+    fn report(&self) -> &RunReport<Self::Output>;
+
+    /// Install (or clear) the per-batch observability hook. The hook fires
+    /// once per processed batch and is cleared when the session finishes.
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>);
+
+    /// Push every event of `events` in order.
+    fn ingest_iter<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = Self::Event>,
+        Self: Sized,
+    {
+        for event in events {
+            self.ingest(event);
+        }
+    }
+
+    /// Convenience: ingest `events` and finish the session — the push-based
+    /// equivalent of the legacy `process(Vec<Event>)` calls.
+    fn run<I>(&mut self, events: I) -> RunReport<Self::Output>
+    where
+        I: IntoIterator<Item = Self::Event>,
+        Self: Sized,
+    {
+        self.ingest_iter(events);
+        self.finish()
+    }
+
+    /// Open a [`Pipeline`] handle over this engine's session.
+    ///
+    /// The session state (buffered events, accumulated report, batch hook)
+    /// lives in the engine, not the handle: dropping a `Pipeline` without
+    /// calling [`Pipeline::finish`] keeps the session open, and the next
+    /// `pipeline()` call (or a direct `ingest`/`finish`) resumes it exactly
+    /// where it left off. Only [`TxnEngine::finish`] closes a session.
+    fn pipeline(&mut self) -> Pipeline<'_, Self>
+    where
+        Self: Sized,
+    {
+        Pipeline::new(self)
+    }
+}
+
+/// A push-based ingestion session over a [`TxnEngine`].
+///
+/// Created by [`TxnEngine::pipeline`]. Events are pushed one at a time or
+/// from any iterator; punctuation-interval crossings trigger batch processing
+/// internally, and [`Pipeline::finish`] returns the run report. See the
+/// [module documentation](self) for a complete example.
+///
+/// `Pipeline` is a *handle*, not the session itself: dropping it without
+/// [`Pipeline::finish`] leaves the session open on the engine (buffered
+/// events and partial report intact), and a later handle resumes it. The
+/// batch hook, however, belongs to the handle that installed it — it is
+/// cleared when the handle drops, so an abandoned session never fires a
+/// stale callback from an unrelated later run. Finish the session before
+/// handing the engine to code that expects a fresh run.
+pub struct Pipeline<'e, E: TxnEngine> {
+    engine: &'e mut E,
+}
+
+impl<E: TxnEngine> Drop for Pipeline<'_, E> {
+    fn drop(&mut self) {
+        self.engine.set_batch_hook(None);
+    }
+}
+
+impl<'e, E: TxnEngine> Pipeline<'e, E> {
+    /// Open a session over `engine`.
+    pub fn new(engine: &'e mut E) -> Self {
+        Self { engine }
+    }
+
+    /// Install a hook observing every processed batch (builder-style). The
+    /// hook lives for this session: it is cleared by [`Pipeline::finish`].
+    pub fn on_batch(self, hook: impl FnMut(&BatchSummary) + Send + 'static) -> Self {
+        self.engine.set_batch_hook(Some(Box::new(hook)));
+        self
+    }
+
+    /// Push one event; crossing the punctuation interval processes the
+    /// buffered batch before returning.
+    pub fn push(&mut self, event: E::Event) {
+        self.engine.ingest(event);
+    }
+
+    /// Push every event yielded by `events`, in order. Accepts any
+    /// `IntoIterator`, so lazy sources stream through without materialising a
+    /// `Vec` first.
+    pub fn push_iter<I: IntoIterator<Item = E::Event>>(&mut self, events: I) {
+        self.engine.ingest_iter(events);
+    }
+
+    /// Process the buffered events as a (possibly partial) batch now.
+    pub fn flush(&mut self) {
+        self.engine.flush();
+    }
+
+    /// The report accumulated so far (batches processed up to this point).
+    pub fn report(&self) -> &RunReport<E::Output> {
+        self.engine.report()
+    }
+
+    /// Flush the trailing partial batch, close the session, and return the
+    /// accumulated report. An empty session returns a well-formed empty
+    /// report (zero events, zero batches).
+    pub fn finish(self) -> RunReport<E::Output> {
+        self.engine.finish()
+    }
+}

@@ -76,6 +76,25 @@ impl<O> RunReport<O> {
         self.outputs.len()
     }
 
+    /// Fold one processed batch into the report: per-event latency samples,
+    /// commit/abort counts, throughput, the execution breakdown, the memory
+    /// timeline (`at` is the offset since the run started), and the summary
+    /// itself. Shared by the MorphStream engine and the baseline harness so
+    /// their per-batch bookkeeping cannot drift.
+    pub fn record_batch(&mut self, summary: BatchSummary, breakdown: &Breakdown, at: Duration) {
+        let latency_us = summary.elapsed.as_micros() as u64;
+        for _ in 0..summary.events {
+            self.latency.record_micros(latency_us);
+        }
+        self.committed += summary.committed;
+        self.aborted += summary.aborted;
+        self.throughput
+            .merge(&Throughput::new(summary.events as u64, summary.elapsed));
+        self.breakdown.merge(breakdown);
+        self.memory.record(at, summary.bytes_retained);
+        self.batches.push(summary);
+    }
+
     /// Throughput in thousands of events per second (the paper's unit).
     pub fn k_events_per_second(&self) -> f64 {
         self.throughput.k_events_per_second()

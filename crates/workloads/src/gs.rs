@@ -82,18 +82,22 @@ impl GrepSumApp {
         self.table
     }
 
-    /// Generate plain GrepSum update events following `config`.
+    /// Generate plain GrepSum update events following `config`. Eager
+    /// variant of [`GrepSumApp::source`].
     pub fn generate(config: &WorkloadConfig, count: usize) -> Vec<GsEvent> {
-        let zipf = Zipf::new(config.key_space, config.zipf_theta, config.seed);
-        let mut rng = DetRng::new(config.seed ^ 0x6E50_5D11);
-        (0..count)
-            .map(|_| GsEvent::Update {
-                target: zipf.sample(&mut rng),
-                sources: zipf.sample_distinct(&mut rng, config.states_per_op.max(1)),
-                value: rng.next_range(1, 10) as Value,
-                inject_abort: rng.next_bool(config.abort_ratio),
-            })
-            .collect()
+        Self::source(config, count).collect()
+    }
+
+    /// Lazily yield the same `count` update events as
+    /// [`GrepSumApp::generate`], one at a time.
+    pub fn source(config: &WorkloadConfig, count: usize) -> GsSource {
+        GsSource {
+            zipf: Zipf::new(config.key_space, config.zipf_theta, config.seed),
+            rng: DetRng::new(config.seed ^ 0x6E50_5D11),
+            states_per_op: config.states_per_op.max(1),
+            abort_ratio: config.abort_ratio,
+            remaining: count,
+        }
     }
 
     /// Generate the windowed variant: `read_period` update events between two
@@ -163,6 +167,38 @@ impl GrepSumApp {
             .collect()
     }
 }
+
+/// Lazy, deterministic GrepSum event source (see [`GrepSumApp::source`]).
+pub struct GsSource {
+    zipf: Zipf,
+    rng: DetRng,
+    states_per_op: usize,
+    abort_ratio: f64,
+    remaining: usize,
+}
+
+impl Iterator for GsSource {
+    type Item = GsEvent;
+
+    fn next(&mut self) -> Option<GsEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(GsEvent::Update {
+            target: self.zipf.sample(&mut self.rng),
+            sources: self.zipf.sample_distinct(&mut self.rng, self.states_per_op),
+            value: self.rng.next_range(1, 10) as Value,
+            inject_abort: self.rng.next_bool(self.abort_ratio),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl crate::Source for GsSource {}
 
 impl StreamApp for GrepSumApp {
     type Event = GsEvent;

@@ -9,7 +9,9 @@
 //! All generators are deterministic functions of a [`WorkloadConfig`]
 //! seed, so every figure can be regenerated bit-for-bit, and every
 //! application implements [`morphstream::StreamApp`] so it can run unchanged
-//! on MorphStream and on the reconstructed baselines.
+//! on MorphStream and on the reconstructed baselines. The SL and GS
+//! generators additionally expose lazy [`Source`]s that yield events one at
+//! a time for push-based ingestion with bounded memory.
 
 #![warn(missing_docs)]
 
@@ -18,13 +20,15 @@ pub mod gs;
 pub mod osed;
 pub mod sea;
 pub mod sl;
+pub mod source;
 pub mod tp;
 
 pub use dynamic::{DynamicPhase, DynamicWorkload};
-pub use gs::{GrepSumApp, GsEvent};
+pub use gs::{GrepSumApp, GsEvent, GsSource};
 pub use osed::{OsedApp, OsedReport, Tweet, TweetGenerator};
 pub use sea::{SeaApp, SeaEvent, SeaGenerator};
-pub use sl::{SlEvent, StreamingLedgerApp};
+pub use sl::{SlEvent, SlSource, StreamingLedgerApp};
+pub use source::Source;
 pub use tp::{TollProcessingApp, TpEvent};
 
 pub use morphstream_common::WorkloadConfig;

@@ -65,34 +65,24 @@ impl StreamingLedgerApp {
     }
 
     /// Generate `count` events with `transfer_ratio` transfers (the rest are
-    /// deposits) following `config`.
+    /// deposits) following `config`. Eager variant of
+    /// [`StreamingLedgerApp::source`].
     pub fn generate(config: &WorkloadConfig, count: usize, transfer_ratio: f64) -> Vec<SlEvent> {
-        let zipf = Zipf::new(config.key_space, config.zipf_theta, config.seed);
-        let mut rng = DetRng::new(config.seed ^ 0x51ED_6E5A);
-        let mut events = Vec::with_capacity(count);
-        for _ in 0..count {
-            if rng.next_bool(transfer_ratio) {
-                let from = zipf.sample(&mut rng);
-                let mut to = zipf.sample(&mut rng);
-                if to == from {
-                    to = (to + 1) % config.key_space;
-                }
-                // An aborting transaction asks for more money than any account
-                // can hold, violating the non-negative balance rule.
-                let amount = if rng.next_bool(config.abort_ratio) {
-                    INITIAL_BALANCE * 1_000
-                } else {
-                    rng.next_range(1, 100) as Value
-                };
-                events.push(SlEvent::Transfer { from, to, amount });
-            } else {
-                events.push(SlEvent::Deposit {
-                    account: zipf.sample(&mut rng),
-                    amount: rng.next_range(1, 100) as Value,
-                });
-            }
+        Self::source(config, count, transfer_ratio).collect()
+    }
+
+    /// Lazily yield the same `count` events as
+    /// [`StreamingLedgerApp::generate`], one at a time — suitable for
+    /// feeding a pipeline without materialising the stream.
+    pub fn source(config: &WorkloadConfig, count: usize, transfer_ratio: f64) -> SlSource {
+        SlSource {
+            zipf: Zipf::new(config.key_space, config.zipf_theta, config.seed),
+            rng: DetRng::new(config.seed ^ 0x51ED_6E5A),
+            key_space: config.key_space,
+            abort_ratio: config.abort_ratio,
+            transfer_ratio,
+            remaining: count,
         }
-        events
     }
 
     /// Total money in the ledger.
@@ -104,6 +94,54 @@ impl StreamingLedgerApp {
             .sum()
     }
 }
+
+/// Lazy, deterministic Streaming Ledger event source (see
+/// [`StreamingLedgerApp::source`]).
+pub struct SlSource {
+    zipf: Zipf,
+    rng: DetRng,
+    key_space: u64,
+    abort_ratio: f64,
+    transfer_ratio: f64,
+    remaining: usize,
+}
+
+impl Iterator for SlSource {
+    type Item = SlEvent;
+
+    fn next(&mut self) -> Option<SlEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(if self.rng.next_bool(self.transfer_ratio) {
+            let from = self.zipf.sample(&mut self.rng);
+            let mut to = self.zipf.sample(&mut self.rng);
+            if to == from {
+                to = (to + 1) % self.key_space;
+            }
+            // An aborting transaction asks for more money than any account
+            // can hold, violating the non-negative balance rule.
+            let amount = if self.rng.next_bool(self.abort_ratio) {
+                INITIAL_BALANCE * 1_000
+            } else {
+                self.rng.next_range(1, 100) as Value
+            };
+            SlEvent::Transfer { from, to, amount }
+        } else {
+            SlEvent::Deposit {
+                account: self.zipf.sample(&mut self.rng),
+                amount: self.rng.next_range(1, 100) as Value,
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl crate::Source for SlSource {}
 
 impl StreamApp for StreamingLedgerApp {
     type Event = SlEvent;

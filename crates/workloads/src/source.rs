@@ -1,0 +1,78 @@
+//! Lazy event sources.
+//!
+//! A [`Source`] yields workload events one at a time instead of allocating
+//! the whole stream as a `Vec` up front, so long-running scenarios can feed a
+//! [`Pipeline`](morphstream::Pipeline) with bounded memory:
+//!
+//! ```
+//! use morphstream::storage::StateStore;
+//! use morphstream::{EngineConfig, MorphStream, TxnEngine};
+//! use morphstream_workloads::{Source, StreamingLedgerApp, WorkloadConfig};
+//!
+//! let config = WorkloadConfig::streaming_ledger()
+//!     .with_key_space(64)
+//!     .with_udf_complexity_us(0);
+//! let store = StateStore::new();
+//! let app = StreamingLedgerApp::new(&store, &config);
+//! let mut engine = MorphStream::new(
+//!     app,
+//!     store,
+//!     EngineConfig::with_threads(2).with_punctuation_interval(32),
+//! );
+//!
+//! let source = StreamingLedgerApp::source(&config, 100, 0.5);
+//! assert_eq!(source.expected_events(), Some(100));
+//! let mut pipeline = engine.pipeline();
+//! pipeline.push_iter(source); // streams through, never materialised
+//! assert_eq!(pipeline.finish().events(), 100);
+//! ```
+//!
+//! Every source is a deterministic function of its [`WorkloadConfig`]
+//! (`morphstream_common::WorkloadConfig`) seed: collecting a source yields
+//! exactly the event sequence of the corresponding eager `generate` call,
+//! which is itself implemented as `source(..).collect()`.
+
+/// A lazy, deterministic stream of workload events.
+///
+/// `Source` is an [`Iterator`] with a size contract: bounded sources report
+/// how many events remain through [`Iterator::size_hint`], which lets
+/// harnesses pre-size result buffers and progress displays without consuming
+/// the stream; an unbounded source (open-ended traffic) reports `None`.
+pub trait Source: Iterator {
+    /// Number of events this source will still yield, when known. Derived
+    /// from the upper bound of [`Iterator::size_hint`].
+    fn expected_events(&self) -> Option<usize> {
+        self.size_hint().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GrepSumApp, StreamingLedgerApp};
+    use morphstream_common::WorkloadConfig;
+
+    #[test]
+    fn sources_yield_exactly_the_generated_events() {
+        let sl = WorkloadConfig::streaming_ledger().with_key_space(128);
+        let lazy: Vec<_> = StreamingLedgerApp::source(&sl, 200, 0.6).collect();
+        assert_eq!(lazy, StreamingLedgerApp::generate(&sl, 200, 0.6));
+
+        let gs = WorkloadConfig::grep_sum().with_key_space(128);
+        let lazy: Vec<_> = GrepSumApp::source(&gs, 200).collect();
+        assert_eq!(lazy, GrepSumApp::generate(&gs, 200));
+    }
+
+    #[test]
+    fn expected_events_tracks_consumption() {
+        let config = WorkloadConfig::streaming_ledger().with_key_space(128);
+        let mut source = StreamingLedgerApp::source(&config, 10, 0.5);
+        assert_eq!(source.expected_events(), Some(10));
+        assert_eq!(source.size_hint(), (10, Some(10)));
+        source.next();
+        assert_eq!(source.expected_events(), Some(9));
+        assert_eq!(source.by_ref().count(), 9);
+        assert_eq!(source.expected_events(), Some(0));
+        assert!(source.next().is_none());
+    }
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream};
+use morphstream::{EngineConfig, MorphStream, TxnEngine};
 use morphstream_repro::quickstart::{quickstart_events, Bank};
 
 fn main() {
@@ -27,8 +27,11 @@ fn main() {
         EngineConfig::with_threads(4).with_punctuation_interval(4),
     );
 
-    // 3. feed a stream of events
-    let report = engine.process(quickstart_events());
+    // 3. push the event stream through a pipeline session: every fourth
+    //    event crosses a punctuation and is batch-processed internally
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(quickstart_events());
+    let report = pipeline.finish();
 
     // 4. inspect outputs and metrics
     for line in &report.outputs {

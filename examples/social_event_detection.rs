@@ -7,7 +7,7 @@
 //! ```
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream};
+use morphstream::{EngineConfig, MorphStream, TxnEngine};
 use morphstream_common::Timestamp;
 use morphstream_workloads::{OsedApp, OsedReport, TweetGenerator};
 
@@ -33,7 +33,20 @@ fn main() {
             .with_punctuation_interval(generator.window + 1)
             .with_reclaim_after_batch(false),
     );
-    let report = engine.process(tweets);
+    // The on_batch hook reports each detection window as it completes —
+    // incremental observability a long-running session gets without waiting
+    // for finish().
+    let mut pipeline = engine.pipeline().on_batch(|batch| {
+        println!(
+            "window {:>3}: {} tweets, {} committed, {:.1} k tweets/s",
+            batch.batch,
+            batch.events,
+            batch.committed,
+            batch.events_per_second() / 1e3
+        );
+    });
+    pipeline.push_iter(tweets);
+    let report = pipeline.finish();
     let osed = OsedReport::from_outputs(expected, &report.outputs);
 
     println!(

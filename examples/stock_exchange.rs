@@ -7,7 +7,7 @@
 //! ```
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream};
+use morphstream::{EngineConfig, MorphStream, TxnEngine};
 use morphstream_workloads::{SeaApp, SeaGenerator};
 
 fn main() {
@@ -17,6 +17,8 @@ fn main() {
         ..SeaGenerator::default()
     };
     let window = 500u64;
+    // The analytical oracle needs the full stream, so it is materialised
+    // here; the engine itself is fed through the push-based pipeline.
     let events = generator.generate();
     let expected = generator.expected_accumulated_matches(&events, window);
 
@@ -29,7 +31,9 @@ fn main() {
             .with_punctuation_interval(1_000)
             .with_reclaim_after_batch(false),
     );
-    let report = engine.process(events);
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(events);
+    let report = pipeline.finish();
     let actual: i64 = report.outputs.iter().sum();
 
     println!(

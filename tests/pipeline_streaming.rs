@@ -1,0 +1,246 @@
+//! Integration tests of the push-based `Pipeline` ingestion API: pushed
+//! sessions must match the legacy `process()` wrapper exactly, the
+//! `on_batch` hook must fire once per punctuation, and every engine driven
+//! through the unified `TxnEngine` trait must agree on final state.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use morphstream::storage::StateStore;
+use morphstream::{EngineConfig, MorphStream, TxnEngine};
+use morphstream_baselines::{SStoreEngine, TStreamEngine};
+use morphstream_common::{Value, WorkloadConfig};
+use morphstream_workloads::{SlEvent, Source, StreamingLedgerApp};
+
+fn config() -> WorkloadConfig {
+    WorkloadConfig::streaming_ledger()
+        .with_key_space(512)
+        .with_udf_complexity_us(0)
+        .with_abort_ratio(0.1)
+        .with_txns_per_batch(128)
+}
+
+fn events() -> Vec<SlEvent> {
+    StreamingLedgerApp::generate(&config(), 1_500, 0.7)
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig::with_threads(4).with_punctuation_interval(config().txns_per_batch)
+}
+
+/// Final per-key balances of a freshly built engine's store after `run`.
+fn balances(store: &StateStore, app: &StreamingLedgerApp) -> Vec<Value> {
+    let snapshot = store.snapshot_latest(app.accounts_table()).unwrap();
+    (0..config().key_space).map(|k| snapshot[&k]).collect()
+}
+
+#[test]
+fn pushing_across_uneven_boundaries_matches_process_exactly() {
+    let config = config();
+    let events = events();
+
+    // Reference: the legacy pull-style wrapper.
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let mut reference = MorphStream::new(ref_app, ref_store.clone(), engine_config());
+    let expected = reference.process(events.clone());
+
+    // Pushed session: same events arrive in chunks deliberately misaligned
+    // with the punctuation interval of 128.
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store.clone(), engine_config());
+    let mut pipeline = engine.pipeline();
+    let mut stream = events.into_iter();
+    for chunk in [1usize, 7, 130, 64, 500, usize::MAX] {
+        pipeline.push_iter(stream.by_ref().take(chunk));
+    }
+    let report = pipeline.finish();
+
+    // Identical batching, counts, outputs, and store state.
+    assert_eq!(report.events(), expected.events());
+    assert_eq!(report.committed, expected.committed);
+    assert_eq!(report.aborted, expected.aborted);
+    assert_eq!(report.outputs, expected.outputs);
+    assert_eq!(report.batches.len(), expected.batches.len());
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let app = StreamingLedgerApp::new(&store, &config);
+    assert_eq!(balances(&store, &app), balances(&ref_store, &ref_app));
+}
+
+#[test]
+fn explicit_flushes_change_batching_but_not_final_state() {
+    let config = config();
+    let events = events();
+
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let mut reference = MorphStream::new(ref_app, ref_store.clone(), engine_config());
+    let expected = reference.process(events.clone());
+
+    // Flush after every uneven chunk: partial batches everywhere. Batch
+    // boundaries differ, but batches execute in timestamp order, so the
+    // final store state must still match byte for byte.
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store.clone(), engine_config());
+    let mut pipeline = engine.pipeline();
+    let mut stream = events.into_iter();
+    for chunk in [3usize, 100, 41, 999, usize::MAX] {
+        pipeline.push_iter(stream.by_ref().take(chunk));
+        pipeline.flush();
+    }
+    let report = pipeline.finish();
+
+    assert_eq!(report.events(), expected.events());
+    assert_eq!(report.committed, expected.committed);
+    assert_eq!(report.aborted, expected.aborted);
+    assert!(report.batches.len() > expected.batches.len());
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let app = StreamingLedgerApp::new(&store, &config);
+    assert_eq!(balances(&store, &app), balances(&ref_store, &ref_app));
+}
+
+#[test]
+fn on_batch_hook_fires_once_per_punctuation() {
+    let config = config();
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store, engine_config());
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let seen_events = Arc::new(AtomicUsize::new(0));
+    let (fired_in_hook, seen_in_hook) = (fired.clone(), seen_events.clone());
+    let mut pipeline = engine.pipeline().on_batch(move |batch| {
+        fired_in_hook.fetch_add(1, Ordering::Relaxed);
+        seen_in_hook.fetch_add(batch.events, Ordering::Relaxed);
+    });
+    pipeline.push_iter(StreamingLedgerApp::source(&config, 1_000, 0.7));
+    // Mid-session observability: batches processed so far are visible.
+    assert_eq!(pipeline.report().batches.len(), 1_000 / 128);
+    let report = pipeline.finish();
+
+    // 1000 events at a punctuation interval of 128: 7 full + 1 partial batch.
+    assert_eq!(report.batches.len(), 8);
+    assert_eq!(fired.load(Ordering::Relaxed), 8);
+    assert_eq!(seen_events.load(Ordering::Relaxed), 1_000);
+}
+
+#[test]
+fn empty_pipeline_finishes_with_an_empty_report() {
+    let config = config();
+    for punctuation in [None, Some(64)] {
+        let store = StateStore::new();
+        let app = StreamingLedgerApp::new(&store, &config);
+        let mut engine_config = EngineConfig::with_threads(2);
+        engine_config.punctuation_interval = punctuation;
+        let mut engine = MorphStream::new(app, store, engine_config);
+        let mut pipeline = engine.pipeline();
+        pipeline.flush(); // flushing an empty buffer is a no-op
+        let report = pipeline.finish();
+        assert_eq!(report.events(), 0);
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.aborted, 0);
+        assert!(report.outputs.is_empty());
+        assert!(report.batches.is_empty());
+        assert!(report.decision_trace().is_empty());
+        assert_eq!(report.k_events_per_second(), 0.0);
+    }
+}
+
+/// Drive any engine through the unified trait and return the final balances.
+fn run_via_trait<E>(mut engine: E, store: &StateStore, events: Vec<SlEvent>) -> (usize, Vec<Value>)
+where
+    E: TxnEngine<Event = SlEvent, Output = bool>,
+{
+    let fired = Arc::new(AtomicUsize::new(0));
+    let counter = fired.clone();
+    let mut pipeline = engine.pipeline().on_batch(move |_| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    });
+    pipeline.push_iter(events);
+    let report = pipeline.finish();
+    assert_eq!(fired.load(Ordering::Relaxed), report.batches.len());
+    let app = StreamingLedgerApp::new(store, &config());
+    (report.events(), balances(store, &app))
+}
+
+#[test]
+fn all_engines_agree_on_final_state_through_the_trait() {
+    let config = config();
+    let events = events();
+
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let reference = run_via_trait(
+        MorphStream::new(ref_app, ref_store.clone(), engine_config()),
+        &ref_store,
+        events.clone(),
+    );
+    assert_eq!(reference.0, events.len());
+
+    let ts_store = StateStore::new();
+    let ts_app = StreamingLedgerApp::new(&ts_store, &config);
+    let tstream = run_via_trait(
+        TStreamEngine::new(ts_app, ts_store.clone(), engine_config()),
+        &ts_store,
+        events.clone(),
+    );
+    assert_eq!(tstream, reference, "TStream diverged from MorphStream");
+
+    let ss_store = StateStore::new();
+    let ss_app = StreamingLedgerApp::new(&ss_store, &config);
+    let sstore = run_via_trait(
+        SStoreEngine::new(ss_app, ss_store.clone(), engine_config()),
+        &ss_store,
+        events,
+    );
+    assert_eq!(sstore, reference, "S-Store diverged from MorphStream");
+}
+
+#[test]
+fn dropping_a_pipeline_handle_keeps_the_session_resumable() {
+    let config = config();
+    let events = events();
+
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let mut reference = MorphStream::new(ref_app, ref_store.clone(), engine_config());
+    let expected = reference.process(events.clone());
+
+    // The session lives on the engine: dropping a handle mid-stream and
+    // opening a new one continues exactly where the first left off.
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store.clone(), engine_config());
+    let mut stream = events.into_iter();
+    {
+        let mut first = engine.pipeline();
+        first.push_iter(stream.by_ref().take(200)); // 128 processed, 72 buffered
+    } // dropped without finish()
+    let mut second = engine.pipeline();
+    second.push_iter(stream);
+    let report = second.finish();
+
+    assert_eq!(report.events(), expected.events());
+    assert_eq!(report.committed, expected.committed);
+    assert_eq!(report.aborted, expected.aborted);
+    assert_eq!(report.batches.len(), expected.batches.len());
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let app = StreamingLedgerApp::new(&store, &config);
+    assert_eq!(balances(&store, &app), balances(&ref_store, &ref_app));
+}
+
+#[test]
+fn lazy_source_reports_its_size_and_streams_through() {
+    let config = config();
+    let source = StreamingLedgerApp::source(&config, 256, 0.5);
+    assert_eq!(source.expected_events(), Some(256));
+
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store, engine_config());
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(source);
+    assert_eq!(pipeline.finish().events(), 256);
+}

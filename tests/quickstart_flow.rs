@@ -4,7 +4,7 @@
 //! this test fails, the quickstart a new user runs first is broken.
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream};
+use morphstream::{EngineConfig, MorphStream, TxnEngine};
 use morphstream_repro::quickstart::{quickstart_events, Bank};
 
 #[test]
@@ -18,7 +18,9 @@ fn quickstart_flow_end_to_end() {
         store.clone(),
         EngineConfig::with_threads(4).with_punctuation_interval(4),
     );
-    let report = engine.process(quickstart_events());
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(quickstart_events());
+    let report = pipeline.finish();
 
     // The report counts every event, commits all but the overdraft, and
     // carries per-event outputs in input order.
