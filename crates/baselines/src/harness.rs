@@ -17,7 +17,7 @@ use morphstream::storage::StateStore;
 use morphstream::{
     BatchHook, EngineConfig, PendingBatch, SessionState, StreamApp, TxnBuilder, TxnOutcome,
 };
-use morphstream_common::metrics::Breakdown;
+use morphstream_common::metrics::{Breakdown, StageTimings};
 use morphstream_common::Timestamp;
 use morphstream_tpg::{Transaction, TransactionBatch};
 
@@ -106,7 +106,13 @@ impl<A: StreamApp> IngestState<A> {
                 Transaction::new(self.next_ts, builder.into_ops()).with_event_index(event_index),
             );
         }
+        let construct = batch_started.elapsed();
 
+        // The execute stage spans execution, post-processing and reclamation
+        // — the same interval the MorphStream engine reports, so the
+        // construct/execute split (and the throughput derived from it) is
+        // comparable across systems.
+        let execute_started = Instant::now();
         let executed = execute(batch, store, config.num_threads);
         let committed = executed.outcomes.iter().filter(|o| o.committed).count();
         let aborted = executed.outcomes.len() - committed;
@@ -118,6 +124,7 @@ impl<A: StreamApp> IngestState<A> {
         if config.reclaim_after_batch {
             store.truncate_before(self.next_ts);
         }
+        let execute_wall = execute_started.elapsed();
         let summary = BatchSummary {
             batch: batch_index,
             events: chunk.len(),
@@ -127,6 +134,13 @@ impl<A: StreamApp> IngestState<A> {
             decision: Default::default(),
             redone_ops: executed.redone_ops,
             bytes_retained: store.bytes_retained(),
+            // Baselines construct and execute strictly in sequence, so no
+            // construction time is ever hidden behind execution.
+            timings: StageTimings {
+                construct,
+                execute: execute_wall,
+                overlap: std::time::Duration::ZERO,
+            },
         };
         self.session
             .complete_batch(chunk, summary, &executed.breakdown);

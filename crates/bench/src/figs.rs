@@ -339,15 +339,97 @@ pub mod fig15 {
     }
 }
 
-/// Figure 16: runtime breakdown and memory footprint.
+/// Figure 16: runtime breakdown, memory footprint, and — new to the
+/// pipelined engine — how much TPG-construction time is hidden behind
+/// execution (the construction-overhead axis of 16a).
 pub mod fig16 {
     use super::*;
+    use crate::harness::json_escape;
 
     /// Fraction of runtime spent per breakdown bucket.
     pub type BucketFractions = Vec<(BreakdownBucket, f64)>;
 
-    /// Per-system breakdown fractions and peak memory.
-    pub fn measure(scale: Scale) -> Vec<(SystemUnderTest, BucketFractions, u64)> {
+    /// One measured configuration of Figure 16.
+    #[derive(Debug, Clone)]
+    pub struct Fig16Row {
+        /// System / configuration label.
+        pub system: String,
+        /// Per-bucket runtime fractions (Figure 16a).
+        pub fractions: BucketFractions,
+        /// Peak auxiliary memory in bytes (Figure 16b).
+        pub peak_bytes: u64,
+        /// Total TPG-construction wall time (seconds).
+        pub construct_s: f64,
+        /// Wall time of the execution stage (seconds).
+        pub execute_s: f64,
+        /// Construction time that ran concurrently with execution (seconds).
+        pub overlap_s: f64,
+    }
+
+    impl Fig16Row {
+        fn from_report<O>(system: &str, report: &morphstream::RunReport<O>) -> Self {
+            let timings = report.stage_timings;
+            Self {
+                system: system.to_string(),
+                fractions: BreakdownBucket::ALL
+                    .iter()
+                    .map(|&b| (b, report.breakdown.fraction(b)))
+                    .collect(),
+                peak_bytes: report.memory.peak_bytes(),
+                construct_s: timings.construct.as_secs_f64(),
+                execute_s: timings.execute.as_secs_f64(),
+                overlap_s: timings.overlap.as_secs_f64(),
+            }
+        }
+
+        /// `overlap_s / construct_s`, clamped to [0, 1] (the clamp semantics
+        /// live in `StageTimings::overlap_fraction`).
+        pub fn overlap_fraction(&self) -> f64 {
+            crate::harness::overlap_fraction_of(self.construct_s, self.overlap_s)
+        }
+
+        /// One JSON object row (hand-formatted; serde is offline-gated).
+        pub fn json(&self) -> String {
+            let buckets: Vec<String> = self
+                .fractions
+                .iter()
+                .map(|(b, f)| format!(r#""{}":{:.4}"#, b.label(), f))
+                .collect();
+            format!(
+                r#"{{"system":"{}",{},"peak_bytes":{},"construct_s":{:.6},"execute_s":{:.6},"overlap_s":{:.6},"overlap_fraction":{:.4}}}"#,
+                json_escape(&self.system),
+                buckets.join(","),
+                self.peak_bytes,
+                self.construct_s,
+                self.execute_s,
+                self.overlap_s,
+                self.overlap_fraction()
+            )
+        }
+    }
+
+    /// Write the measured rows as one JSON document (the CI smoke-bench
+    /// uploads this as `BENCH_fig16_smoke.json` so construction-overlap
+    /// regressions show up in artifacts).
+    pub fn write_json(
+        path: &std::path::Path,
+        scale: Scale,
+        rows: &[Fig16Row],
+    ) -> std::io::Result<()> {
+        let body: Vec<String> = rows.iter().map(Fig16Row::json).collect();
+        let doc = format!(
+            "{{\"bench\":\"fig16_overhead\",\"scale\":\"{}\",\"rows\":[\n  {}\n]}}\n",
+            scale.name(),
+            body.join(",\n  ")
+        );
+        std::fs::write(path, doc)
+    }
+
+    /// Per-system breakdown fractions, peak memory and stage timings. The
+    /// MorphStream row is measured twice: serially and with pipelined
+    /// construction, whose `overlap_s` shows the construction time hidden
+    /// behind execution.
+    pub fn measure(scale: Scale) -> Vec<Fig16Row> {
         let (config, events) = bench_sl_config(scale);
         let workload = DynamicWorkload::new(config, events / 2);
         let mut all_events = Vec::new();
@@ -356,53 +438,70 @@ pub mod fig16 {
         }
         let mut engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
         engine_config.reclaim_after_batch = false;
-        let mut out = Vec::new();
-        for system in [
-            SystemUnderTest::MorphStream,
-            SystemUnderTest::TStream,
-            SystemUnderTest::SStore,
-        ] {
+
+        // One fresh store + app per row, one shared driver for every engine.
+        let fresh_app = || {
             let store = StateStore::new();
             let app = StreamingLedgerApp::new(&store, &config);
-            let report = match system {
-                SystemUnderTest::MorphStream => {
-                    let mut engine = MorphStream::new(app, store, engine_config);
-                    engine.run(all_events.clone())
-                }
-                SystemUnderTest::TStream => {
-                    let mut engine = TStreamEngine::new(app, store, engine_config);
-                    engine.run(all_events.clone())
-                }
-                _ => {
-                    let mut engine = SStoreEngine::new(app, store, engine_config);
-                    engine.run(all_events.clone())
-                }
-            };
-            let fractions = BreakdownBucket::ALL
-                .iter()
-                .map(|&b| (b, report.breakdown.fraction(b)))
-                .collect();
-            out.push((system, fractions, report.memory.peak_bytes()));
+            (store, app)
+        };
+        fn row<E: TxnEngine>(label: &str, mut engine: E, events: Vec<E::Event>) -> Fig16Row {
+            Fig16Row::from_report(label, &engine.run(events))
         }
-        out
+
+        let (store, app) = fresh_app();
+        let morph = row(
+            "MorphStream",
+            MorphStream::new(app, store, engine_config),
+            all_events.clone(),
+        );
+        let (store, app) = fresh_app();
+        let pipelined = row(
+            "MorphStream (pipelined)",
+            MorphStream::new(app, store, engine_config.with_pipelined_construction(true)),
+            all_events.clone(),
+        );
+        let (store, app) = fresh_app();
+        let tstream = row(
+            "TStream",
+            TStreamEngine::new(app, store, engine_config),
+            all_events.clone(),
+        );
+        let (store, app) = fresh_app();
+        let sstore = row(
+            "S-Store",
+            SStoreEngine::new(app, store, engine_config),
+            all_events,
+        );
+        vec![morph, pipelined, tstream, sstore]
     }
 
-    /// Print the figure.
-    pub fn run(scale: Scale) {
+    /// Print the figure and return the measured rows (so the CI smoke-bench
+    /// wrapper can persist them without re-measuring).
+    pub fn run(scale: Scale) -> Vec<Fig16Row> {
         banner(
             "Figure 16",
-            "runtime breakdown and memory footprint (dynamic SL)",
+            "runtime breakdown, memory footprint, construction overlap (dynamic SL)",
         );
-        for (system, fractions, peak) in measure(scale) {
-            println!("{}:", system);
-            for (bucket, fraction) in fractions {
+        let rows = measure(scale);
+        for row in &rows {
+            println!("{}:", row.system);
+            for (bucket, fraction) in &row.fractions {
                 println!("    {:<10} {:>6.1}%", bucket.label(), fraction * 100.0);
             }
             println!(
                 "    peak auxiliary memory: {:.1} MiB",
-                peak as f64 / (1024.0 * 1024.0)
+                row.peak_bytes as f64 / (1024.0 * 1024.0)
+            );
+            println!(
+                "    construct {:.3}s / execute {:.3}s / hidden {:.3}s ({:.0}% of construction)",
+                row.construct_s,
+                row.execute_s,
+                row.overlap_s,
+                row.overlap_fraction() * 100.0
             );
         }
+        rows
     }
 }
 
@@ -709,14 +808,11 @@ pub mod fig21 {
     use super::*;
 
     /// `(system, total busy seconds, memory-wait fraction)` rows and
-    /// `(system, cores, k events/s)` scalability series.
+    /// `(configuration, cores, k events/s)` scalability series; the
+    /// scalability sweep includes the pipelined-construction MorphStream
+    /// configuration alongside the serial one.
     #[allow(clippy::type_complexity)]
-    pub fn measure(
-        scale: Scale,
-    ) -> (
-        Vec<(SystemUnderTest, f64, f64)>,
-        Vec<(SystemUnderTest, usize, f64)>,
-    ) {
+    pub fn measure(scale: Scale) -> (Vec<(SystemUnderTest, f64, f64)>, Vec<(String, usize, f64)>) {
         let (config, events) = bench_sl_config(scale);
         let events_vec = StreamingLedgerApp::generate(&config, events, 0.6);
         let systems = [
@@ -754,8 +850,22 @@ pub mod fig21 {
             let engine_config = bench_engine_config(threads, config.txns_per_batch);
             for system in systems {
                 let report = run_sl_on(system, &config, engine_config, events_vec.clone());
-                scalability.push((system, threads, report.k_events_per_second));
+                scalability.push((system.to_string(), threads, report.k_events_per_second));
             }
+            // The pipelined configuration (construction of punctuation N+1
+            // overlaps execution of punctuation N), measured through the same
+            // driver as the serial rows it is compared against.
+            let report = run_sl_on(
+                SystemUnderTest::MorphStream,
+                &config,
+                engine_config.with_pipelined_construction(true),
+                events_vec.clone(),
+            );
+            scalability.push((
+                "MorphStream (pipelined)".to_string(),
+                threads,
+                report.k_events_per_second,
+            ));
         }
         (ticks, scalability)
     }
@@ -780,7 +890,7 @@ pub mod fig21 {
         }
         println!("{:<28} {:>8} {:>12}", "system", "cores", "k events/s");
         for (system, cores, kps) in scalability {
-            println!("{:<28} {cores:>8} {kps:>12.2}", system.to_string());
+            println!("{system:<28} {cores:>8} {kps:>12.2}");
         }
     }
 }

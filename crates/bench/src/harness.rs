@@ -62,6 +62,11 @@ pub struct SystemReport {
     /// Peak bytes retained by the state store during the run (the memory
     /// axis of Figures 16/17).
     pub peak_bytes_retained: u64,
+    /// Total TPG-construction wall time across batches (seconds).
+    pub construct_seconds: f64,
+    /// Construction time hidden behind execution of other batches (seconds);
+    /// non-zero only for the pipelined MorphStream configuration.
+    pub overlap_seconds: f64,
 }
 
 impl SystemReport {
@@ -85,7 +90,14 @@ impl SystemReport {
             committed: report.committed,
             aborted: report.aborted,
             peak_bytes_retained: report.memory.peak_bytes(),
+            construct_seconds: report.stage_timings.construct.as_secs_f64(),
+            overlap_seconds: report.stage_timings.overlap.as_secs_f64(),
         }
+    }
+
+    /// Fraction of construction time hidden behind execution.
+    pub fn overlap_fraction(&self) -> f64 {
+        overlap_fraction_of(self.construct_seconds, self.overlap_seconds)
     }
 
     /// One formatted table row.
@@ -113,19 +125,36 @@ impl SystemReport {
     /// the (flat, numeric) shape is formatted by hand.
     pub fn json(&self) -> String {
         format!(
-            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"peak_bytes_retained":{}}}"#,
+            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"peak_bytes_retained":{},"construct_s":{:.6},"overlap_s":{:.6},"overlap_fraction":{:.4}}}"#,
             json_escape(&self.system.to_string()),
             self.k_events_per_second,
             self.p50_latency_ms,
             self.p95_latency_ms,
             self.committed,
             self.aborted,
-            self.peak_bytes_retained
+            self.peak_bytes_retained,
+            self.construct_seconds,
+            self.overlap_seconds,
+            self.overlap_fraction()
         )
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// `overlap_s / construct_s`, clamped to [0, 1]. Delegates to
+/// [`StageTimings::overlap_fraction`] so the clamp and zero-construct
+/// semantics live in exactly one place, however a report stores its timings.
+pub fn overlap_fraction_of(construct_s: f64, overlap_s: f64) -> f64 {
+    use morphstream_common::metrics::StageTimings;
+    use std::time::Duration;
+    StageTimings {
+        construct: Duration::from_secs_f64(construct_s.max(0.0)),
+        execute: Duration::ZERO,
+        overlap: Duration::from_secs_f64(overlap_s.max(0.0)),
+    }
+    .overlap_fraction()
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => vec!['\\', '"'],
@@ -266,6 +295,8 @@ mod tests {
             committed: 10,
             aborted: 2,
             peak_bytes_retained: 4_096,
+            construct_seconds: 0.5,
+            overlap_seconds: 0.25,
         }
     }
 
@@ -280,9 +311,20 @@ mod tests {
             r#""committed":10"#,
             r#""aborted":2"#,
             r#""peak_bytes_retained":4096"#,
+            r#""construct_s":0.500000"#,
+            r#""overlap_s":0.250000"#,
+            r#""overlap_fraction":0.5000"#,
         ] {
             assert!(json.contains(needle), "{json} missing {needle}");
         }
+    }
+
+    #[test]
+    fn overlap_fraction_handles_zero_construct_time() {
+        let mut report = sample_report();
+        assert!((report.overlap_fraction() - 0.5).abs() < 1e-9);
+        report.construct_seconds = 0.0;
+        assert_eq!(report.overlap_fraction(), 0.0);
     }
 
     #[test]

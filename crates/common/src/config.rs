@@ -172,6 +172,20 @@ impl Default for WorkloadConfig {
 pub struct EngineConfig {
     /// Number of worker threads used by the execution stage.
     pub num_threads: usize,
+    /// Number of worker threads used by TPG construction (both the sharded
+    /// stream-processing phase and the per-list transaction-processing
+    /// phase). `None` means "follow [`EngineConfig::num_threads`]" — or half
+    /// of it when pipelined construction is on, since construction then runs
+    /// *concurrently* with the execution worker pool and taking the full
+    /// count would oversubscribe the machine. The one documented knob
+    /// construction parallelism hangs off; read it through
+    /// [`EngineConfig::construction_threads`].
+    pub construction_threads: Option<usize>,
+    /// Overlap TPG construction of punctuation `N+1` with execution of
+    /// punctuation `N` on a dedicated construction thread (Section 4.2's
+    /// "construction overlaps event arrival"). Off by default; final state
+    /// and per-batch outputs are identical either way — only timing changes.
+    pub pipelined_construction: bool,
     /// Number of input events between punctuations. `None` means "use the
     /// workload's `txns_per_batch`".
     pub punctuation_interval: Option<usize>,
@@ -200,6 +214,34 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style update of the construction thread count. Pass the number
+    /// of workers the TPG builder may use; by default construction follows
+    /// [`EngineConfig::num_threads`].
+    pub fn with_construction_threads(mut self, threads: usize) -> Self {
+        self.construction_threads = Some(threads);
+        self
+    }
+
+    /// Builder-style toggle of pipelined (double-buffered) TPG construction.
+    pub fn with_pipelined_construction(mut self, pipelined: bool) -> Self {
+        self.pipelined_construction = pipelined;
+        self
+    }
+
+    /// Effective construction worker count: the explicit
+    /// [`EngineConfig::construction_threads`] override when set, otherwise
+    /// [`EngineConfig::num_threads`] — halved when pipelined construction is
+    /// on, because construction then competes with the execution worker pool
+    /// for the same cores. Never less than 1.
+    pub fn construction_threads(&self) -> usize {
+        let default = if self.pipelined_construction {
+            self.num_threads / 2
+        } else {
+            self.num_threads
+        };
+        self.construction_threads.unwrap_or(default).max(1)
+    }
+
     /// Builder-style toggle of after-batch reclamation.
     pub fn with_reclaim_after_batch(mut self, reclaim: bool) -> Self {
         self.reclaim_after_batch = reclaim;
@@ -214,6 +256,9 @@ impl EngineConfig {
         if let Some(0) = self.punctuation_interval {
             return Err("punctuation_interval must be at least 1".into());
         }
+        if let Some(0) = self.construction_threads {
+            return Err("construction_threads must be at least 1 when set".into());
+        }
         Ok(())
     }
 }
@@ -222,6 +267,8 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             num_threads: default_parallelism(),
+            construction_threads: None,
+            pipelined_construction: false,
             punctuation_interval: None,
             reclaim_after_batch: true,
             remote_state_latency_us: 0,
@@ -234,6 +281,17 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Worker-thread count used by the integration tests: the `MORPH_TEST_THREADS`
+/// environment variable when set to a positive integer, otherwise `default`.
+/// CI runs the test suite under a small thread matrix through this knob.
+pub fn test_threads(default: usize) -> usize {
+    std::env::var("MORPH_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -315,5 +373,48 @@ mod tests {
     #[test]
     fn default_parallelism_is_positive() {
         assert!(default_parallelism() >= 1);
+    }
+
+    #[test]
+    fn construction_threads_follow_num_threads_unless_overridden() {
+        let cfg = EngineConfig::with_threads(6);
+        assert_eq!(cfg.construction_threads(), 6);
+        let cfg = cfg.with_construction_threads(2);
+        assert_eq!(cfg.construction_threads(), 2);
+        assert!(cfg.validate().is_ok());
+        assert!(EngineConfig::with_threads(2)
+            .with_construction_threads(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn pipelined_construction_halves_the_default_construction_threads() {
+        // Construction runs concurrently with the execution pool, so the
+        // default splits the cores instead of oversubscribing them.
+        let cfg = EngineConfig::with_threads(8).with_pipelined_construction(true);
+        assert_eq!(cfg.construction_threads(), 4);
+        let cfg = EngineConfig::with_threads(1).with_pipelined_construction(true);
+        assert_eq!(cfg.construction_threads(), 1);
+        // an explicit override still wins
+        let cfg = EngineConfig::with_threads(8)
+            .with_pipelined_construction(true)
+            .with_construction_threads(8);
+        assert_eq!(cfg.construction_threads(), 8);
+    }
+
+    #[test]
+    fn pipelined_construction_is_opt_in() {
+        assert!(!EngineConfig::default().pipelined_construction);
+        let cfg = EngineConfig::with_threads(2).with_pipelined_construction(true);
+        assert!(cfg.pipelined_construction);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn test_threads_falls_back_to_default() {
+        // The variable is not set in unit-test runs unless CI exported it; in
+        // either case the result is a positive thread count.
+        assert!(test_threads(3) >= 1);
     }
 }

@@ -1,0 +1,62 @@
+//! Small deterministic hashing utilities shared by state digests and tests.
+
+/// Incremental FNV-1a (64-bit). Deterministic across platforms and runs, so
+/// digests can be compared between thread counts, pipeline modes, and CI
+/// hosts. Not a cryptographic hash.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Mix `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.state ^= *b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.update(b"hello");
+        a.update(b"world");
+        let mut b = Fnv1a::new();
+        b.update(b"helloworld");
+        // chunking does not matter, only the byte stream
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = Fnv1a::new();
+        c.update(b"worldhello");
+        assert_ne!(a.finish(), c.finish());
+        // empty hasher reports the offset basis
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod metrics;
 pub mod rng;
 pub mod types;

@@ -107,6 +107,47 @@ impl Breakdown {
     }
 }
 
+/// Wall-clock timings of the two pipeline stages a punctuation flows through
+/// (construct = decompose + TPG build, execute = schedule + run + post), plus
+/// how much of the construction ran *concurrently* with another batch's
+/// execution. `overlap` is the Figure 16 "construction overhead hidden behind
+/// execution" metric: in the serial engine it is zero; with pipelined
+/// construction it approaches `min(construct, execute)` of adjacent batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Time spent decomposing events and building the TPG.
+    pub construct: Duration,
+    /// Time spent scheduling, executing and post-processing.
+    pub execute: Duration,
+    /// Portion of `construct` that ran while another batch was executing.
+    pub overlap: Duration,
+}
+
+impl StageTimings {
+    /// Zero timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum another measurement into this one (per-batch → per-run folding).
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.construct += other.construct;
+        self.execute += other.execute;
+        self.overlap += other.overlap;
+    }
+
+    /// Fraction of construction time hidden behind execution (0 when no
+    /// construction time was recorded).
+    pub fn overlap_fraction(&self) -> f64 {
+        let construct = self.construct.as_secs_f64();
+        if construct <= 0.0 {
+            0.0
+        } else {
+            (self.overlap.as_secs_f64() / construct).min(1.0)
+        }
+    }
+}
+
 /// Records end-to-end latencies and produces percentiles / CDF points.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
@@ -367,6 +408,26 @@ mod tests {
         a.merge(&Throughput::new(300, Duration::from_secs(3)));
         assert_eq!(a.events, 400);
         assert_eq!(a.elapsed, Duration::from_secs(4));
+    }
+
+    #[test]
+    fn stage_timings_merge_and_overlap_fraction() {
+        let mut a = StageTimings::new();
+        assert_eq!(a.overlap_fraction(), 0.0);
+        a.merge(&StageTimings {
+            construct: Duration::from_millis(10),
+            execute: Duration::from_millis(40),
+            overlap: Duration::from_millis(5),
+        });
+        a.merge(&StageTimings {
+            construct: Duration::from_millis(10),
+            execute: Duration::from_millis(20),
+            overlap: Duration::from_millis(10),
+        });
+        assert_eq!(a.construct, Duration::from_millis(20));
+        assert_eq!(a.execute, Duration::from_millis(60));
+        assert_eq!(a.overlap, Duration::from_millis(15));
+        assert!((a.overlap_fraction() - 0.75).abs() < 1e-9);
     }
 
     #[test]

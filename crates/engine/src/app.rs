@@ -146,9 +146,15 @@ impl TxnBuilder {
 ///    event and are executed transactionally by the engine;
 /// 3. *post-processing* — once the transaction commits or aborts, the
 ///    application turns the outcome into an output record.
-pub trait StreamApp: Send + Sync {
+///
+/// Applications and their events are `'static` so the engine may decompose a
+/// batch on a dedicated construction thread while the previous batch executes
+/// (pipelined construction). `state_access` must not read the shared state —
+/// it *declares* accesses; under pipelined construction it runs before
+/// earlier transactions have committed.
+pub trait StreamApp: Send + Sync + 'static {
     /// Input event type.
-    type Event: Send + Sync;
+    type Event: Send + Sync + 'static;
     /// Output record type.
     type Output: Send;
 

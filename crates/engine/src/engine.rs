@@ -10,16 +10,25 @@
 //! * The **TxnScheduler** evaluates the decision model (scheduling stage).
 //! * The **TxnExecutor** runs the batch through the executor crate
 //!   (execution stage).
+//!
+//! With [`EngineConfig::pipelined_construction`] enabled the planning stage
+//! of punctuation `N+1` runs on a dedicated construction thread while
+//! punctuation `N` executes on the worker pool (Section 4.2: construction is
+//! meant to overlap event arrival and execution). The two stages are drained
+//! by `flush`/`finish`, batches always execute in punctuation order, and the
+//! final state is identical to the serial engine; only the timing — reported
+//! through [`BatchSummary::timings`] — changes.
 
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use morphstream_common::metrics::{Breakdown, BreakdownBucket};
+use morphstream_common::metrics::{Breakdown, BreakdownBucket, StageTimings};
 use morphstream_common::{EngineConfig, Timestamp};
 use morphstream_executor::execute_batch_with_units;
 use morphstream_scheduler::{DecisionModel, Granularity, SchedulingDecision, WorkloadObservation};
 use morphstream_storage::StateStore;
-use morphstream_tpg::{SchedulingUnits, TpgBuilder, Transaction, TransactionBatch};
+use morphstream_tpg::{SchedulingUnits, Tpg, TpgBuilder, Transaction, TransactionBatch};
 
 use crate::app::{StreamApp, TxnBuilder};
 use crate::pipeline::{BatchHook, PendingBatch, SessionState, TxnEngine};
@@ -53,14 +62,203 @@ struct ProgressController {
 }
 
 impl ProgressController {
-    fn next_timestamp(&mut self) -> Timestamp {
-        self.next += 1;
-        self.next
+    /// Reserve `n` consecutive timestamps and return the first one. The
+    /// batch that owns the reservation assigns them in event order, so a
+    /// batch can be constructed off-thread while later events keep arriving.
+    fn reserve(&mut self, n: usize) -> Timestamp {
+        let first = self.next + 1;
+        self.next += n as Timestamp;
+        first
+    }
+}
+
+/// A punctuation batch whose stream-processing and planning phases are done:
+/// the output of the construction stage, ready for scheduling and execution.
+struct ConstructedBatch<E> {
+    /// The batch's events, in ingestion order (needed for post-processing).
+    events: Vec<E>,
+    /// Index of the batch within the session.
+    batch_index: usize,
+    /// Planned TPG per scheduling group; `None` for groups with no events.
+    groups: Vec<Option<Arc<Tpg>>>,
+    /// `(group, txn index within group)` of every event.
+    txn_locator: Vec<(usize, usize)>,
+    /// Highest timestamp assigned to this batch's transactions; versions at
+    /// or before it may be reclaimed once the batch committed.
+    watermark: Timestamp,
+    /// When the batch was cut from the ingest buffer.
+    batch_started: Instant,
+    /// Wall-clock interval of the construction stage.
+    construct_started: Instant,
+    construct_finished: Instant,
+}
+
+/// A batch handed to the construction stage.
+struct ConstructJob<E> {
+    events: Vec<E>,
+    batch_index: usize,
+    /// First of the `events.len()` timestamps reserved for the batch.
+    ts_base: Timestamp,
+    batch_started: Instant,
+}
+
+/// Decompose `events` into per-group transaction batches and plan their TPGs
+/// — the construction stage. Runs on the calling thread in the serial engine
+/// and on the dedicated construction thread in the pipelined engine; both
+/// paths execute exactly this code, so the modes cannot diverge.
+fn construct_batch<A: StreamApp>(
+    app: &A,
+    planner: &TpgBuilder,
+    group_of: &(dyn Fn(&A::Event) -> usize + '_),
+    job: ConstructJob<A::Event>,
+) -> ConstructedBatch<A::Event> {
+    let ConstructJob {
+        events,
+        batch_index,
+        ts_base,
+        batch_started,
+    } = job;
+    let construct_started = Instant::now();
+
+    // ---- Phase 1: stream processing (pre-processing + decomposition) ----
+    let mut groups: Vec<TransactionBatch> = Vec::new();
+    let mut txn_locator: Vec<(usize, usize)> = Vec::with_capacity(events.len());
+    for (event_index, event) in events.iter().enumerate() {
+        let ts = ts_base + event_index as Timestamp;
+        let mut builder = TxnBuilder::new();
+        app.state_access(event, &mut builder);
+        let txn = Transaction::new(ts, builder.into_ops()).with_event_index(event_index);
+        let group = group_of(event);
+        while groups.len() <= group {
+            groups.push(
+                TransactionBatch::new().with_expected_abort_ratio(app.expected_abort_ratio()),
+            );
+        }
+        txn_locator.push((group, groups[group].len()));
+        groups[group].push(txn);
     }
 
-    fn high_watermark(&self) -> Timestamp {
-        self.next
+    // ---- Phase 2: planning (TPG construction, sharded by state key) ----
+    let groups: Vec<Option<Arc<Tpg>>> = groups
+        .into_iter()
+        .map(|group| {
+            if group.is_empty() {
+                None
+            } else {
+                Some(Arc::new(planner.build(group)))
+            }
+        })
+        .collect();
+
+    let watermark = ts_base + events.len().saturating_sub(1) as Timestamp;
+    ConstructedBatch {
+        events,
+        batch_index,
+        groups,
+        txn_locator,
+        watermark,
+        batch_started,
+        construct_started,
+        construct_finished: Instant::now(),
     }
+}
+
+/// The dedicated construction thread plus its two FIFO channels. At most one
+/// batch is kept in flight by the engine (submit `N+1`, then execute `N`), so
+/// memory stays bounded by two punctuation intervals.
+struct ConstructionStage<E> {
+    job_tx: Option<mpsc::Sender<ConstructJob<E>>>,
+    done_rx: mpsc::Receiver<ConstructedBatch<E>>,
+    worker: Option<JoinHandle<()>>,
+    in_flight: usize,
+}
+
+impl<E: Send + 'static> ConstructionStage<E> {
+    fn spawn<A: StreamApp<Event = E>>(
+        app: Arc<A>,
+        planner: TpgBuilder,
+        group_of: GroupFn<E>,
+    ) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<ConstructJob<E>>();
+        let (done_tx, done_rx) = mpsc::channel();
+        let worker = std::thread::Builder::new()
+            .name("morph-construct".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let constructed =
+                        construct_batch(app.as_ref(), &planner, group_of.as_ref(), job);
+                    if done_tx.send(constructed).is_err() {
+                        break; // engine dropped mid-session
+                    }
+                }
+            })
+            .expect("failed to spawn the construction thread");
+        Self {
+            job_tx: Some(job_tx),
+            done_rx,
+            worker: Some(worker),
+            in_flight: 0,
+        }
+    }
+
+    fn submit(&mut self, job: ConstructJob<E>) {
+        let sent = self
+            .job_tx
+            .as_ref()
+            .expect("construction stage already shut down")
+            .send(job);
+        if sent.is_err() {
+            self.propagate_worker_failure();
+        }
+        self.in_flight += 1;
+    }
+
+    /// Block until the oldest in-flight batch is constructed and take it;
+    /// returns the batch plus how long the caller waited (pipeline sync
+    /// time). `None` when nothing is in flight.
+    fn take(&mut self) -> Option<(ConstructedBatch<E>, Duration)> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        let wait_started = Instant::now();
+        let constructed = match self.done_rx.recv() {
+            Ok(constructed) => constructed,
+            Err(_) => self.propagate_worker_failure(),
+        };
+        self.in_flight -= 1;
+        Some((constructed, wait_started.elapsed()))
+    }
+
+    /// The worker hung up: join it and re-raise its panic with the original
+    /// payload (an app panicking in `state_access` during off-thread
+    /// construction must surface exactly like it does in the serial engine).
+    fn propagate_worker_failure(&mut self) -> ! {
+        if let Some(worker) = self.worker.take() {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        unreachable!("construction thread exited without panicking while channels were open");
+    }
+}
+
+impl<E> Drop for ConstructionStage<E> {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop; join so no thread
+        // outlives the engine. Pending results are dropped with `done_rx`.
+        self.job_tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Wall-clock intersection of two intervals — how much of a batch's
+/// construction ran while another batch was executing.
+fn interval_overlap(a: (Instant, Instant), b: (Instant, Instant)) -> Duration {
+    let start = a.0.max(b.0);
+    let end = a.1.min(b.1);
+    end.saturating_duration_since(start)
 }
 
 /// The MorphStream engine.
@@ -73,12 +271,18 @@ pub struct MorphStream<A: StreamApp> {
     planner: TpgBuilder,
     group_of: Option<GroupFn<A::Event>>,
     session: SessionState<A::Event, A::Output>,
+    /// Lazily spawned construction stage (pipelined mode only).
+    construction: Option<ConstructionStage<A::Event>>,
+    /// Execution interval of the most recently executed batch, against which
+    /// the next batch's construction interval is intersected for the overlap
+    /// metric.
+    last_execute: Option<(Instant, Instant)>,
 }
 
 impl<A: StreamApp> MorphStream<A> {
     /// Create an engine for `app` over `store`.
     pub fn new(app: A, store: StateStore, config: EngineConfig) -> Self {
-        let planner = TpgBuilder::new().with_threads(config.num_threads);
+        let planner = TpgBuilder::new().with_threads(config.construction_threads());
         Self {
             app: Arc::new(app),
             store,
@@ -88,6 +292,8 @@ impl<A: StreamApp> MorphStream<A> {
             planner,
             group_of: None,
             session: SessionState::new(),
+            construction: None,
+            last_execute: None,
         }
     }
 
@@ -157,10 +363,14 @@ impl<A: StreamApp> MorphStream<A> {
         events: Vec<A::Event>,
         group_of: impl Fn(&A::Event) -> usize,
     ) -> RunReport<A::Output> {
+        // The grouped path runs construction inline (the closure need not be
+        // `Send`); drain any batches a pushed pipelined session left in
+        // flight first so batches keep executing in punctuation order.
+        self.drain_pipeline();
         for event in events {
             self.ingest_with(event, &group_of);
         }
-        self.process_pending(&group_of);
+        self.process_pending_serial(&group_of);
         self.finish()
     }
 
@@ -173,70 +383,118 @@ impl<A: StreamApp> MorphStream<A> {
             .max(1)
     }
 
-    /// Buffer `event`; crossing the punctuation interval processes the batch.
+    /// Buffer `event`; crossing the punctuation interval processes the batch
+    /// inline with `group_of` (the non-`Send`-closure legacy path).
     fn ingest_with(&mut self, event: A::Event, group_of: &dyn Fn(&A::Event) -> usize) {
         let punctuation = self.punctuation_interval();
         if self.session.ingest(event, punctuation) {
-            self.process_pending(group_of);
+            self.process_pending_serial(group_of);
         }
     }
 
-    /// Process the buffered events as a (possibly partial) batch; a no-op on
-    /// an empty buffer.
-    fn process_pending(&mut self, group_of: &dyn Fn(&A::Event) -> usize) {
+    /// Construct and execute the buffered events inline as one batch; a
+    /// no-op on an empty buffer.
+    fn process_pending_serial(&mut self, group_of: &dyn Fn(&A::Event) -> usize) {
         let Some(PendingBatch { events, batch }) = self.session.begin_batch() else {
             return;
         };
-        let (summary, breakdown) = self.process_batch(&events, group_of, batch);
-        self.session.complete_batch(events, summary, &breakdown);
+        let ts_base = self.progress.reserve(events.len());
+        let constructed = construct_batch(
+            self.app.as_ref(),
+            &self.planner,
+            group_of,
+            ConstructJob {
+                events,
+                batch_index: batch,
+                ts_base,
+                batch_started: Instant::now(),
+            },
+        );
+        self.execute_constructed(constructed, Duration::ZERO);
     }
 
-    fn process_batch(
-        &mut self,
-        events: &[A::Event],
-        group_of: &dyn Fn(&A::Event) -> usize,
-        batch_index: usize,
-    ) -> (BatchSummary, Breakdown) {
-        let batch_started = Instant::now();
-        let mut breakdown = Breakdown::new();
-
-        // ---- Phase 1: stream processing (pre-processing + decomposition) ----
-        let construct_start = Instant::now();
-        let mut groups: Vec<TransactionBatch> = Vec::new();
-        let mut txn_locator: Vec<(usize, usize)> = Vec::with_capacity(events.len());
-        for (event_index, event) in events.iter().enumerate() {
-            let ts = self.progress.next_timestamp();
-            let mut builder = TxnBuilder::new();
-            self.app.state_access(event, &mut builder);
-            let txn = Transaction::new(ts, builder.into_ops()).with_event_index(event_index);
-            let group = group_of(event);
-            while groups.len() <= group {
-                groups.push(
-                    TransactionBatch::new()
-                        .with_expected_abort_ratio(self.app.expected_abort_ratio()),
-                );
-            }
-            txn_locator.push((group, groups[group].len()));
-            groups[group].push(txn);
+    /// Hand the buffered events to the construction thread and, while it
+    /// builds them, execute the previously constructed batch. Keeps at most
+    /// one batch in flight, so memory is bounded by two punctuation
+    /// intervals and batches execute strictly in punctuation order.
+    fn process_pending_pipelined(&mut self) {
+        let Some(PendingBatch { events, batch }) = self.session.begin_batch() else {
+            return;
+        };
+        let ts_base = self.progress.reserve(events.len());
+        let job = ConstructJob {
+            events,
+            batch_index: batch,
+            ts_base,
+            batch_started: Instant::now(),
+        };
+        self.construction_stage().submit(job);
+        if self.construction.as_ref().is_some_and(|s| s.in_flight > 1) {
+            self.execute_next_constructed();
         }
-        breakdown.add(BreakdownBucket::Construct, construct_start.elapsed());
+    }
 
-        // ---- Phases 2+3 per group: planning, scheduling, execution ----
+    /// The construction stage, spawned on first use with the app, planner
+    /// and grouping function of this engine.
+    fn construction_stage(&mut self) -> &mut ConstructionStage<A::Event> {
+        if self.construction.is_none() {
+            self.construction = Some(ConstructionStage::spawn(
+                self.app.clone(),
+                self.planner.clone(),
+                self.group_fn(),
+            ));
+        }
+        self.construction.as_mut().expect("just initialised")
+    }
+
+    /// Take the oldest in-flight constructed batch (blocking on its
+    /// construction if needed) and execute it.
+    fn execute_next_constructed(&mut self) {
+        let taken = self.construction.as_mut().and_then(ConstructionStage::take);
+        if let Some((constructed, wait)) = taken {
+            self.execute_constructed(constructed, wait);
+        }
+    }
+
+    /// Execute every batch still in the construction stage, oldest first.
+    fn drain_pipeline(&mut self) {
+        while self.construction.as_ref().is_some_and(|s| s.in_flight > 0) {
+            self.execute_next_constructed();
+        }
+    }
+
+    /// Scheduling + execution + post-processing of one constructed batch —
+    /// the downstream half of the punctuation pipeline. `wait` is how long
+    /// the engine blocked on the construction stage (pipeline sync time).
+    fn execute_constructed(&mut self, constructed: ConstructedBatch<A::Event>, wait: Duration) {
+        let ConstructedBatch {
+            events,
+            batch_index,
+            groups,
+            txn_locator,
+            watermark,
+            batch_started,
+            construct_started,
+            construct_finished,
+        } = constructed;
+        let construct = construct_finished.duration_since(construct_started);
+        let mut breakdown = Breakdown::new();
+        breakdown.add(BreakdownBucket::Construct, construct);
+        breakdown.add(BreakdownBucket::Sync, wait);
+
+        // ---- Scheduling + execution per group ----
+        let execute_started = Instant::now();
+        let mut execute_in_workers = Duration::ZERO;
         let mut outcomes_per_group = Vec::with_capacity(groups.len());
         let mut decision_of_first_group = None;
         let mut committed = 0usize;
         let mut aborted = 0usize;
         let mut redone_ops = 0usize;
-        for group in groups {
-            if group.is_empty() {
+        for tpg in groups {
+            let Some(tpg) = tpg else {
                 outcomes_per_group.push(Vec::new());
                 continue;
-            }
-            // Planning: TPG construction.
-            let construct_start = Instant::now();
-            let tpg = Arc::new(self.planner.build(group));
-            breakdown.add(BreakdownBucket::Construct, construct_start.elapsed());
-
+            };
             // Scheduling: decision model over the TPG properties.
             let explore_start = Instant::now();
             let coarse_units = SchedulingUnits::coarse(&tpg);
@@ -266,6 +524,7 @@ impl<A: StreamApp> MorphStream<A> {
                 self.config.num_threads,
             );
             breakdown.merge(&batch_report.breakdown);
+            execute_in_workers += batch_report.execute_wall;
             committed += batch_report.committed();
             aborted += batch_report.aborted();
             redone_ops += batch_report.redone_ops;
@@ -281,8 +540,23 @@ impl<A: StreamApp> MorphStream<A> {
 
         // ---- Bookkeeping ----
         if self.config.reclaim_after_batch {
-            self.store.truncate_before(self.progress.high_watermark());
+            self.store.truncate_before(watermark);
         }
+        let execute_interval = (execute_started, Instant::now());
+        // Construction time hidden behind the previous batch's execution:
+        // zero by construction in the serial engine (the intervals cannot
+        // intersect), positive when the pipeline overlapped the stages. The
+        // overlap is intersected against the same full-stage interval that
+        // `timings.execute` reports, so `overlap <= min(construct, execute)`
+        // holds for adjacent batches.
+        let overlap = self
+            .last_execute
+            .map(|prev| interval_overlap((construct_started, construct_finished), prev))
+            .unwrap_or(Duration::ZERO);
+        self.last_execute = Some(execute_interval);
+        // The worker-pool time is a lower bound of the stage wall; the gap is
+        // scheduling + post-processing + reclamation overhead.
+        debug_assert!(execute_in_workers <= execute_interval.1.duration_since(execute_interval.0));
         let summary = BatchSummary {
             batch: batch_index,
             events: events.len(),
@@ -292,8 +566,13 @@ impl<A: StreamApp> MorphStream<A> {
             decision: decision_of_first_group.unwrap_or_default(),
             redone_ops,
             bytes_retained: self.store.bytes_retained(),
+            timings: StageTimings {
+                construct,
+                execute: execute_interval.1.duration_since(execute_interval.0),
+                overlap,
+            },
         };
-        (summary, breakdown)
+        self.session.complete_batch(events, summary, &breakdown);
     }
 
     /// The stored grouping function, defaulting to a single group.
@@ -313,14 +592,26 @@ impl<A: StreamApp> TxnEngine for MorphStream<A> {
         // is resolved lazily — the per-event path is a plain buffer push.
         let punctuation = self.punctuation_interval();
         if self.session.ingest(event, punctuation) {
-            let group_of = self.group_fn();
-            self.process_pending(group_of.as_ref());
+            if self.config.pipelined_construction {
+                self.process_pending_pipelined();
+            } else {
+                let group_of = self.group_fn();
+                self.process_pending_serial(group_of.as_ref());
+            }
         }
     }
 
     fn flush(&mut self) {
-        let group_of = self.group_fn();
-        self.process_pending(group_of.as_ref());
+        // A flush is a synchronisation point: the trailing partial batch is
+        // processed *and* both pipeline stages are drained, so the report
+        // covers every pushed event when this returns.
+        if self.config.pipelined_construction {
+            self.process_pending_pipelined();
+            self.drain_pipeline();
+        } else {
+            let group_of = self.group_fn();
+            self.process_pending_serial(group_of.as_ref());
+        }
     }
 
     fn finish(&mut self) -> RunReport<A::Output> {
@@ -621,6 +912,118 @@ mod tests {
         assert_eq!(second.events(), 50);
         // batch indices restart per session; timestamps keep advancing
         assert_eq!(second.batches.first().map(|b| b.batch), Some(0));
+    }
+
+    #[test]
+    fn pipelined_construction_matches_the_serial_engine_exactly() {
+        let (ref_store, accounts) = setup(1_000);
+        let mut reference = MorphStream::new(
+            Transfers { accounts },
+            ref_store.clone(),
+            EngineConfig::with_threads(2).with_punctuation_interval(64),
+        );
+        let expected = reference.process(transfer_events(500));
+
+        let (store, accounts) = setup(1_000);
+        let mut engine = MorphStream::new(
+            Transfers { accounts },
+            store.clone(),
+            EngineConfig::with_threads(2)
+                .with_punctuation_interval(64)
+                .with_pipelined_construction(true),
+        );
+        let report = engine.process(transfer_events(500));
+
+        assert_eq!(report.events(), expected.events());
+        assert_eq!(report.committed, expected.committed);
+        assert_eq!(report.aborted, expected.aborted);
+        assert_eq!(report.outputs, expected.outputs);
+        assert_eq!(report.batches.len(), expected.batches.len());
+        // batches completed in punctuation order
+        let order: Vec<usize> = report.batches.iter().map(|b| b.batch).collect();
+        assert_eq!(order, (0..report.batches.len()).collect::<Vec<_>>());
+        assert_eq!(
+            store.snapshot_latest(accounts).unwrap(),
+            ref_store.snapshot_latest(accounts).unwrap()
+        );
+        // stage timings were recorded; the serial reference hides nothing
+        assert!(report.stage_timings.construct > std::time::Duration::ZERO);
+        assert_eq!(expected.stage_timings.overlap, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn pipelined_sessions_stay_reusable_and_flush_drains_both_stages() {
+        let (store, accounts) = setup(1_000);
+        let mut engine = MorphStream::new(
+            Transfers { accounts },
+            store,
+            EngineConfig::with_threads(2)
+                .with_punctuation_interval(32)
+                .with_pipelined_construction(true),
+        );
+        let mut pipeline = engine.pipeline();
+        pipeline.push_iter(transfer_events(100));
+        pipeline.flush();
+        // after a flush both stages are drained: the report is complete
+        assert_eq!(pipeline.report().events(), 100);
+        let first = pipeline.finish();
+        assert_eq!(first.events(), 100);
+        let second = engine.run(transfer_events(50));
+        assert_eq!(second.events(), 50);
+        assert_eq!(second.batches.first().map(|b| b.batch), Some(0));
+    }
+
+    #[test]
+    fn construction_thread_panics_propagate_with_the_original_payload() {
+        struct Exploder {
+            accounts: TableId,
+        }
+        impl StreamApp for Exploder {
+            type Event = u64;
+            type Output = bool;
+            fn state_access(&self, event: &u64, txn: &mut TxnBuilder) {
+                assert!(*event != 42, "boom on event 42");
+                txn.write(self.accounts, *event % 8, udfs::add_delta(1));
+            }
+            fn post_process(&self, _event: &u64, outcome: &TxnOutcome) -> bool {
+                outcome.committed
+            }
+        }
+        let (store, accounts) = setup(100);
+        let mut engine = MorphStream::new(
+            Exploder { accounts },
+            store,
+            EngineConfig::with_threads(2)
+                .with_punctuation_interval(8)
+                .with_pipelined_construction(true),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run((0..64).collect::<Vec<u64>>())
+        }));
+        let payload = result.expect_err("the app panic must surface");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("boom on event 42"),
+            "panic payload was replaced: {message:?}"
+        );
+    }
+
+    #[test]
+    fn construction_threads_knob_controls_the_planner() {
+        let (store, accounts) = setup(100);
+        let engine = MorphStream::new(
+            Transfers { accounts },
+            store,
+            EngineConfig::with_threads(4).with_construction_threads(2),
+        );
+        assert_eq!(engine.planner.threads(), 2);
+        let (store, accounts) = setup(100);
+        let engine = MorphStream::new(Transfers { accounts }, store, EngineConfig::with_threads(3));
+        assert_eq!(engine.planner.threads(), 3);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use std::time::Duration;
 
-use morphstream_common::metrics::{Breakdown, LatencyRecorder, MemoryTimeline, Throughput};
+use morphstream_common::metrics::{
+    Breakdown, LatencyRecorder, MemoryTimeline, StageTimings, Throughput,
+};
 use morphstream_scheduler::SchedulingDecision;
 
 /// Summary of one processed batch (one punctuation interval).
@@ -17,7 +19,11 @@ pub struct BatchSummary {
     pub committed: usize,
     /// Aborted transactions.
     pub aborted: usize,
-    /// Wall-clock time spent processing the batch.
+    /// End-to-end wall-clock time from the batch being cut to its results
+    /// landing — the latency of the batch. Under pipelined construction this
+    /// includes time queued behind the previous batch, so adjacent batches'
+    /// `elapsed` intervals overlap; use [`BatchSummary::processing_time`]
+    /// when summing across batches (throughput).
     pub elapsed: Duration,
     /// The scheduling decision used for the batch (the decision of the first
     /// group when the nested configuration is used).
@@ -26,12 +32,26 @@ pub struct BatchSummary {
     pub redone_ops: usize,
     /// Bytes retained by the state store when the batch finished.
     pub bytes_retained: u64,
+    /// Construct/execute wall-clock split of the batch, including how much of
+    /// the construction ran concurrently with another batch's execution
+    /// (always zero without pipelined construction).
+    pub timings: StageTimings,
 }
 
 impl BatchSummary {
-    /// Throughput of this batch in events per second.
+    /// Wall-clock time this batch actually occupied the engine:
+    /// construction plus execution, minus the construction that was hidden
+    /// behind another batch's execution. Unlike [`BatchSummary::elapsed`],
+    /// these intervals are disjoint across batches in *both* engine modes, so
+    /// they sum correctly into run throughput.
+    pub fn processing_time(&self) -> Duration {
+        (self.timings.construct + self.timings.execute).saturating_sub(self.timings.overlap)
+    }
+
+    /// Throughput of this batch in events per second (over
+    /// [`BatchSummary::processing_time`]).
     pub fn events_per_second(&self) -> f64 {
-        Throughput::new(self.events as u64, self.elapsed).events_per_second()
+        Throughput::new(self.events as u64, self.processing_time()).events_per_second()
     }
 }
 
@@ -52,6 +72,10 @@ pub struct RunReport<O> {
     pub breakdown: Breakdown,
     /// Memory retained by auxiliary structures over time.
     pub memory: MemoryTimeline,
+    /// Construct/execute/overlap stage timings summed over all batches. The
+    /// `overlap` component is the construction time the pipelined engine hid
+    /// behind execution (the Figure 16 construction-overhead axis).
+    pub stage_timings: StageTimings,
     /// Per-batch summaries (throughput-over-time plots).
     pub batches: Vec<BatchSummary>,
 }
@@ -67,6 +91,7 @@ impl<O> RunReport<O> {
             latency: LatencyRecorder::new(),
             breakdown: Breakdown::new(),
             memory: MemoryTimeline::new(),
+            stage_timings: StageTimings::new(),
             batches: Vec::new(),
         }
     }
@@ -88,16 +113,30 @@ impl<O> RunReport<O> {
         }
         self.committed += summary.committed;
         self.aborted += summary.aborted;
-        self.throughput
-            .merge(&Throughput::new(summary.events as u64, summary.elapsed));
+        // Latency uses `elapsed` (end-to-end, queueing included); throughput
+        // uses `processing_time` — under pipelined construction adjacent
+        // batches' `elapsed` spans overlap, and summing them would undercount
+        // the rate by up to 2x.
+        self.throughput.merge(&Throughput::new(
+            summary.events as u64,
+            summary.processing_time(),
+        ));
         self.breakdown.merge(breakdown);
         self.memory.record(at, summary.bytes_retained);
+        self.stage_timings.merge(&summary.timings);
         self.batches.push(summary);
     }
 
     /// Throughput in thousands of events per second (the paper's unit).
     pub fn k_events_per_second(&self) -> f64 {
         self.throughput.k_events_per_second()
+    }
+
+    /// Fraction of TPG-construction time that was hidden behind the execution
+    /// of other batches: 0 for the serial engine, approaching 1 when the
+    /// pipelined engine fully overlaps construction with execution.
+    pub fn construction_overlap_fraction(&self) -> f64 {
+        self.stage_timings.overlap_fraction()
     }
 
     /// The scheduling decisions taken across batches, deduplicated in order —
@@ -124,17 +163,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn batch_summary_computes_throughput() {
+    fn batch_summary_computes_throughput_over_processing_time() {
         let b = BatchSummary {
             batch: 0,
             events: 1000,
             committed: 990,
             aborted: 10,
-            elapsed: Duration::from_millis(100),
+            elapsed: Duration::from_millis(150), // includes pipeline queueing
             decision: SchedulingDecision::default(),
             redone_ops: 0,
             bytes_retained: 0,
+            timings: StageTimings {
+                construct: Duration::from_millis(40),
+                execute: Duration::from_millis(80),
+                overlap: Duration::from_millis(20),
+            },
         };
+        // 40 + 80 - 20 = 100ms of engine occupancy for 1000 events
+        assert_eq!(b.processing_time(), Duration::from_millis(100));
         assert!((b.events_per_second() - 10_000.0).abs() < 1.0);
     }
 
@@ -162,6 +208,7 @@ mod tests {
                 decision: d,
                 redone_ops: 0,
                 bytes_retained: 0,
+                timings: StageTimings::default(),
             });
         }
         assert_eq!(report.decision_trace().len(), 2);

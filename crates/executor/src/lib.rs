@@ -55,6 +55,7 @@ pub fn execute_batch_with_units(
     num_threads: usize,
 ) -> BatchReport {
     let num_threads = num_threads.max(1);
+    let execute_started = std::time::Instant::now();
     let ctx = ExecContext::new(tpg.clone(), store.clone(), decision.abort_handling);
 
     let mut breakdown = Breakdown::new();
@@ -72,5 +73,7 @@ pub fn execute_batch_with_units(
         ctx.resolve_lazy_aborts(&mut breakdown);
     }
 
-    ctx.into_report(breakdown, decision)
+    let mut report = ctx.into_report(breakdown, decision);
+    report.execute_wall = execute_started.elapsed();
+    report
 }

@@ -7,8 +7,17 @@
 //!   virtual operations are inserted for parameter states, window sources,
 //!   and (pessimistically, into every list) non-deterministic accesses.
 //! * **Transaction processing phase** — each sorted list is scanned once to
-//!   derive TD and PD edges; this phase is embarrassingly parallel across
-//!   lists and is sharded over the configured number of threads.
+//!   derive TD and PD edges.
+//!
+//! Both phases are sharded by state key: each worker owns the disjoint set of
+//! sorted lists whose [`shard_of`] hash lands on it, fills them from the
+//! decomposed operation array, and immediately derives their edges, so list
+//! insertion *and* edge derivation scale with the configured worker count.
+//! Non-deterministic operations pessimistically broadcast a placeholder into
+//! every list of every shard. The serial and sharded paths produce identical
+//! graphs — each list's contents (and therefore its derived edges) do not
+//! depend on which worker owns it, and [`Tpg::assemble`] canonicalises edge
+//! order.
 
 use std::collections::HashMap;
 
@@ -16,7 +25,7 @@ use morphstream_common::{OpId, StateRef, Timestamp, TxnId};
 
 use crate::graph::{DepKind, Tpg};
 use crate::operation::Operation;
-use crate::sorted_list::{derive_edges, ListEntry, SortedList, VirtualRole};
+use crate::sorted_list::{derive_edges, shard_of, ListEntry, SortedList, VirtualRole};
 use crate::txn::TransactionBatch;
 
 /// Builds a [`Tpg`] from a [`TransactionBatch`].
@@ -27,32 +36,55 @@ pub struct TpgBuilder {
 
 impl Default for TpgBuilder {
     fn default() -> Self {
-        Self { num_threads: 1 }
+        Self::new()
     }
 }
 
 impl TpgBuilder {
-    /// Builder that runs the transaction processing phase on a single thread.
+    /// Single-threaded builder: both construction phases run on the calling
+    /// thread. Construction parallelism is opt-in through
+    /// [`TpgBuilder::with_threads`]; the engine wires it to the one
+    /// documented knob, `EngineConfig::construction_threads` (which follows
+    /// `num_threads` unless overridden).
     pub fn new() -> Self {
-        Self::default()
+        Self { num_threads: 1 }
     }
 
-    /// Use `num_threads` workers for the transaction processing phase.
+    /// Use `num_threads` workers for construction: the per-key sorted lists
+    /// are sharded by state hash across the workers, and each worker fills
+    /// and scans its own lists (stream + transaction processing phases).
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads.max(1);
         self
     }
 
-    /// Build the TPG for one batch.
+    /// The configured construction worker count.
+    pub fn threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Build the TPG for one batch. The effective shard count is clamped by
+    /// the batch size (see [`effective_shards`]): tiny batches run on the
+    /// calling thread — spawning workers that each rescan the whole operation
+    /// array to own one or zero lists would cost more than it saves.
     pub fn build(&self, batch: TransactionBatch) -> Tpg {
+        self.build_with(batch, None)
+    }
+
+    /// `build` with an optional forced shard count, bypassing the batch-size
+    /// clamp — used by the shard-equivalence tests to exercise the parallel
+    /// path on deliberately tiny batches.
+    fn build_with(&self, batch: TransactionBatch, forced_shards: Option<usize>) -> Tpg {
         let expected_abort_ratio = batch.expected_abort_ratio;
         let txns = batch.into_sorted();
 
-        // ---- Stream processing phase ----
+        // ---- Decomposition (serial prelude of the stream phase) ----
+        // Operation ids are assignment order, so this pass stays serial; it
+        // is a cheap flat append compared to list insertion and edge
+        // derivation, which are sharded below.
         let mut ops: Vec<Operation> = Vec::new();
         let mut txn_ops: Vec<Vec<OpId>> = Vec::with_capacity(txns.len());
         let mut txn_ts: Vec<Timestamp> = Vec::with_capacity(txns.len());
-        let mut lists: HashMap<StateRef, SortedList> = HashMap::new();
         // (op id, ts, stmt) of non-deterministic operations, in ts order.
         let mut non_det: Vec<(OpId, Timestamp, u32)> = Vec::new();
 
@@ -62,31 +94,8 @@ impl TpgBuilder {
             for (stmt_idx, spec) in txn.ops.into_iter().enumerate() {
                 let id = ops.len();
                 let stmt = stmt_idx as u32;
-                let is_write = spec.kind.is_write();
-                match spec.target.known() {
-                    Some(key) => {
-                        lists
-                            .entry(StateRef::new(spec.table, key))
-                            .or_insert_with(|| SortedList::new(spec.table, key))
-                            .push(ListEntry::Real {
-                                op: id,
-                                ts: txn.ts,
-                                stmt,
-                                is_write,
-                            });
-                    }
-                    None => non_det.push((id, txn.ts, stmt)),
-                }
-                for param in &spec.params {
-                    lists
-                        .entry(*param)
-                        .or_insert_with(|| SortedList::new(param.table, param.key))
-                        .push(ListEntry::Virtual {
-                            op: id,
-                            ts: txn.ts,
-                            stmt,
-                            role: VirtualRole::ParamSource,
-                        });
+                if spec.target.known().is_none() {
+                    non_det.push((id, txn.ts, stmt));
                 }
                 ops.push(Operation {
                     id,
@@ -100,72 +109,31 @@ impl TpgBuilder {
             txn_ops.push(ids);
         }
 
-        // Pessimistic handling of non-deterministic accesses: a placeholder in
-        // every sorted list that exists in this batch (Section 4.4).
-        for (id, ts, stmt) in &non_det {
-            for list in lists.values_mut() {
-                list.push(ListEntry::Virtual {
-                    op: *id,
-                    ts: *ts,
-                    stmt: *stmt,
-                    role: VirtualRole::NonDetPlaceholder,
-                });
-            }
-        }
-
-        // ---- Transaction processing phase ----
+        // ---- Sharded stream + transaction processing phases ----
         let txn_of: Vec<TxnId> = ops.iter().map(|o| o.txn).collect();
-        let same_txn = |a: OpId, b: OpId| txn_of[a] == txn_of[b];
-
-        let mut finalized: Vec<SortedList> = lists.into_values().collect();
-        for list in &mut finalized {
-            list.finalize();
-        }
-
-        let mut edges: Vec<(OpId, OpId, DepKind)> = Vec::new();
-        if self.num_threads <= 1 || finalized.len() < 2 {
-            for list in &finalized {
-                let derived = derive_edges(list, same_txn);
-                edges.extend(derived.td.into_iter().map(|(f, t)| (f, t, DepKind::Td)));
-                edges.extend(derived.pd.into_iter().map(|(f, t)| (f, t, DepKind::Pd)));
-            }
+        let shards = forced_shards.unwrap_or_else(|| effective_shards(self.num_threads, &ops));
+        let mut edges: Vec<(OpId, OpId, DepKind)> = if shards <= 1 {
+            shard_edges(&ops, &non_det, &txn_of, 0, 1)
         } else {
-            let shards = self.num_threads.min(finalized.len());
-            let chunk = finalized.len().div_ceil(shards);
             let results: Vec<Vec<(OpId, OpId, DepKind)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = finalized
-                    .chunks(chunk)
-                    .map(|chunk_lists| {
-                        let txn_of = &txn_of;
-                        scope.spawn(move || {
-                            let same_txn = |a: OpId, b: OpId| txn_of[a] == txn_of[b];
-                            let mut local = Vec::new();
-                            for list in chunk_lists {
-                                let derived = derive_edges(list, same_txn);
-                                local.extend(
-                                    derived.td.into_iter().map(|(f, t)| (f, t, DepKind::Td)),
-                                );
-                                local.extend(
-                                    derived.pd.into_iter().map(|(f, t)| (f, t, DepKind::Pd)),
-                                );
-                            }
-                            local
-                        })
+                let handles: Vec<_> = (0..shards)
+                    .map(|shard| {
+                        let (ops, non_det, txn_of) = (&ops, &non_det, &txn_of);
+                        scope.spawn(move || shard_edges(ops, non_det, txn_of, shard, shards))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("phase-2 worker panicked"))
+                    .map(|h| h.join().expect("construction worker panicked"))
                     .collect()
             });
-            for mut part in results {
-                edges.append(&mut part);
-            }
-        }
+            results.into_iter().flatten().collect()
+        };
 
         // Non-deterministic operations must also be ordered against each
         // other: chain them by timestamp so that two operations that might
         // both touch the same (unknown) state never run concurrently.
+        let same_txn = |a: OpId, b: OpId| txn_of[a] == txn_of[b];
         non_det.sort_by_key(|(id, ts, stmt)| (*ts, *stmt, *id));
         for pair in non_det.windows(2) {
             let (from, _, _) = pair[0];
@@ -177,6 +145,119 @@ impl TpgBuilder {
 
         Tpg::assemble(ops, edges, txn_ops, txn_ts, expected_abort_ratio)
     }
+}
+
+/// Roughly how many operations each construction shard should own before an
+/// extra worker pays for its spawn and its full-batch filtering scan.
+const MIN_OPS_PER_SHARD: usize = 128;
+
+/// How many operations to sample when estimating the batch's state
+/// cardinality.
+const CARDINALITY_SAMPLE: usize = 128;
+
+/// Effective shard count for a batch: never more than the configured
+/// workers, never so many that a shard owns fewer than [`MIN_OPS_PER_SHARD`]
+/// operations, and never more than the batch's estimated distinct-state
+/// count (paper-scale punctuations of 10k+ transactions over a wide key
+/// space use every worker; unit-test-sized or hot-key batches run serially
+/// instead of spawning workers that would own zero lists).
+fn effective_shards(num_threads: usize, ops: &[Operation]) -> usize {
+    let by_size = num_threads.min(ops.len() / MIN_OPS_PER_SHARD);
+    if by_size <= 1 {
+        return 1;
+    }
+    // Distinct states touched by a prefix sample bound the useful shard
+    // count: a hot-key batch has ~1 distinct state in any sample and gains
+    // nothing from sharding, however many operations it holds.
+    let mut sampled: std::collections::HashSet<StateRef> =
+        std::collections::HashSet::with_capacity(CARDINALITY_SAMPLE * 2);
+    for op in ops.iter().take(CARDINALITY_SAMPLE) {
+        if let Some(key) = op.spec.target.known() {
+            sampled.insert(StateRef::new(op.spec.table, key));
+        }
+        for param in &op.spec.params {
+            sampled.insert(*param);
+        }
+    }
+    by_size.min(sampled.len()).max(1)
+}
+
+/// Build the sorted lists owned by `shard` (out of `shards`) and derive their
+/// TD/PD edges. With `shards == 1` this is the whole batch — the serial path
+/// and every parallel shard run exactly this code, which is what keeps the
+/// two modes structurally identical.
+///
+/// Insertion order within a list matches the serial builder: operations are
+/// scanned in id (= decomposition) order, the target entry of an operation
+/// precedes its parameter entries, and non-deterministic placeholders are
+/// broadcast after all real/parameter entries — so ties in the `(ts, stmt,
+/// op)` sort key resolve identically via the stable finalize sort.
+fn shard_edges(
+    ops: &[Operation],
+    non_det: &[(OpId, Timestamp, u32)],
+    txn_of: &[TxnId],
+    shard: usize,
+    shards: usize,
+) -> Vec<(OpId, OpId, DepKind)> {
+    let owned = |state: &StateRef| shards == 1 || shard_of(state.table, state.key, shards) == shard;
+
+    // ---- Stream processing phase (this shard's lists) ----
+    let mut lists: HashMap<StateRef, SortedList> = HashMap::new();
+    for op in ops {
+        if let Some(key) = op.spec.target.known() {
+            let state = StateRef::new(op.spec.table, key);
+            if owned(&state) {
+                lists
+                    .entry(state)
+                    .or_insert_with(|| SortedList::new(state.table, state.key))
+                    .push(ListEntry::Real {
+                        op: op.id,
+                        ts: op.ts,
+                        stmt: op.stmt,
+                        is_write: op.spec.kind.is_write(),
+                    });
+            }
+        }
+        for param in &op.spec.params {
+            if owned(param) {
+                lists
+                    .entry(*param)
+                    .or_insert_with(|| SortedList::new(param.table, param.key))
+                    .push(ListEntry::Virtual {
+                        op: op.id,
+                        ts: op.ts,
+                        stmt: op.stmt,
+                        role: VirtualRole::ParamSource,
+                    });
+            }
+        }
+    }
+
+    // Pessimistic handling of non-deterministic accesses: a placeholder in
+    // every sorted list that exists in this batch (Section 4.4) — here,
+    // every list this shard owns; the union over shards covers the batch.
+    for (id, ts, stmt) in non_det {
+        for list in lists.values_mut() {
+            list.push(ListEntry::Virtual {
+                op: *id,
+                ts: *ts,
+                stmt: *stmt,
+                role: VirtualRole::NonDetPlaceholder,
+            });
+        }
+    }
+
+    // ---- Transaction processing phase (this shard's lists) ----
+    let same_txn = |a: OpId, b: OpId| txn_of[a] == txn_of[b];
+    let mut edges = Vec::new();
+    let mut finalized: Vec<SortedList> = lists.into_values().collect();
+    for list in &mut finalized {
+        list.finalize();
+        let derived = derive_edges(list, same_txn);
+        edges.extend(derived.td.into_iter().map(|(f, t)| (f, t, DepKind::Td)));
+        edges.extend(derived.pd.into_iter().map(|(f, t)| (f, t, DepKind::Pd)));
+    }
+    edges
 }
 
 #[cfg(test)]
@@ -265,17 +346,176 @@ mod tests {
         assert_eq!(a.stats(), b.stats());
     }
 
+    /// Assert that two TPGs have identical stats and identical (already
+    /// canonically ordered) adjacency — the "identical graphs" contract
+    /// between the serial and sharded builders.
+    fn assert_same_graph(a: &Tpg, b: &Tpg) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.num_ops(), b.num_ops());
+        for id in 0..a.num_ops() {
+            assert_eq!(a.parents(id), b.parents(id), "parents of op {id} differ");
+            assert_eq!(a.children(id), b.children(id), "children of op {id} differ");
+        }
+    }
+
     #[test]
     fn parallel_and_serial_construction_agree() {
         let serial = TpgBuilder::new().build(figure3_batch());
-        let parallel = TpgBuilder::new().with_threads(4).build(figure3_batch());
-        assert_eq!(serial.stats(), parallel.stats());
-        for id in 0..serial.num_ops() {
-            let mut a: Vec<_> = serial.parents(id).to_vec();
-            let mut b: Vec<_> = parallel.parents(id).to_vec();
-            a.sort();
-            b.sort();
-            assert_eq!(a, b);
+        // tiny batch: force the parallel path past the batch-size clamp
+        let parallel = TpgBuilder::new()
+            .with_threads(4)
+            .build_with(figure3_batch(), Some(4));
+        assert_same_graph(&serial, &parallel);
+    }
+
+    /// `count` single-op transactions cycling over `keys` distinct keys.
+    fn dummy_ops(count: usize, keys: u64) -> Vec<Operation> {
+        (0..count)
+            .map(|i| Operation {
+                id: i,
+                txn: i,
+                ts: i as u64 + 1,
+                stmt: 0,
+                spec: OperationSpec::write(T, i as u64 % keys, vec![], udfs::add_delta(1)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn effective_shards_clamp_by_batch_size_and_cardinality() {
+        assert_eq!(effective_shards(8, &dummy_ops(5, 5)), 1); // tiny: serial
+        assert_eq!(effective_shards(8, &dummy_ops(128, 128)), 1);
+        assert_eq!(effective_shards(8, &dummy_ops(256, 256)), 2);
+        // paper-scale over a wide key space: all workers
+        assert_eq!(effective_shards(8, &dummy_ops(10_240, 1_024)), 8);
+        assert_eq!(effective_shards(1, &dummy_ops(10_240, 1_024)), 1);
+        // hot-key batches gain nothing from sharding, however large
+        assert_eq!(effective_shards(8, &dummy_ops(10_240, 1)), 1);
+        assert_eq!(effective_shards(8, &dummy_ops(10_240, 3)), 3);
+    }
+
+    #[test]
+    fn large_batches_shard_through_the_public_path() {
+        // Enough operations (600 txns x 2 ops) that build() itself picks a
+        // multi-shard construction; the graph must match the serial build.
+        let batch = || {
+            let mut b = TransactionBatch::new();
+            for ts in 1..=600u64 {
+                b.push(Transaction::new(
+                    ts,
+                    vec![
+                        OperationSpec::write(T, ts % 64, vec![], udfs::add_delta(1)),
+                        OperationSpec::write(
+                            T,
+                            (ts * 13 + 7) % 64,
+                            vec![StateRef::new(T, ts % 64)],
+                            udfs::sum_params(),
+                        ),
+                    ],
+                ));
+            }
+            b
+        };
+        assert!(effective_shards(4, &dummy_ops(1_200, 64)) > 1);
+        let serial = TpgBuilder::new().build(batch());
+        let sharded = TpgBuilder::new().with_threads(4).build(batch());
+        sharded.validate().unwrap();
+        assert_same_graph(&serial, &sharded);
+    }
+
+    #[test]
+    fn default_builder_is_single_threaded() {
+        assert_eq!(TpgBuilder::new().threads(), 1);
+        assert_eq!(TpgBuilder::default().threads(), 1);
+        assert_eq!(TpgBuilder::new().with_threads(0).threads(), 1);
+        assert_eq!(TpgBuilder::new().with_threads(6).threads(), 6);
+    }
+
+    #[test]
+    fn sharded_construction_with_more_threads_than_states_leaves_shards_empty() {
+        // Figure 3 touches exactly two states (A and B); with 8 workers at
+        // least six shards own no list at all and must contribute no edges.
+        let serial = TpgBuilder::new().build(figure3_batch());
+        for threads in [2, 3, 8, 16] {
+            let sharded = TpgBuilder::new()
+                .with_threads(threads)
+                .build_with(figure3_batch(), Some(threads));
+            sharded.validate().unwrap();
+            assert_same_graph(&serial, &sharded);
+        }
+    }
+
+    #[test]
+    fn sharded_construction_handles_all_non_deterministic_batches() {
+        // Every operation resolves its key at execution time: there are no
+        // sorted lists anywhere, only the cross-shard non-det chain.
+        let batch = || {
+            let mut b = TransactionBatch::new();
+            for ts in 1..=6u64 {
+                b.push(Transaction::new(
+                    ts,
+                    vec![OperationSpec::non_det_write(
+                        T,
+                        Arc::new(|ts| ts % 3),
+                        vec![],
+                        udfs::set_value(1),
+                    )],
+                ));
+            }
+            b
+        };
+        let serial = TpgBuilder::new().build(batch());
+        let sharded = TpgBuilder::new()
+            .with_threads(4)
+            .build_with(batch(), Some(4));
+        serial.validate().unwrap();
+        sharded.validate().unwrap();
+        assert_same_graph(&serial, &sharded);
+        // the chain orders all six ops pairwise-adjacently
+        assert_eq!(serial.stats().pd_edges, 5);
+    }
+
+    #[test]
+    fn sharded_construction_orders_timestamp_ties_like_the_serial_builder() {
+        // Several transactions share timestamps, and one operation both
+        // targets and references the same key (a Real and a Virtual entry
+        // with an identical (ts, stmt, op) sort key) — tie order inside each
+        // sorted list must match the serial builder exactly.
+        let batch = || {
+            let mut b = TransactionBatch::new();
+            for ts in [2u64, 1, 2, 1, 3] {
+                b.push(Transaction::new(
+                    ts,
+                    vec![
+                        OperationSpec::write(T, ts % 3, vec![], udfs::add_delta(1)),
+                        OperationSpec::write(
+                            T,
+                            (ts + 1) % 3,
+                            vec![StateRef::new(T, (ts + 1) % 3), StateRef::new(T, ts % 3)],
+                            udfs::sum_params(),
+                        ),
+                    ],
+                ));
+            }
+            // one non-det op in the middle of the tied timestamps
+            b.push(Transaction::new(
+                2,
+                vec![OperationSpec::non_det_write(
+                    T,
+                    Arc::new(|ts| ts),
+                    vec![],
+                    udfs::set_value(9),
+                )],
+            ));
+            b
+        };
+        let serial = TpgBuilder::new().build(batch());
+        for threads in [2, 4, 8] {
+            let sharded = TpgBuilder::new()
+                .with_threads(threads)
+                .build_with(batch(), Some(threads));
+            sharded.validate().unwrap();
+            assert_same_graph(&serial, &sharded);
         }
     }
 

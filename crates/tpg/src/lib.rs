@@ -15,10 +15,11 @@
 //! Construction follows the paper's two-phase process (Section 4.2): the
 //! *stream processing phase* sorts the possibly out-of-order transactions and
 //! fills per-key timestamp-sorted operation lists, and the *transaction
-//! processing phase* derives TD/PD edges from those lists. Window operations
-//! (Section 4.3) and non-deterministic state accesses (Section 4.4) are
-//! handled with the generalized window rule and pessimistic virtual
-//! operations respectively.
+//! processing phase* derives TD/PD edges from those lists. Both phases are
+//! shardable by state key ([`sorted_list::shard_of`]) and run on the
+//! [`TpgBuilder`]'s configured worker count. Window operations (Section 4.3)
+//! and non-deterministic state accesses (Section 4.4) are handled with the
+//! generalized window rule and pessimistic virtual operations respectively.
 
 #![warn(missing_docs)]
 

@@ -9,6 +9,22 @@
 
 use morphstream_common::{Key, OpId, TableId, Timestamp};
 
+/// Deterministic shard assignment for a state key: which of `shards` workers
+/// owns the sorted list of `(table, key)` during the parallel stream
+/// processing phase. A 64-bit finalizer-style mix keeps consecutive keys from
+/// landing on the same shard, so uniform key ranges spread evenly.
+#[inline]
+pub fn shard_of(table: TableId, key: Key, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    let mut h = key ^ ((table.0 as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    (h % shards as u64) as usize
+}
+
 /// Why a virtual operation was inserted into a list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VirtualRole {
@@ -336,6 +352,23 @@ mod tests {
         assert!(edges.pd.contains(&(7, 1)));
         // the TD chain between the two real ops still exists
         assert_eq!(edges.td, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for key in 0..256u64 {
+                let s = shard_of(TableId(1), key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(TableId(1), key, shards));
+            }
+        }
+        // one shard owns everything
+        assert_eq!(shard_of(TableId(3), 12345, 1), 0);
+        // the mix spreads a contiguous key range over all shards
+        let hit: std::collections::HashSet<usize> =
+            (0..64u64).map(|k| shard_of(TableId(0), k, 4)).collect();
+        assert_eq!(hit.len(), 4);
     }
 
     #[test]

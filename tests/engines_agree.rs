@@ -5,6 +5,7 @@
 use morphstream::storage::StateStore;
 use morphstream::{EngineConfig, MorphStream, SchedulingDecision, TxnEngine};
 use morphstream_baselines::{LockedSpeEngine, SStoreEngine, TStreamEngine};
+use morphstream_common::config::test_threads;
 use morphstream_common::{Value, WorkloadConfig};
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
@@ -57,7 +58,8 @@ fn morphstream_adaptive_matches_the_sequential_oracle() {
     let mut engine = MorphStream::new(
         app,
         store.clone(),
-        EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+        EngineConfig::with_threads(test_threads(4))
+            .with_punctuation_interval(config.txns_per_batch),
     );
     let report = engine.process(events);
     assert!(report.aborted > 0, "the workload must exercise aborts");
@@ -77,7 +79,8 @@ fn every_fixed_scheduling_decision_matches_the_oracle() {
         let mut engine = MorphStream::new(
             app,
             store.clone(),
-            EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+            EngineConfig::with_threads(test_threads(4))
+                .with_punctuation_interval(config.txns_per_batch),
         )
         .with_fixed_decision(decision);
         engine.process(events.clone());
@@ -102,7 +105,8 @@ fn tstream_and_sstore_baselines_match_the_oracle() {
         let mut engine = TStreamEngine::new(
             app,
             store.clone(),
-            EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+            EngineConfig::with_threads(test_threads(4))
+                .with_punctuation_interval(config.txns_per_batch),
         );
         engine.process(events.clone());
         let app = StreamingLedgerApp::new(&store, &config);
@@ -118,7 +122,8 @@ fn tstream_and_sstore_baselines_match_the_oracle() {
         let mut engine = SStoreEngine::new(
             app,
             store.clone(),
-            EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+            EngineConfig::with_threads(test_threads(4))
+                .with_punctuation_interval(config.txns_per_batch),
         );
         engine.process(events.clone());
         let app = StreamingLedgerApp::new(&store, &config);
@@ -149,8 +154,8 @@ fn engines_pushed_through_the_txn_engine_trait_match_the_oracle() {
     let config = config();
     let events = events();
     let expected = oracle_balances(&config, &events);
-    let engine_config =
-        EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch);
+    let engine_config = EngineConfig::with_threads(test_threads(4))
+        .with_punctuation_interval(config.txns_per_batch);
 
     {
         let store = StateStore::new();
@@ -236,7 +241,8 @@ fn locked_spe_with_locks_conserves_money_but_unlocked_may_not() {
     let mut engine = LockedSpeEngine::with_locks(
         app,
         store.clone(),
-        EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+        EngineConfig::with_threads(test_threads(4))
+            .with_punctuation_interval(config.txns_per_batch),
     );
     engine.process(events.clone());
     let app = StreamingLedgerApp::new(&store, &config);
@@ -252,7 +258,8 @@ fn locked_spe_with_locks_conserves_money_but_unlocked_may_not() {
     let mut engine = LockedSpeEngine::without_locks(
         app,
         store.clone(),
-        EngineConfig::with_threads(4).with_punctuation_interval(config.txns_per_batch),
+        EngineConfig::with_threads(test_threads(4))
+            .with_punctuation_interval(config.txns_per_batch),
     );
     let report = engine.process(events);
     assert_eq!(report.events(), 1_500);

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use morphstream::storage::StateStore;
 use morphstream::{EngineConfig, MorphStream, TxnEngine};
 use morphstream_baselines::{SStoreEngine, TStreamEngine};
+use morphstream_common::config::test_threads;
 use morphstream_common::{Value, WorkloadConfig};
 use morphstream_workloads::{SlEvent, Source, StreamingLedgerApp};
 
@@ -25,7 +26,7 @@ fn events() -> Vec<SlEvent> {
 }
 
 fn engine_config() -> EngineConfig {
-    EngineConfig::with_threads(4).with_punctuation_interval(config().txns_per_batch)
+    EngineConfig::with_threads(test_threads(4)).with_punctuation_interval(config().txns_per_batch)
 }
 
 /// Final per-key balances of a freshly built engine's store after `run`.
@@ -229,6 +230,81 @@ fn dropping_a_pipeline_handle_keeps_the_session_resumable() {
     let ref_app = StreamingLedgerApp::new(&ref_store, &config);
     let app = StreamingLedgerApp::new(&store, &config);
     assert_eq!(balances(&store, &app), balances(&ref_store, &ref_app));
+}
+
+#[test]
+fn pipelined_push_sessions_match_the_serial_engine_and_report_overlap() {
+    let config = config();
+    let events = StreamingLedgerApp::generate(&config, 2_000, 0.7);
+
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let mut reference = MorphStream::new(ref_app, ref_store.clone(), engine_config());
+    let expected = reference.process(events.clone());
+
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(
+        app,
+        store.clone(),
+        engine_config().with_pipelined_construction(true),
+    );
+    let fired = Arc::new(AtomicUsize::new(0));
+    let counter = fired.clone();
+    let mut pipeline = engine.pipeline().on_batch(move |_| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    });
+    pipeline.push_iter(events);
+    let report = pipeline.finish();
+
+    // identical results: outputs, counts, batching, final state
+    assert_eq!(report.events(), expected.events());
+    assert_eq!(report.committed, expected.committed);
+    assert_eq!(report.aborted, expected.aborted);
+    assert_eq!(report.outputs, expected.outputs);
+    assert_eq!(report.batches.len(), expected.batches.len());
+    assert_eq!(fired.load(Ordering::Relaxed), report.batches.len());
+    assert_eq!(store.state_digest(), ref_store.state_digest());
+
+    // the overlap metric is live: the serial engine hides nothing, and the
+    // overlap never exceeds the construction it is a share of.
+    assert_eq!(
+        expected.stage_timings.overlap,
+        std::time::Duration::ZERO,
+        "serial runs must not report hidden construction time"
+    );
+    assert!(report.stage_timings.construct > std::time::Duration::ZERO);
+    assert!(report.stage_timings.overlap <= report.stage_timings.construct);
+
+    // The pipelined engine overlaps construction of batch N+1 with execution
+    // of batch N, so some overlap is normally observed — but it is a pure
+    // wall-clock measurement, and a loaded scheduler can deschedule the
+    // construction thread during every execute window. Overlap-positivity is
+    // therefore reported as a warning here rather than asserted (the CI
+    // smoke-bench's BENCH_fig16_smoke.json is the tracked overlap canary);
+    // everything asserted above is deterministic.
+    let mut hid_something = report.stage_timings.overlap > std::time::Duration::ZERO;
+    for _attempt in 0..3 {
+        if hid_something {
+            break;
+        }
+        let store = StateStore::new();
+        let app = StreamingLedgerApp::new(&store, &config);
+        let mut engine = MorphStream::new(
+            app,
+            store,
+            engine_config().with_pipelined_construction(true),
+        );
+        let retry = engine.run(StreamingLedgerApp::generate(&config, 2_000, 0.7));
+        hid_something = retry.stage_timings.overlap > std::time::Duration::ZERO;
+    }
+    if !hid_something {
+        eprintln!(
+            "warning: pipelined runs hid no construction time across several attempts \
+             (expected on a single-core or heavily loaded machine; see the fig16 \
+             smoke-bench artifact for the tracked overlap metric)"
+        );
+    }
 }
 
 #[test]

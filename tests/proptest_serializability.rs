@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use morphstream::storage::StateStore;
 use morphstream::{
     AbortHandling, EngineConfig, ExplorationStrategy, Granularity, MorphStream, SchedulingDecision,
-    StreamApp, TxnBuilder, TxnOutcome,
+    StreamApp, TxnBuilder, TxnEngine, TxnOutcome,
 };
 use morphstream_common::{StateRef, TableId, Value};
 use morphstream_tpg::udfs;
@@ -52,20 +52,32 @@ impl StreamApp for Ledger {
 const ACCOUNTS: u64 = 8;
 const INITIAL: Value = 50;
 
-fn oracle(events: &[Op]) -> Vec<Value> {
+/// Sequential oracle: final balances plus the commit/abort outcome of every
+/// event in timestamp order (the serializable history the engine must match).
+fn oracle_full(events: &[Op]) -> (Vec<Value>, Vec<bool>) {
     let mut balances = vec![INITIAL; ACCOUNTS as usize];
+    let mut outcomes = Vec::with_capacity(events.len());
     for event in events {
         match event {
-            Op::Deposit { account, amount } => balances[*account as usize] += amount,
+            Op::Deposit { account, amount } => {
+                balances[*account as usize] += amount;
+                outcomes.push(true);
+            }
             Op::Transfer { from, to, amount } => {
-                if *from != *to && balances[*from as usize] >= *amount {
+                let ok = *from != *to && balances[*from as usize] >= *amount;
+                if ok {
                     balances[*from as usize] -= amount;
                     balances[*to as usize] += amount;
                 }
+                outcomes.push(ok);
             }
         }
     }
-    balances
+    (balances, outcomes)
+}
+
+fn oracle(events: &[Op]) -> Vec<Value> {
+    oracle_full(events).0
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -136,5 +148,46 @@ proptest! {
             .sum();
         let total: Value = snapshot.values().sum();
         prop_assert_eq!(total, INITIAL * ACCOUNTS as Value + committed_deposits);
+    }
+
+    /// Random batches pushed through `Pipeline::push_iter` with arbitrary
+    /// chunking and punctuation boundaries, across the {1,2,4,8} thread
+    /// matrix with pipelined construction on and off, must all reach the
+    /// identical final `StateStore` snapshot and the identical serializable
+    /// per-event history.
+    #[test]
+    fn pushed_pipelined_sessions_match_the_oracle_across_thread_counts(
+        events in proptest::collection::vec(op_strategy(), 1..80),
+        punctuation in 1usize..40,
+        threads_idx in 0usize..4,
+        pipelined_idx in 0usize..2,
+        chunk in 1usize..50,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let pipelined = pipelined_idx == 1;
+        let (expected, expected_outcomes) = oracle_full(&events);
+
+        let store = StateStore::new();
+        let accounts = store.create_table("accounts", INITIAL, false);
+        store.preallocate_range(accounts, ACCOUNTS).unwrap();
+        let mut engine = MorphStream::new(
+            Ledger { accounts },
+            store.clone(),
+            EngineConfig::with_threads(threads)
+                .with_punctuation_interval(punctuation)
+                .with_pipelined_construction(pipelined),
+        );
+        let mut pipeline = engine.pipeline();
+        for part in events.chunks(chunk) {
+            pipeline.push_iter(part.iter().cloned());
+        }
+        let report = pipeline.finish();
+
+        prop_assert_eq!(report.events(), events.len());
+        // serializable history: per-event outcomes equal the sequential oracle
+        prop_assert_eq!(&report.outputs, &expected_outcomes);
+        let snapshot = store.snapshot_latest(accounts).unwrap();
+        let got: Vec<Value> = (0..ACCOUNTS).map(|k| snapshot[&k]).collect();
+        prop_assert_eq!(got, expected);
     }
 }
