@@ -47,6 +47,9 @@ pub enum SystemUnderTest {
     LockedSpeWithLocks,
     /// Conventional SPE + external state, without locking (incorrect).
     LockedSpeWithoutLocks,
+    /// A MorphStream operator topology (a multi-operator dataflow driven
+    /// through the same `TxnEngine` trait as the single-operator systems).
+    Topology,
 }
 
 impl std::fmt::Display for SystemUnderTest {
@@ -57,6 +60,7 @@ impl std::fmt::Display for SystemUnderTest {
             SystemUnderTest::SStore => "S-Store",
             SystemUnderTest::LockedSpeWithLocks => "Flink+Redis (w/ locks)",
             SystemUnderTest::LockedSpeWithoutLocks => "Flink+Redis (w/o locks)",
+            SystemUnderTest::Topology => "MorphStream topology",
         })
     }
 }

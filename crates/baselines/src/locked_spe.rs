@@ -212,7 +212,12 @@ fn run_transaction(
     exec_clock: &std::sync::atomic::AtomicU64,
 ) -> TxnOutcome {
     let mut op_results = Vec::with_capacity(txn.ops.len());
-    let mut written: Vec<(morphstream_common::TableId, morphstream_common::Key, u64)> = Vec::new();
+    let mut written: Vec<(
+        morphstream_common::TableId,
+        morphstream_common::Key,
+        u64,
+        u64,
+    )> = Vec::new();
     let mut abort_reason: Option<AbortReason> = None;
 
     for (stmt, spec) in txn.ops.iter().enumerate() {
@@ -268,7 +273,7 @@ fn run_transaction(
                     let writer = u64::MAX / 2 + next_writer.fetch_add(1, Ordering::Relaxed) as u64;
                     let exec_ts = exec_clock.fetch_add(1, Ordering::Relaxed);
                     let _ = store.write(spec.table, key, exec_ts, stmt as u32, writer, v);
-                    written.push((spec.table, key, writer));
+                    written.push((spec.table, key, writer, exec_ts));
                 }
                 op_results.push((stmt, Some(v)));
             }
@@ -281,10 +286,13 @@ fn run_transaction(
     }
 
     if abort_reason.is_some() {
-        // roll the transaction's writes back, as the distributed-transaction
-        // wrapper around the external store would.
-        for (table, key, writer) in written {
-            let _ = store.rollback_writer(table, key, writer);
+        // Roll the transaction's writes back, as the distributed-transaction
+        // wrapper around the external store would. The rollback is scoped to
+        // the exact (writer, ts) of each write: writer ids restart per batch,
+        // so an unscoped rollback could delete a version that survived from
+        // an earlier batch under a recycled id.
+        for (table, key, writer, exec_ts) in written {
+            let _ = store.rollback_writer_at(table, key, writer, exec_ts);
         }
     }
 

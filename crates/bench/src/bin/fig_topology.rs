@@ -1,0 +1,16 @@
+//! Operator-topology benchmark: the fused TP operator against its
+//! two-operator dataflow split, with per-operator throughput/latency. Pass
+//! `--full` for the larger run and `--json PATH` to also write the rows —
+//! including the per-operator sub-rows — as machine-readable JSON (uploaded
+//! by the CI smoke-bench job as `BENCH_topology_smoke.json`).
+fn main() {
+    let scale = morphstream_bench::Scale::from_args();
+    // Validate the argument list before the (multi-second) measurement runs.
+    let json_path = morphstream_bench::harness::json_path_from_args();
+    let rows = morphstream_bench::figs::fig_topology::run(scale);
+    if let Some(path) = json_path {
+        morphstream_bench::figs::fig_topology::write_json(&path, scale, &rows)
+            .expect("failed to write bench JSON");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -977,3 +977,178 @@ pub mod fig25 {
         println!("actual accumulated matches:   {actual}");
     }
 }
+
+/// Operator-topology benchmark (beyond the paper): the fused single-operator
+/// TP application against its two-operator split driven as one dataflow
+/// through the same generic `TxnEngine` loop, with per-operator
+/// throughput/latency sub-rows.
+pub mod fig_topology {
+    use super::*;
+    use crate::harness::json_escape;
+    use morphstream_workloads::TollProcessingApp;
+
+    /// One measured row: a whole system, or one operator inside the topology
+    /// (`operator` set).
+    #[derive(Debug, Clone)]
+    pub struct TopologyRow {
+        /// System label.
+        pub system: String,
+        /// Operator name for per-operator sub-rows; `None` for system rows.
+        pub operator: Option<String>,
+        /// Throughput in thousands of events per second.
+        pub k_events_per_second: f64,
+        /// Median end-to-end latency in milliseconds.
+        pub p50_latency_ms: f64,
+        /// 95th-percentile latency in milliseconds.
+        pub p95_latency_ms: f64,
+        /// Committed transactions.
+        pub committed: usize,
+        /// Aborted transactions.
+        pub aborted: usize,
+    }
+
+    impl TopologyRow {
+        fn percentiles(latency: &mut morphstream_common::metrics::LatencyRecorder) -> (f64, f64) {
+            let ms = |p: f64, l: &mut morphstream_common::metrics::LatencyRecorder| {
+                l.percentile(p)
+                    .map(|d| d.as_secs_f64() * 1e3)
+                    .unwrap_or(0.0)
+            };
+            (ms(50.0, latency), ms(95.0, latency))
+        }
+
+        fn from_report(system: &str, report: &mut morphstream::RunReport<bool>) -> Self {
+            let (p50, p95) = Self::percentiles(&mut report.latency);
+            Self {
+                system: system.to_string(),
+                operator: None,
+                k_events_per_second: report.k_events_per_second(),
+                p50_latency_ms: p50,
+                p95_latency_ms: p95,
+                committed: report.committed,
+                aborted: report.aborted,
+            }
+        }
+
+        fn from_operator(system: &str, op: &morphstream::OperatorReport) -> Self {
+            let mut latency = op.latency.clone();
+            let (p50, p95) = Self::percentiles(&mut latency);
+            Self {
+                system: system.to_string(),
+                operator: Some(op.name.clone()),
+                k_events_per_second: op.k_events_per_second(),
+                p50_latency_ms: p50,
+                p95_latency_ms: p95,
+                committed: op.committed,
+                aborted: op.aborted,
+            }
+        }
+
+        /// One JSON object row (hand-formatted; serde is offline-gated).
+        pub fn json(&self) -> String {
+            let operator = match &self.operator {
+                Some(name) => format!(r#""{}""#, json_escape(name)),
+                None => "null".to_string(),
+            };
+            format!(
+                r#"{{"system":"{}","operator":{},"k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{}}}"#,
+                json_escape(&self.system),
+                operator,
+                self.k_events_per_second,
+                self.p50_latency_ms,
+                self.p95_latency_ms,
+                self.committed,
+                self.aborted
+            )
+        }
+    }
+
+    /// Write the measured rows as one JSON document (uploaded by the CI
+    /// smoke-bench as `BENCH_topology_smoke.json`).
+    pub fn write_json(
+        path: &std::path::Path,
+        scale: Scale,
+        rows: &[TopologyRow],
+    ) -> std::io::Result<()> {
+        let body: Vec<String> = rows.iter().map(TopologyRow::json).collect();
+        let doc = format!(
+            "{{\"bench\":\"fig_topology\",\"scale\":\"{}\",\"rows\":[\n  {}\n]}}\n",
+            scale.name(),
+            body.join(",\n  ")
+        );
+        std::fs::write(path, doc)
+    }
+
+    /// Measure the fused TP app and the two-operator topology on the same
+    /// event stream; the topology contributes per-operator sub-rows. Both
+    /// renditions run through the one generic drive loop and must agree on
+    /// the final state digest — the measurement asserts it, so the benchmark
+    /// doubles as a correctness canary.
+    pub fn measure(scale: Scale) -> Vec<TopologyRow> {
+        let config = WorkloadConfig::toll_processing()
+            .with_key_space(20_000)
+            .with_udf_complexity_us(1)
+            .with_txns_per_batch(1_024)
+            .with_abort_ratio(0.05);
+        let events = TollProcessingApp::generate(&config, 4_096 * scale.factor());
+        let engine_config = bench_engine_config(bench_threads(), config.txns_per_batch);
+
+        let fused_store = StateStore::new();
+        let fused_app = TollProcessingApp::new(&fused_store, &config);
+        let mut fused_engine = MorphStream::new(fused_app, fused_store.clone(), engine_config);
+        let mut fused_report = fused_engine.run(events.clone());
+
+        let split_store = StateStore::new();
+        let mut topology = TollProcessingApp::topology(&split_store, &config, engine_config);
+        let mut topology_report = topology.run(events);
+
+        assert_eq!(
+            fused_store.state_digest(),
+            split_store.state_digest(),
+            "the fused app and its topology split diverged"
+        );
+
+        let fused_label = SystemUnderTest::MorphStream.to_string();
+        let topology_label = SystemUnderTest::Topology.to_string();
+        let mut rows = vec![
+            TopologyRow::from_report(&format!("{fused_label} (fused TP)"), &mut fused_report),
+            TopologyRow::from_report(
+                &format!("{topology_label} (2-operator TP)"),
+                &mut topology_report,
+            ),
+        ];
+        for op in &topology_report.operators {
+            rows.push(TopologyRow::from_operator(&topology_label, op));
+        }
+        rows
+    }
+
+    /// Print the figure and return the measured rows.
+    pub fn run(scale: Scale) -> Vec<TopologyRow> {
+        banner(
+            "Topology",
+            "fused TP operator vs two-operator dataflow (per-operator sub-rows)",
+        );
+        println!(
+            "{:<38} {:>12} {:>10} {:>10} {:>10} {:>9}",
+            "system / operator", "k events/s", "p50 ms", "p95 ms", "committed", "aborted"
+        );
+        let rows = measure(scale);
+        for row in &rows {
+            let label = match &row.operator {
+                Some(op) => format!("  └ {op}"),
+                None => row.system.clone(),
+            };
+            println!(
+                "{:<38} {:>12.2} {:>10.2} {:>10.2} {:>10} {:>9}",
+                label,
+                row.k_events_per_second,
+                row.p50_latency_ms,
+                row.p95_latency_ms,
+                row.committed,
+                row.aborted
+            );
+        }
+        rows
+    }
+}

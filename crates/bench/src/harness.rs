@@ -256,6 +256,16 @@ pub fn run_sl_on(
             let mut engine = LockedSpeEngine::without_locks(app, store, cfg);
             drive(system, &mut engine, events)
         }
+        SystemUnderTest::Topology => {
+            // The degenerate single-operator dataflow: measures the topology
+            // wrapper's overhead over the bare engine on the same workload.
+            let mut builder = morphstream::TopologyBuilder::new();
+            let op = builder.add_operator("streaming-ledger", app, store, engine_config);
+            let mut engine = builder
+                .build(op, op)
+                .expect("a single operator is a valid dataflow");
+            drive(system, &mut engine, events)
+        }
     }
 }
 

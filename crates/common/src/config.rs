@@ -82,48 +82,56 @@ impl WorkloadConfig {
     }
 
     /// Builder-style update of the Zipf skew.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_zipf_theta(mut self, theta: f64) -> Self {
         self.zipf_theta = theta;
         self
     }
 
     /// Builder-style update of the abort ratio.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_abort_ratio(mut self, ratio: f64) -> Self {
         self.abort_ratio = ratio;
         self
     }
 
     /// Builder-style update of the transaction length.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_txn_length(mut self, length: usize) -> Self {
         self.txn_length = length;
         self
     }
 
     /// Builder-style update of the UDF complexity in microseconds.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_udf_complexity_us(mut self, us: u64) -> Self {
         self.udf_complexity_us = us;
         self
     }
 
     /// Builder-style update of the states accessed per operation.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_states_per_op(mut self, r: usize) -> Self {
         self.states_per_op = r;
         self
     }
 
     /// Builder-style update of the punctuation interval.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_txns_per_batch(mut self, t: usize) -> Self {
         self.txns_per_batch = t;
         self
     }
 
     /// Builder-style update of the key space size.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_key_space(mut self, n: u64) -> Self {
         self.key_space = n;
         self
     }
 
     /// Builder-style update of the generator seed.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -201,6 +209,7 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Configuration with `num_threads` workers and defaults elsewhere.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_threads(num_threads: usize) -> Self {
         Self {
             num_threads,
@@ -209,6 +218,7 @@ impl EngineConfig {
     }
 
     /// Builder-style update of the punctuation interval.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_punctuation_interval(mut self, events: usize) -> Self {
         self.punctuation_interval = Some(events);
         self
@@ -217,12 +227,14 @@ impl EngineConfig {
     /// Builder-style update of the construction thread count. Pass the number
     /// of workers the TPG builder may use; by default construction follows
     /// [`EngineConfig::num_threads`].
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_construction_threads(mut self, threads: usize) -> Self {
         self.construction_threads = Some(threads);
         self
     }
 
     /// Builder-style toggle of pipelined (double-buffered) TPG construction.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_pipelined_construction(mut self, pipelined: bool) -> Self {
         self.pipelined_construction = pipelined;
         self
@@ -243,6 +255,7 @@ impl EngineConfig {
     }
 
     /// Builder-style toggle of after-batch reclamation.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_reclaim_after_batch(mut self, reclaim: bool) -> Self {
         self.reclaim_after_batch = reclaim;
         self

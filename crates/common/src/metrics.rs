@@ -105,6 +105,17 @@ impl Breakdown {
             self.nanos[i] += other.nanos[i];
         }
     }
+
+    /// Per-bucket difference `self - earlier`, clamped at zero. Used to turn
+    /// two cumulative snapshots into the breakdown of the interval between
+    /// them (e.g. one topology propagation wave).
+    pub fn saturating_sub(&self, earlier: &Breakdown) -> Breakdown {
+        let mut delta = Breakdown::new();
+        for i in 0..self.nanos.len() {
+            delta.nanos[i] = self.nanos[i].saturating_sub(earlier.nanos[i]);
+        }
+        delta
+    }
 }
 
 /// Wall-clock timings of the two pipeline stages a punctuation flows through
@@ -134,6 +145,16 @@ impl StageTimings {
         self.construct += other.construct;
         self.execute += other.execute;
         self.overlap += other.overlap;
+    }
+
+    /// Per-stage difference `self - earlier`, clamped at zero — the stage
+    /// timings of the interval between two cumulative snapshots.
+    pub fn saturating_sub(&self, earlier: &StageTimings) -> StageTimings {
+        StageTimings {
+            construct: self.construct.saturating_sub(earlier.construct),
+            execute: self.execute.saturating_sub(earlier.execute),
+            overlap: self.overlap.saturating_sub(earlier.overlap),
+        }
     }
 
     /// Fraction of construction time hidden behind execution (0 when no

@@ -298,12 +298,14 @@ impl<A: StreamApp> MorphStream<A> {
     }
 
     /// Replace the scheduling mode (adaptive by default).
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_scheduling_mode(mut self, mode: SchedulingMode) -> Self {
         self.mode = mode;
         self
     }
 
     /// Fix the scheduling decision for every batch.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_fixed_decision(self, decision: SchedulingDecision) -> Self {
         self.with_scheduling_mode(SchedulingMode::Fixed(decision))
     }
@@ -316,6 +318,7 @@ impl<A: StreamApp> MorphStream<A> {
     ///
     /// Groups are planned and executed independently, so transactions of
     /// different groups must access disjoint states.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_group_fn(
         mut self,
         group_of: impl Fn(&A::Event) -> usize + Send + Sync + 'static,
@@ -337,6 +340,15 @@ impl<A: StreamApp> MorphStream<A> {
     /// The application driving this engine.
     pub fn app(&self) -> &A {
         &self.app
+    }
+
+    /// Turn off after-batch version reclamation. Used by topologies whose
+    /// operators share a state store: `StateStore::truncate_before` is
+    /// store-wide, and one operator's watermark is meaningless in another
+    /// operator's timestamp domain — truncating with it could collapse
+    /// versions a sibling's windowed reads still need.
+    pub(crate) fn disable_reclamation(&mut self) {
+        self.config.reclaim_after_batch = false;
     }
 
     /// Process a stream of events, splitting it into punctuation-delimited

@@ -54,11 +54,13 @@ pub mod app;
 pub mod engine;
 pub mod pipeline;
 pub mod report;
+pub mod topology;
 
 pub use app::{StreamApp, TxnBuilder};
 pub use engine::{MorphStream, SchedulingMode};
 pub use pipeline::{BatchHook, PendingBatch, Pipeline, SessionState, TxnEngine};
-pub use report::{BatchSummary, RunReport};
+pub use report::{BatchSummary, OperatorReport, RunReport};
+pub use topology::{OperatorHandle, Topology, TopologyBuilder, TopologyError};
 
 pub use morphstream_common::{AbortReason, EngineConfig, WorkloadConfig};
 pub use morphstream_executor::TxnOutcome;

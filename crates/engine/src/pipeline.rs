@@ -296,6 +296,7 @@ impl<'e, E: TxnEngine> Pipeline<'e, E> {
 
     /// Install a hook observing every processed batch (builder-style). The
     /// hook lives for this session: it is cleared by [`Pipeline::finish`].
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn on_batch(self, hook: impl FnMut(&BatchSummary) + Send + 'static) -> Self {
         self.engine.set_batch_hook(Some(Box::new(hook)));
         self

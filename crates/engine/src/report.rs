@@ -55,6 +55,58 @@ impl BatchSummary {
     }
 }
 
+/// Condensed, type-erased report of one operator inside a
+/// [`Topology`](crate::Topology): the per-operator slice of the run that the
+/// topology aggregates into its top-level [`RunReport`].
+///
+/// Produced when the topology session finishes — one entry per operator, in
+/// the order the operators were added to the builder. The per-operator
+/// `committed`/`aborted` counts sum to the topology report's top-level
+/// counts, and `stage_timings`/`breakdown` sum to the top-level aggregates.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// Operator name given to `TopologyBuilder::add_operator`.
+    pub name: String,
+    /// Events this operator ingested and post-processed.
+    pub events: usize,
+    /// Committed transactions of this operator.
+    pub committed: usize,
+    /// Aborted transactions of this operator.
+    pub aborted: usize,
+    /// Punctuation batches this operator processed.
+    pub batches: usize,
+    /// Throughput over this operator's batch processing time.
+    pub throughput: Throughput,
+    /// Per-event latency samples recorded by this operator.
+    pub latency: LatencyRecorder,
+    /// Construct/execute/overlap stage timings of this operator.
+    pub stage_timings: StageTimings,
+    /// Runtime breakdown of this operator's batches.
+    pub breakdown: Breakdown,
+}
+
+impl OperatorReport {
+    /// Condense a finished per-operator run into the erased report.
+    pub fn from_run<O>(name: impl Into<String>, run: &RunReport<O>) -> Self {
+        Self {
+            name: name.into(),
+            events: run.events(),
+            committed: run.committed,
+            aborted: run.aborted,
+            batches: run.batches.len(),
+            throughput: run.throughput,
+            latency: run.latency.clone(),
+            stage_timings: run.stage_timings,
+            breakdown: run.breakdown.clone(),
+        }
+    }
+
+    /// Throughput in thousands of events per second (the paper's unit).
+    pub fn k_events_per_second(&self) -> f64 {
+        self.throughput.k_events_per_second()
+    }
+}
+
 /// Report of a whole run (a sequence of batches).
 #[derive(Debug)]
 pub struct RunReport<O> {
@@ -64,6 +116,8 @@ pub struct RunReport<O> {
     pub committed: usize,
     /// Number of aborted transactions.
     pub aborted: usize,
+    /// Operations redone because of upstream aborts, summed over batches.
+    pub redone_ops: usize,
     /// Aggregate throughput over the processing time of all batches.
     pub throughput: Throughput,
     /// End-to-end latency samples of every event.
@@ -78,6 +132,10 @@ pub struct RunReport<O> {
     pub stage_timings: StageTimings,
     /// Per-batch summaries (throughput-over-time plots).
     pub batches: Vec<BatchSummary>,
+    /// Per-operator sub-reports. Empty for a single-operator engine; filled
+    /// by a finished [`Topology`](crate::Topology) session with one entry per
+    /// operator, whose counts sum to the top-level `committed`/`aborted`.
+    pub operators: Vec<OperatorReport>,
 }
 
 impl<O> RunReport<O> {
@@ -87,12 +145,14 @@ impl<O> RunReport<O> {
             outputs: Vec::new(),
             committed: 0,
             aborted: 0,
+            redone_ops: 0,
             throughput: Throughput::default(),
             latency: LatencyRecorder::new(),
             breakdown: Breakdown::new(),
             memory: MemoryTimeline::new(),
             stage_timings: StageTimings::new(),
             batches: Vec::new(),
+            operators: Vec::new(),
         }
     }
 
@@ -113,6 +173,7 @@ impl<O> RunReport<O> {
         }
         self.committed += summary.committed;
         self.aborted += summary.aborted;
+        self.redone_ops += summary.redone_ops;
         // Latency uses `elapsed` (end-to-end, queueing included); throughput
         // uses `processing_time` — under pipelined construction adjacent
         // batches' `elapsed` spans overlap, and summing them would undercount

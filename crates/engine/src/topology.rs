@@ -1,0 +1,1062 @@
+//! First-class operator topologies: chain transactional operators into a
+//! dataflow that is itself a [`TxnEngine`].
+//!
+//! The paper's programming model covers one transactional operator per
+//! engine, but real TSPE applications — S-Store's dataflows of transactional
+//! stored procedures, multi-stage fraud detection, enrichment → scoring →
+//! settlement chains — are *graphs* of such operators. A [`Topology`] wires
+//! several [`StreamApp`]s into a DAG: each operator runs its own MorphStream
+//! engine (its own TPG, decision model, and scheduling), every upstream
+//! operator's `Output` is routed (map / filter / fan-out) into downstream
+//! operators' `Event`s, and punctuations propagate downstream on every batch
+//! boundary, so a batch cut by the entry operator flows through the whole
+//! dataflow before the next one starts executing downstream.
+//!
+//! The assembled `Topology` implements [`TxnEngine`], so
+//! [`Pipeline`](crate::Pipeline) sessions, the bench harness's generic drive
+//! loop, and trait-driven oracle tests work on a whole dataflow unchanged.
+//! Its [`RunReport`] aggregates every operator — per-operator sub-reports are
+//! attached as [`OperatorReport`]s when the session finishes, and their
+//! commit/abort counts sum to the top-level totals.
+//!
+//! ```
+//! use morphstream::storage::StateStore;
+//! use morphstream::{
+//!     udfs, EngineConfig, StreamApp, TopologyBuilder, TxnBuilder, TxnEngine, TxnOutcome,
+//! };
+//! use morphstream_common::TableId;
+//!
+//! /// Counts word occurrences; emits the word with its committed flag.
+//! struct WordCount {
+//!     words: TableId,
+//! }
+//!
+//! impl StreamApp for WordCount {
+//!     type Event = u64;
+//!     type Output = (u64, bool);
+//!
+//!     fn state_access(&self, word: &u64, txn: &mut TxnBuilder) {
+//!         txn.write(self.words, *word, udfs::add_delta(1));
+//!     }
+//!
+//!     fn post_process(&self, word: &u64, outcome: &TxnOutcome) -> (u64, bool) {
+//!         (*word, outcome.committed)
+//!     }
+//! }
+//!
+//! /// Tallies how many distinct updates each parity class received.
+//! struct ParityTally {
+//!     parities: TableId,
+//! }
+//!
+//! impl StreamApp for ParityTally {
+//!     type Event = u64;
+//!     type Output = bool;
+//!
+//!     fn state_access(&self, word: &u64, txn: &mut TxnBuilder) {
+//!         txn.write(self.parities, *word % 2, udfs::add_delta(1));
+//!     }
+//!
+//!     fn post_process(&self, _word: &u64, outcome: &TxnOutcome) -> bool {
+//!         outcome.committed
+//!     }
+//! }
+//!
+//! let store = StateStore::new();
+//! let words = store.create_table("words", 0, true);
+//! let parities = store.create_table("parities", 0, true);
+//! let config = EngineConfig::with_threads(2).with_punctuation_interval(4);
+//!
+//! // counter --(committed words only)--> tally
+//! let mut builder = TopologyBuilder::new();
+//! let counter = builder.add_operator("word-count", WordCount { words }, store.clone(), config);
+//! let tally = builder.add_operator("parity-tally", ParityTally { parities }, store.clone(), config);
+//! builder.connect(counter, tally, |(word, committed)| committed.then_some(*word));
+//! let mut topology = builder.build(counter, tally).unwrap();
+//!
+//! // The topology is an engine: drive it through the ordinary Pipeline API.
+//! let mut pipeline = topology.pipeline();
+//! pipeline.push_iter([1u64, 2, 3, 4, 5, 6, 7, 8]);
+//! let report = pipeline.finish();
+//!
+//! assert_eq!(report.outputs.len(), 8);
+//! assert_eq!(report.operators.len(), 2);
+//! // per-operator counts sum to the top-level totals
+//! let summed: usize = report.operators.iter().map(|op| op.committed).sum();
+//! assert_eq!(report.committed, summed);
+//! assert_eq!(store.read_latest(parities, 0).unwrap(), 4); // 2, 4, 6, 8
+//! ```
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use morphstream_common::metrics::{Breakdown, StageTimings};
+use morphstream_common::EngineConfig;
+use morphstream_scheduler::SchedulingDecision;
+use morphstream_storage::StateStore;
+
+use crate::app::{StreamApp, TxnBuilder};
+use crate::engine::MorphStream;
+use crate::pipeline::{BatchHook, TxnEngine};
+use crate::report::{BatchSummary, OperatorReport, RunReport};
+
+/// Distinguishes handles of different builders, so a handle can never index
+/// into a topology it was not created for.
+static NEXT_BUILDER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Typed reference to an operator added to a [`TopologyBuilder`]: carries the
+/// operator's event/output types so [`TopologyBuilder::connect`] and
+/// [`TopologyBuilder::build`] are checked at compile time.
+pub struct OperatorHandle<E, O> {
+    builder: u64,
+    index: usize,
+    _marker: PhantomData<fn(E) -> O>,
+}
+
+impl<E, O> Clone for OperatorHandle<E, O> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E, O> Copy for OperatorHandle<E, O> {}
+
+impl<E, O> std::fmt::Debug for OperatorHandle<E, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorHandle")
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+/// Why a [`TopologyBuilder::build`] call was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The operator graph contains a cycle; punctuation propagation requires
+    /// a DAG.
+    Cycle,
+    /// The named operator cannot receive events: it is not reachable from the
+    /// entry operator.
+    Unreachable(String),
+    /// The entry operator has an incoming edge; entry events arrive only from
+    /// the outside.
+    EntryHasUpstream(String),
+    /// The terminal operator has an outgoing edge; its outputs are the
+    /// topology's outputs.
+    TerminalHasDownstream(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Cycle => write!(f, "operator topology contains a cycle"),
+            TopologyError::Unreachable(name) => {
+                write!(
+                    f,
+                    "operator {name:?} is not reachable from the entry operator"
+                )
+            }
+            TopologyError::EntryHasUpstream(name) => {
+                write!(f, "entry operator {name:?} has an incoming edge")
+            }
+            TopologyError::TerminalHasDownstream(name) => {
+                write!(f, "terminal operator {name:?} has an outgoing edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Wraps a user application so its outputs are *tapped* into a queue the
+/// topology drains after every batch, instead of accumulating inside the
+/// operator's own `RunReport`. Outputs move — no `Clone` bound on routed
+/// output types — and the operator's report keeps every metric except the
+/// output values themselves.
+struct TapApp<A: StreamApp> {
+    inner: A,
+    queue: Arc<Mutex<Vec<A::Output>>>,
+}
+
+impl<A: StreamApp> StreamApp for TapApp<A>
+where
+    A::Output: 'static,
+{
+    type Event = A::Event;
+    type Output = ();
+
+    fn state_access(&self, event: &A::Event, txn: &mut TxnBuilder) {
+        self.inner.state_access(event, txn);
+    }
+
+    fn post_process(&self, event: &A::Event, outcome: &crate::TxnOutcome) {
+        let output = self.inner.post_process(event, outcome);
+        self.queue
+            .lock()
+            .expect("output queue poisoned")
+            .push(output);
+    }
+
+    fn expected_abort_ratio(&self) -> f64 {
+        self.inner.expected_abort_ratio()
+    }
+}
+
+/// Cumulative counters aggregated over operators, used to turn two snapshots
+/// into one propagation wave's [`BatchSummary`].
+#[derive(Default, Clone)]
+struct AggregateStats {
+    /// Events ingested by the *entry* operator (the topology's input count).
+    entry_events: usize,
+    committed: usize,
+    aborted: usize,
+    redone_ops: usize,
+    timings: StageTimings,
+    breakdown: Breakdown,
+}
+
+/// Object-safe view of one operator node: a typed `MorphStream<TapApp<A>>`
+/// behind event/output erasure, so a heterogeneous DAG fits in one `Vec`.
+trait ErasedNode: Send {
+    fn name(&self) -> &str;
+    /// Ingest a batch of events (a boxed `Vec<A::Event>`).
+    fn ingest_batch(&mut self, events: Box<dyn Any>);
+    /// The engine's punctuation interval in events (`usize::MAX` when unset:
+    /// one batch per flush).
+    fn punctuation_interval(&self) -> usize;
+    fn flush(&mut self);
+    /// Batches this operator's engine has completed in the current session —
+    /// a lock-free signal that new outputs are queued (outputs are tapped
+    /// during batch execution, before the batch is recorded).
+    fn completed_batches(&self) -> usize;
+    /// Drain the tapped outputs as a boxed `Vec<A::Output>`; `None` when
+    /// nothing is queued.
+    fn take_outputs(&mut self) -> Option<Box<dyn Any>>;
+    /// Turn off after-batch reclamation (shared-store topologies; see
+    /// [`TopologyBuilder::build`]).
+    fn disable_reclamation(&mut self);
+    /// Cumulative session counters of this operator's engine.
+    fn stats(&self) -> (usize, usize, usize, usize, StageTimings, Breakdown);
+    fn last_batch(&self) -> Option<(Duration, SchedulingDecision)>;
+    fn store(&self) -> &StateStore;
+    /// Close the operator's session and condense it into a sub-report.
+    fn finish_operator(&mut self) -> OperatorReport;
+}
+
+struct Node<A: StreamApp>
+where
+    A::Output: 'static,
+{
+    name: String,
+    engine: MorphStream<TapApp<A>>,
+    queue: Arc<Mutex<Vec<A::Output>>>,
+    store: StateStore,
+}
+
+impl<A: StreamApp> ErasedNode for Node<A>
+where
+    A::Output: 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn punctuation_interval(&self) -> usize {
+        self.engine
+            .config()
+            .punctuation_interval
+            .unwrap_or(usize::MAX)
+            .max(1)
+    }
+
+    fn ingest_batch(&mut self, events: Box<dyn Any>) {
+        let events = events
+            .downcast::<Vec<A::Event>>()
+            .expect("routed event type checked by OperatorHandle");
+        for event in *events {
+            self.engine.ingest(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.engine.flush();
+    }
+
+    fn completed_batches(&self) -> usize {
+        self.engine.report().batches.len()
+    }
+
+    fn disable_reclamation(&mut self) {
+        self.engine.disable_reclamation();
+    }
+
+    fn take_outputs(&mut self) -> Option<Box<dyn Any>> {
+        let mut queue = self.queue.lock().expect("output queue poisoned");
+        if queue.is_empty() {
+            return None;
+        }
+        Some(Box::new(std::mem::take(&mut *queue)))
+    }
+
+    fn stats(&self) -> (usize, usize, usize, usize, StageTimings, Breakdown) {
+        let report = self.engine.report();
+        (
+            report.events(),
+            report.committed,
+            report.aborted,
+            report.redone_ops,
+            report.stage_timings,
+            report.breakdown.clone(),
+        )
+    }
+
+    fn last_batch(&self) -> Option<(Duration, SchedulingDecision)> {
+        self.engine
+            .report()
+            .batches
+            .last()
+            .map(|b| (b.elapsed, b.decision))
+    }
+
+    fn store(&self) -> &StateStore {
+        &self.store
+    }
+
+    fn finish_operator(&mut self) -> OperatorReport {
+        let run = self.engine.finish();
+        self.queue.lock().expect("output queue poisoned").clear();
+        OperatorReport::from_run(&self.name, &run)
+    }
+}
+
+/// Erased route function: maps a drained output batch (`&Vec<O>`) to the
+/// destination's event batch (`Box<Vec<E2>>`).
+type RouteFn = Box<dyn Fn(&dyn Any) -> Box<dyn Any> + Send>;
+
+/// One routed connection between two operators.
+struct Edge {
+    dst: usize,
+    route: RouteFn,
+}
+
+/// Builds a [`Topology`]: add operators, connect them with route functions,
+/// then [`TopologyBuilder::build`] the dataflow with a designated entry and
+/// terminal operator.
+pub struct TopologyBuilder {
+    id: u64,
+    nodes: Vec<Box<dyn ErasedNode>>,
+    edges: Vec<Vec<Edge>>,
+}
+
+impl Default for TopologyBuilder {
+    // Must go through `new()`: a derived default would use builder id 0,
+    // colliding with the first allocated id and defeating the foreign-handle
+    // check.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_BUILDER_ID.fetch_add(1, Ordering::Relaxed),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a transactional operator: `app` runs as its own MorphStream engine
+    /// over `store` with `config` (its own punctuation interval, TPG,
+    /// decision model, and worker pool). Returns the typed handle used to
+    /// [`connect`](TopologyBuilder::connect) it into the dataflow.
+    ///
+    /// Operators may share a `StateStore` (and must, when downstream
+    /// operators read state written upstream), but two operators must never
+    /// write the *same table* — each operator assigns its own timestamps, and
+    /// interleaving two timestamp domains in one table's version chains would
+    /// un-order them. [`TopologyBuilder::build`] disables after-batch version
+    /// reclamation on operators whose store is shared, because store-wide
+    /// truncation with one operator's watermark could collapse versions a
+    /// sibling operator's windowed reads still need.
+    #[must_use]
+    pub fn add_operator<A: StreamApp>(
+        &mut self,
+        name: impl Into<String>,
+        app: A,
+        store: StateStore,
+        config: EngineConfig,
+    ) -> OperatorHandle<A::Event, A::Output>
+    where
+        A::Output: 'static,
+    {
+        let queue = Arc::new(Mutex::new(Vec::new()));
+        let tapped = TapApp {
+            inner: app,
+            queue: Arc::clone(&queue),
+        };
+        let index = self.nodes.len();
+        self.nodes.push(Box::new(Node {
+            name: name.into(),
+            engine: MorphStream::new(tapped, store.clone(), config),
+            queue,
+            store,
+        }));
+        self.edges.push(Vec::new());
+        OperatorHandle {
+            builder: self.id,
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Route `from`'s outputs into `to`'s events: after every batch `from`
+    /// completes, `route` is applied to each output in order and every event
+    /// it yields is ingested by `to` (then `to` is flushed, propagating the
+    /// punctuation). Return `Some`/`None` to map/filter, or a `Vec` to fan
+    /// one output out into several events; add several edges from one
+    /// operator to fan out across downstream operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle does not belong to this builder.
+    pub fn connect<E1, O1, E2, O2, R, I>(
+        &mut self,
+        from: OperatorHandle<E1, O1>,
+        to: OperatorHandle<E2, O2>,
+        route: R,
+    ) where
+        O1: 'static,
+        E2: 'static,
+        R: Fn(&O1) -> I + Send + 'static,
+        I: IntoIterator<Item = E2>,
+    {
+        self.check_handle(from.builder, from.index);
+        self.check_handle(to.builder, to.index);
+        let erased = move |outputs: &dyn Any| -> Box<dyn Any> {
+            let outputs = outputs
+                .downcast_ref::<Vec<O1>>()
+                .expect("edge source type checked by OperatorHandle");
+            let mut routed: Vec<E2> = Vec::new();
+            for output in outputs {
+                routed.extend(route(output));
+            }
+            Box::new(routed) as Box<dyn Any>
+        };
+        self.edges[from.index].push(Edge {
+            dst: to.index,
+            route: Box::new(erased),
+        });
+    }
+
+    fn check_handle(&self, builder: u64, index: usize) {
+        assert!(
+            builder == self.id && index < self.nodes.len(),
+            "operator handle does not belong to this TopologyBuilder"
+        );
+    }
+
+    /// Assemble the dataflow: `entry` receives the topology's input events,
+    /// `terminal`'s outputs become the topology's outputs (operators that are
+    /// neither the terminal nor connected further act as side-effecting
+    /// sinks; their outputs are discarded). Validates that the graph is a
+    /// DAG, that every operator is reachable from `entry`, that `entry` has
+    /// no upstream, and that `terminal` has no downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either handle does not belong to this builder.
+    pub fn build<In, EO, TE, Out>(
+        self,
+        entry: OperatorHandle<In, EO>,
+        terminal: OperatorHandle<TE, Out>,
+    ) -> Result<Topology<In, Out>, TopologyError>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+    {
+        self.check_handle(entry.builder, entry.index);
+        self.check_handle(terminal.builder, terminal.index);
+        let n = self.nodes.len();
+
+        let mut in_degree = vec![0usize; n];
+        for edges in &self.edges {
+            for edge in edges {
+                in_degree[edge.dst] += 1;
+            }
+        }
+        if in_degree[entry.index] != 0 {
+            return Err(TopologyError::EntryHasUpstream(
+                self.nodes[entry.index].name().to_string(),
+            ));
+        }
+        if !self.edges[terminal.index].is_empty() {
+            return Err(TopologyError::TerminalHasDownstream(
+                self.nodes[terminal.index].name().to_string(),
+            ));
+        }
+
+        // Kahn's algorithm: the propagation order. A leftover node means a
+        // cycle; an unreached node (in-degree never zero *via the entry*) is
+        // caught by the reachability check below.
+        let mut degree = in_degree.clone();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| degree[i] == 0).collect();
+        let mut topo_order = Vec::with_capacity(n);
+        while let Some(idx) = ready.pop() {
+            topo_order.push(idx);
+            for edge in &self.edges[idx] {
+                degree[edge.dst] -= 1;
+                if degree[edge.dst] == 0 {
+                    ready.push(edge.dst);
+                }
+            }
+        }
+        if topo_order.len() != n {
+            return Err(TopologyError::Cycle);
+        }
+
+        let mut reachable = vec![false; n];
+        reachable[entry.index] = true;
+        let mut frontier = vec![entry.index];
+        while let Some(idx) = frontier.pop() {
+            for edge in &self.edges[idx] {
+                if !reachable[edge.dst] {
+                    reachable[edge.dst] = true;
+                    frontier.push(edge.dst);
+                }
+            }
+        }
+        if let Some(stranded) = (0..n).find(|&i| !reachable[i]) {
+            return Err(TopologyError::Unreachable(
+                self.nodes[stranded].name().to_string(),
+            ));
+        }
+
+        // Deduplicate shared stores so per-wave memory accounting counts each
+        // underlying store once.
+        let mut stores: Vec<StateStore> = Vec::new();
+        for node in &self.nodes {
+            let store = node.store();
+            if !stores
+                .iter()
+                .any(|s| s.instance_id() == store.instance_id())
+            {
+                stores.push(store.clone());
+            }
+        }
+
+        // After-batch reclamation truncates the *whole* store with the
+        // reclaiming operator's watermark. Operators stamp independent
+        // timestamp domains, so on a shared store one operator's reclamation
+        // could collapse versions a sibling's windowed reads still need —
+        // turn it off for every operator whose store is shared. (Scoped
+        // per-table reclamation is a roadmap follow-up.)
+        let mut nodes = self.nodes;
+        if stores.len() < n {
+            let ids: Vec<usize> = nodes
+                .iter()
+                .map(|node| node.store().instance_id())
+                .collect();
+            for (idx, node) in nodes.iter_mut().enumerate() {
+                let shared = ids
+                    .iter()
+                    .enumerate()
+                    .any(|(other, id)| other != idx && *id == ids[idx]);
+                if shared {
+                    node.disable_reclamation();
+                }
+            }
+        }
+
+        let pending = (0..n).map(|_| Vec::new()).collect();
+        let entry_punctuation = nodes[entry.index].punctuation_interval();
+        Ok(Topology {
+            nodes,
+            edges: self.edges,
+            pending,
+            topo_order,
+            entry: entry.index,
+            terminal: terminal.index,
+            stores,
+            report: RunReport::new(),
+            hook: None,
+            waves: 0,
+            run_started: None,
+            entry_buffer: Vec::new(),
+            entry_punctuation,
+            entry_batches_seen: 0,
+            last_stats: AggregateStats::default(),
+            _marker: PhantomData,
+        })
+    }
+}
+
+/// A DAG of transactional operators that is itself a [`TxnEngine`]: events
+/// pushed into the topology enter the entry operator, every completed batch's
+/// outputs are routed downstream with the punctuation, and the terminal
+/// operator's outputs become the topology's outputs. Built by
+/// [`TopologyBuilder`]; see the [module documentation](self) for the
+/// lifecycle and a complete example.
+pub struct Topology<In, Out> {
+    nodes: Vec<Box<dyn ErasedNode>>,
+    edges: Vec<Vec<Edge>>,
+    /// Routed-but-not-yet-ingested event batches per destination operator.
+    pending: Vec<Vec<Box<dyn Any>>>,
+    topo_order: Vec<usize>,
+    entry: usize,
+    terminal: usize,
+    /// The distinct state stores of the operators (shared stores counted
+    /// once), for per-wave memory accounting.
+    stores: Vec<StateStore>,
+    report: RunReport<Out>,
+    hook: Option<BatchHook>,
+    waves: usize,
+    run_started: Option<Instant>,
+    /// Typed staging buffer for entry events: pushed events accumulate here
+    /// (no per-event boxing or virtual dispatch) and are handed to the entry
+    /// operator one punctuation interval at a time.
+    entry_buffer: Vec<In>,
+    /// The entry operator's punctuation interval, captured at build time.
+    entry_punctuation: usize,
+    /// Entry-operator batches already propagated, so ingestion detects new
+    /// batch boundaries without locking the output queue per event.
+    entry_batches_seen: usize,
+    last_stats: AggregateStats,
+    _marker: PhantomData<fn(In) -> Out>,
+}
+
+impl<In, Out> std::fmt::Debug for Topology<In, Out> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field(
+                "operators",
+                &self.nodes.iter().map(|n| n.name()).collect::<Vec<_>>(),
+            )
+            .field("entry", &self.nodes[self.entry].name())
+            .field("terminal", &self.nodes[self.terminal].name())
+            .field("waves", &self.waves)
+            .finish()
+    }
+}
+
+impl<In, Out> Topology<In, Out>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+{
+    /// Number of operators in the dataflow.
+    pub fn operator_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Operator names in the order they were added to the builder.
+    pub fn operator_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name()).collect()
+    }
+
+    /// One propagation wave: walk the operators in topological order,
+    /// ingesting routed batches, flushing where a punctuation must propagate,
+    /// and routing drained outputs further downstream. With `flush_all` the
+    /// wave is a synchronisation point — every operator (the entry included)
+    /// drains its buffer and pipeline stages, so all pushed events are
+    /// reflected in the report afterwards.
+    fn wave(&mut self, flush_all: bool) {
+        let wave_started = Instant::now();
+        for i in 0..self.topo_order.len() {
+            let idx = self.topo_order[i];
+            let routed_in = !self.pending[idx].is_empty();
+            for batch in std::mem::take(&mut self.pending[idx]) {
+                self.nodes[idx].ingest_batch(batch);
+            }
+            // Punctuation propagation: a downstream operator is flushed on
+            // every upstream batch boundary, so its batches align with (or
+            // subdivide, when its own punctuation interval is smaller) the
+            // batches of its upstream.
+            if flush_all || (idx != self.entry && routed_in) {
+                self.nodes[idx].flush();
+            }
+            if idx == self.entry {
+                // Any entry batches drained by this wave's flush are now
+                // propagated; keep the ingest-path boundary detector in sync.
+                self.entry_batches_seen = self.nodes[idx].completed_batches();
+            }
+            let Some(outputs) = self.nodes[idx].take_outputs() else {
+                continue;
+            };
+            if idx == self.terminal {
+                let outputs = outputs
+                    .downcast::<Vec<Out>>()
+                    .expect("terminal output type checked by OperatorHandle");
+                self.report.outputs.extend(*outputs);
+            } else {
+                for edge in &self.edges[idx] {
+                    self.pending[edge.dst].push((edge.route)(outputs.as_ref()));
+                }
+            }
+        }
+        self.record_wave(wave_started, flush_all);
+    }
+
+    /// Hand the staged entry events to the entry operator and, when that
+    /// completed a batch (its tapped outputs appeared), propagate the
+    /// punctuation through the dataflow. Batch counting is lock-free;
+    /// outputs are queued strictly before a batch is recorded.
+    fn feed_entry(&mut self) {
+        if self.entry_buffer.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut self.entry_buffer);
+        self.nodes[self.entry].ingest_batch(Box::new(events));
+        let completed = self.nodes[self.entry].completed_batches();
+        if completed > self.entry_batches_seen {
+            self.entry_batches_seen = completed;
+            self.wave(false);
+        }
+    }
+
+    /// Cumulative counters summed over every operator (entry events kept
+    /// separately — they are the topology's input count).
+    fn aggregate_stats(&self) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let (events, committed, aborted, redone, timings, breakdown) = node.stats();
+            if idx == self.entry {
+                agg.entry_events = events;
+            }
+            agg.committed += committed;
+            agg.aborted += aborted;
+            agg.redone_ops += redone;
+            agg.timings.merge(&timings);
+            agg.breakdown.merge(&breakdown);
+        }
+        agg
+    }
+
+    /// Fold one propagation wave into the topology-level report as a
+    /// [`BatchSummary`]: the delta of the aggregated operator counters since
+    /// the previous wave. A wave that moved nothing records nothing, so a
+    /// trailing `flush`/`finish` never appends an empty batch.
+    fn record_wave(&mut self, wave_started: Instant, flush_all: bool) {
+        let now = self.aggregate_stats();
+        let last = &self.last_stats;
+        let events = now.entry_events - last.entry_events;
+        let committed = now.committed - last.committed;
+        let aborted = now.aborted - last.aborted;
+        if events == 0 && committed == 0 && aborted == 0 {
+            return;
+        }
+        // End-to-end latency of the wave. Ingest-triggered waves start
+        // *after* the entry batch executed, so the entry batch's own
+        // cut-to-post latency is added; in a flush wave the entry batch
+        // executes inside the wave interval and must not be counted twice.
+        let entry_elapsed = if flush_all {
+            Duration::ZERO
+        } else {
+            self.nodes[self.entry]
+                .last_batch()
+                .map(|(elapsed, _)| elapsed)
+                .unwrap_or_default()
+        };
+        let decision = self.nodes[self.entry]
+            .last_batch()
+            .map(|(_, decision)| decision)
+            .unwrap_or_default();
+        let summary = BatchSummary {
+            batch: self.waves,
+            events,
+            committed,
+            aborted,
+            elapsed: entry_elapsed + wave_started.elapsed(),
+            decision,
+            redone_ops: now.redone_ops - last.redone_ops,
+            bytes_retained: self.stores.iter().map(StateStore::bytes_retained).sum(),
+            timings: now.timings.saturating_sub(&last.timings),
+        };
+        let breakdown = now.breakdown.saturating_sub(&last.breakdown);
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&summary);
+        }
+        let at = self.run_started.map(|s| s.elapsed()).unwrap_or_default();
+        self.report.record_batch(summary, &breakdown, at);
+        self.waves += 1;
+        self.last_stats = now;
+    }
+}
+
+impl<In, Out> TxnEngine for Topology<In, Out>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+{
+    type Event = In;
+    type Output = Out;
+
+    fn ingest(&mut self, event: In) {
+        self.run_started.get_or_insert_with(Instant::now);
+        // The hot path is a typed buffer push; the staged events are handed
+        // to the entry operator one punctuation interval at a time, so the
+        // entry engine cuts exactly the batches it would have cut from
+        // per-event pushes — without a per-event box or virtual dispatch.
+        self.entry_buffer.push(event);
+        if self.entry_buffer.len() >= self.entry_punctuation {
+            self.feed_entry();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.feed_entry();
+        self.wave(true);
+    }
+
+    fn finish(&mut self) -> RunReport<Out> {
+        TxnEngine::flush(self);
+        let mut report = std::mem::take(&mut self.report);
+        report.operators = self
+            .nodes
+            .iter_mut()
+            .map(|node| node.finish_operator())
+            .collect();
+        self.waves = 0;
+        self.run_started = None;
+        self.hook = None;
+        self.entry_batches_seen = 0;
+        self.last_stats = AggregateStats::default();
+        report
+    }
+
+    fn report(&self) -> &RunReport<Out> {
+        &self.report
+    }
+
+    fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
+        self.hook = hook;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morphstream_common::{TableId, Value};
+    use morphstream_tpg::udfs;
+
+    /// Doubles the incoming value into a per-key table; output carries the
+    /// key and whether the transaction committed.
+    struct Doubler {
+        table: TableId,
+    }
+
+    impl StreamApp for Doubler {
+        type Event = u64;
+        type Output = (u64, bool);
+
+        fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+            txn.write(self.table, *key, udfs::add_delta(2));
+        }
+
+        fn post_process(&self, key: &u64, outcome: &crate::TxnOutcome) -> (u64, bool) {
+            (*key, outcome.committed)
+        }
+    }
+
+    /// Sums routed keys into one accumulator cell.
+    struct Summer {
+        table: TableId,
+    }
+
+    impl StreamApp for Summer {
+        type Event = u64;
+        type Output = u64;
+
+        fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+            txn.write(self.table, 0, udfs::add_delta(*key as Value));
+        }
+
+        fn post_process(&self, key: &u64, _outcome: &crate::TxnOutcome) -> u64 {
+            *key
+        }
+    }
+
+    fn two_op_topology(punctuation: usize) -> (Topology<u64, u64>, StateStore, TableId, TableId) {
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let sums = store.create_table("sums", 0, true);
+        let config = EngineConfig::with_threads(2).with_punctuation_interval(punctuation);
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+        let b = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
+        builder.connect(a, b, |(key, committed)| committed.then_some(*key));
+        let topology = builder.build(a, b).unwrap();
+        (topology, store, doubled, sums)
+    }
+
+    #[test]
+    fn events_flow_through_both_operators_and_reports_aggregate() {
+        let (mut topology, store, doubled, sums) = two_op_topology(4);
+        assert_eq!(topology.operator_count(), 2);
+        assert_eq!(topology.operator_names(), vec!["doubler", "summer"]);
+
+        let report = topology.run(1..=10u64);
+        // terminal outputs: every committed key, in order
+        assert_eq!(report.outputs, (1..=10u64).collect::<Vec<_>>());
+        // both operators processed all ten events
+        assert_eq!(report.operators.len(), 2);
+        assert_eq!(report.operators[0].name, "doubler");
+        assert_eq!(report.operators[0].events, 10);
+        assert_eq!(report.operators[1].events, 10);
+        // per-operator counts sum to the topology totals
+        let committed: usize = report.operators.iter().map(|op| op.committed).sum();
+        let aborted: usize = report.operators.iter().map(|op| op.aborted).sum();
+        assert_eq!(report.committed, committed);
+        assert_eq!(report.aborted, aborted);
+        // 10 entry events reported once (not once per operator)
+        assert_eq!(report.events(), 10);
+        // state reflects both stages
+        assert_eq!(store.read_latest(doubled, 3).unwrap(), 2);
+        assert_eq!(store.read_latest(sums, 0).unwrap(), 55);
+    }
+
+    #[test]
+    fn punctuation_propagates_on_every_batch_boundary() {
+        let (mut topology, _store, _doubled, _sums) = two_op_topology(4);
+        let mut pipeline = topology.pipeline();
+        pipeline.push_iter(1..=8u64);
+        // two full entry batches have propagated end-to-end without a flush
+        assert_eq!(pipeline.report().events(), 8);
+        assert_eq!(pipeline.report().batches.len(), 2);
+        assert_eq!(pipeline.report().outputs.len(), 8);
+        let report = pipeline.finish();
+        assert_eq!(report.batches.len(), 2); // no empty trailing batch
+    }
+
+    #[test]
+    fn batch_hook_fires_once_per_wave_and_sessions_are_reusable() {
+        use std::sync::atomic::AtomicUsize;
+
+        let (mut topology, _store, _doubled, _sums) = two_op_topology(4);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        let mut pipeline = topology.pipeline().on_batch(move |batch| {
+            assert!(batch.events <= 4);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        pipeline.push_iter(1..=10u64); // 2 full waves + 1 partial on finish
+        let report = pipeline.finish();
+        assert_eq!(report.batches.len(), 3);
+        assert_eq!(fired.load(Ordering::Relaxed), 3);
+
+        // the topology is reusable: a fresh session starts empty
+        let second = topology.run(1..=4u64);
+        assert_eq!(second.events(), 4);
+        assert_eq!(second.batches.first().map(|b| b.batch), Some(0));
+        assert_eq!(second.operators.len(), 2);
+    }
+
+    #[test]
+    fn fan_out_routes_one_output_to_multiple_downstream_events() {
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let sums = store.create_table("sums", 0, true);
+        let config = EngineConfig::with_threads(1).with_punctuation_interval(2);
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+        let b = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
+        // every committed key fans out into two downstream events
+        builder.connect(a, b, |(key, committed): &(u64, bool)| {
+            if *committed {
+                vec![*key, *key]
+            } else {
+                Vec::new()
+            }
+        });
+        let mut topology = builder.build(a, b).unwrap();
+        let report = topology.run([1u64, 2, 3]);
+        assert_eq!(report.outputs, vec![1, 1, 2, 2, 3, 3]);
+        assert_eq!(store.read_latest(sums, 0).unwrap(), 12);
+        assert_eq!(report.operators[1].events, 6);
+    }
+
+    #[test]
+    fn single_operator_topology_degenerates_to_the_engine() {
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let config = EngineConfig::with_threads(1).with_punctuation_interval(4);
+        let mut builder = TopologyBuilder::new();
+        let only =
+            builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+        let mut topology = builder.build(only, only).unwrap();
+        let report = topology.run(0..6u64);
+        assert_eq!(report.outputs.len(), 6);
+        assert_eq!(report.operators.len(), 1);
+        assert_eq!(report.committed, report.operators[0].committed);
+        assert_eq!(store.read_latest(doubled, 5).unwrap(), 2);
+    }
+
+    #[test]
+    fn build_rejects_cycles_unreachable_operators_and_bad_endpoints() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+
+        // cycle downstream of the entry: a -> b -> c -> b, c -> d
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        let c = builder.add_operator("c", Summer { table: t }, store.clone(), config);
+        let d = builder.add_operator("d", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, |k: &u64| Some(*k));
+        builder.connect(b, c, |k: &u64| Some(*k));
+        builder.connect(c, b, |k: &u64| Some(*k));
+        builder.connect(c, d, |k: &u64| Some(*k));
+        assert_eq!(builder.build(a, d).unwrap_err(), TopologyError::Cycle);
+
+        // unreachable: c is never connected
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        let _c = builder.add_operator("stranded", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, |k: &u64| Some(*k));
+        assert_eq!(
+            builder.build(a, b).unwrap_err(),
+            TopologyError::Unreachable("stranded".into())
+        );
+
+        // entry with an upstream edge
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, |k: &u64| Some(*k));
+        assert_eq!(
+            builder.build(b, b).unwrap_err(),
+            TopologyError::EntryHasUpstream("b".into())
+        );
+
+        // terminal with a downstream edge
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, |k: &u64| Some(*k));
+        assert_eq!(
+            builder.build(a, a).unwrap_err(),
+            TopologyError::TerminalHasDownstream("a".into())
+        );
+        // errors render as readable messages
+        assert!(TopologyError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_handles_are_rejected() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+        let mut first = TopologyBuilder::new();
+        let foreign = first.add_operator("a", Summer { table: t }, store.clone(), config);
+        let mut second = TopologyBuilder::new();
+        let local = second.add_operator("b", Summer { table: t }, store, config);
+        second.connect(foreign, local, |k: &u64| Some(*k));
+    }
+}

@@ -276,8 +276,14 @@ impl ExecContext {
     }
 
     fn rollback_op_write(&self, op: OpId, key: Key) {
-        let table = self.tpg.op(op).spec.table;
-        let _ = self.store.rollback_writer(table, key, op as u64);
+        let operation = self.tpg.op(op);
+        // Writer ids are batch-local op ids, so they recur in every batch:
+        // the rollback must be scoped to this transaction's own timestamp or
+        // it could delete a committed version surviving from an earlier batch
+        // whose writer happened to share the id.
+        let _ = self
+            .store
+            .rollback_writer_at(operation.spec.table, key, op as u64, operation.ts);
     }
 
     // ------------------------------------------------------------------

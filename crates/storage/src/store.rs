@@ -61,6 +61,14 @@ impl StateStore {
         id
     }
 
+    /// Opaque identity of the underlying shared storage: two handles return
+    /// the same id iff they are clones of one store (share tables). Lets
+    /// multi-store consumers — e.g. a topology whose operators may or may not
+    /// share state — deduplicate stores before summing per-store metrics.
+    pub fn instance_id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
     /// Look a table up by name.
     pub fn table_id(&self, name: &str) -> Option<TableId> {
         self.inner.by_name.read().get(name).copied()
@@ -116,9 +124,22 @@ impl StateStore {
         self.table(table)?.write(key, ts, stmt, writer, value)
     }
 
-    /// Remove the versions of `(table, key)` written by `writer`.
-    pub fn rollback_writer(&self, table: TableId, key: Key, writer: WriterId) -> Result<usize> {
-        Ok(self.table(table)?.rollback_writer(key, writer))
+    /// Remove the versions of `(table, key)` written by `writer` at exactly
+    /// `ts` — the abort rollback for engines whose writer ids are batch-local
+    /// and therefore recycled across batches. There is deliberately no
+    /// unscoped store-level rollback: removing every version by a writer id
+    /// regardless of timestamp deletes committed versions surviving from
+    /// earlier batches under a recycled id (the cross-batch data-loss bug
+    /// this API replaced). The unscoped primitive remains available on
+    /// [`MvTable`](crate::MvTable) for tests and single-batch tooling.
+    pub fn rollback_writer_at(
+        &self,
+        table: TableId,
+        key: Key,
+        writer: WriterId,
+        ts: Timestamp,
+    ) -> Result<usize> {
+        Ok(self.table(table)?.rollback_writer_at(key, writer, ts))
     }
 
     /// Values of versions of `(table, key)` inside the window `[lo, hi]`.
@@ -228,7 +249,7 @@ mod tests {
         store.write(t, 1, 5, 0, 99, 55).unwrap();
         assert_eq!(store.read_before(t, 1, 6, 0).unwrap(), 55);
         assert_eq!(store.read_before(t, 1, 5, 0).unwrap(), 10);
-        assert_eq!(store.rollback_writer(t, 1, 99).unwrap(), 1);
+        assert_eq!(store.rollback_writer_at(t, 1, 99, 5).unwrap(), 1);
         assert_eq!(store.read_latest(t, 1).unwrap(), 10);
     }
 

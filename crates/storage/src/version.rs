@@ -131,6 +131,18 @@ impl VersionChain {
         before - self.versions.len()
     }
 
+    /// Remove the versions written by `writer` at exactly `ts`. This is the
+    /// abort rollback engines should use when writer ids are recycled across
+    /// batches (batch-local operation ids): scoping the removal to the
+    /// aborting transaction's own timestamp guarantees a version that
+    /// survived from an earlier batch can never be collaterally deleted by a
+    /// later abort that happens to reuse the writer id.
+    pub fn remove_writer_at(&mut self, writer: WriterId, ts: Timestamp) -> usize {
+        let before = self.versions.len();
+        self.versions.retain(|v| v.writer != writer || v.ts != ts);
+        before - self.versions.len()
+    }
+
     /// Drop every version except the newest one at or before `ts`, plus any
     /// versions newer than `ts`. This is the after-batch clean-up used when
     /// `reclaim_after_batch` is enabled (Figure 17).

@@ -53,6 +53,7 @@ impl TpgBuilder {
     /// Use `num_threads` workers for construction: the per-key sorted lists
     /// are sharded by state hash across the workers, and each worker fills
     /// and scans its own lists (stream + transaction processing phases).
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads.max(1);
         self

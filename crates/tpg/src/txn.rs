@@ -33,6 +33,7 @@ impl Transaction {
     }
 
     /// Attach the index of the originating input event.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_event_index(mut self, index: usize) -> Self {
         self.event_index = index;
         self
@@ -76,6 +77,7 @@ impl TransactionBatch {
     }
 
     /// Set the workload's abort-ratio hint.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
     pub fn with_expected_abort_ratio(mut self, ratio: f64) -> Self {
         self.expected_abort_ratio = ratio;
         self

@@ -28,7 +28,7 @@ pub use gs::{GrepSumApp, GsEvent, GsSource};
 pub use osed::{OsedApp, OsedReport, Tweet, TweetGenerator};
 pub use sea::{SeaApp, SeaEvent, SeaGenerator};
 pub use sl::{SlEvent, SlSource, StreamingLedgerApp};
-pub use source::Source;
-pub use tp::{TollProcessingApp, TpEvent};
+pub use source::{from_iter, IterSource, MergeByTimestamp, Source};
+pub use tp::{RoadStatsApp, TollChargeApp, TollProcessingApp, TpCharged, TpEvent};
 
 pub use morphstream_common::WorkloadConfig;

@@ -9,7 +9,9 @@
 //! * **group 1** — uniform accesses with (almost) no aborts.
 
 use morphstream::storage::StateStore;
-use morphstream::{udfs, StreamApp, TxnBuilder, TxnOutcome};
+use morphstream::{
+    udfs, EngineConfig, StreamApp, Topology, TopologyBuilder, TxnBuilder, TxnOutcome,
+};
 use morphstream_common::rng::DetRng;
 use morphstream_common::zipf::Zipf;
 use morphstream_common::{StateRef, TableId, Value, WorkloadConfig};
@@ -118,6 +120,156 @@ impl TollProcessingApp {
     }
 }
 
+/// The event routed between the two operators of the split TP dataflow: the
+/// original position report plus whether the toll charge committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpCharged {
+    /// Road segment the vehicle reported from.
+    pub segment: u64,
+    /// Vehicle whose account was charged.
+    pub vehicle: u64,
+    /// Toll amount requested.
+    pub toll: Value,
+    /// Whether the charge committed (false when the prepaid balance was
+    /// insufficient — including the injected violations).
+    pub charged: bool,
+}
+
+/// Operator 1 of the split TP dataflow: charge the toll against the
+/// per-vehicle prepaid account. This is the abort-prone half of the fused
+/// [`TollProcessingApp`] transaction — splitting it *first* preserves the
+/// fused semantics, because a failed charge then suppresses the downstream
+/// segment-statistics update exactly like the fused transaction's rollback
+/// undoes its segment write.
+pub struct TollChargeApp {
+    vehicles: TableId,
+    cost_us: u64,
+    expected_abort_ratio: f64,
+}
+
+impl TollChargeApp {
+    /// Create the charging operator. Creates (or reuses) the same
+    /// `segments`/`vehicles` tables as [`TollProcessingApp::new`], in the
+    /// same order, so a split run over a shared store is table-for-table
+    /// comparable with a fused run.
+    pub fn new(store: &StateStore, config: &WorkloadConfig) -> Self {
+        let _segments = store.create_table("segments", 0, false);
+        let vehicles = store.create_table("vehicles", PREPAID_BALANCE, false);
+        store
+            .preallocate_range(_segments, config.key_space)
+            .expect("segments table exists");
+        store
+            .preallocate_range(vehicles, config.key_space)
+            .expect("vehicles table exists");
+        Self {
+            vehicles,
+            cost_us: config.udf_complexity_us,
+            expected_abort_ratio: config.abort_ratio,
+        }
+    }
+}
+
+impl StreamApp for TollChargeApp {
+    type Event = TpEvent;
+    type Output = TpCharged;
+
+    fn state_access(&self, event: &TpEvent, txn: &mut TxnBuilder) {
+        txn.set_cost_us(self.cost_us);
+        let toll = if event.inject_abort {
+            PREPAID_BALANCE * 100
+        } else {
+            event.toll
+        };
+        txn.write(self.vehicles, event.vehicle, udfs::withdraw(toll));
+    }
+
+    fn post_process(&self, event: &TpEvent, outcome: &TxnOutcome) -> TpCharged {
+        TpCharged {
+            segment: event.segment,
+            vehicle: event.vehicle,
+            toll: event.toll,
+            charged: outcome.committed,
+        }
+    }
+
+    fn expected_abort_ratio(&self) -> f64 {
+        self.expected_abort_ratio
+    }
+}
+
+/// Operator 2 of the split TP dataflow: maintain the per-segment road
+/// statistics. Counts only *charged* reports, mirroring the fused
+/// transaction, where an aborted charge rolls the segment update back; the
+/// uncharged reports still flow through (with a no-op delta) so the dataflow
+/// emits one output per input event, in order.
+pub struct RoadStatsApp {
+    segments: TableId,
+    cost_us: u64,
+}
+
+impl RoadStatsApp {
+    /// Create the statistics operator over the shared `segments` table (see
+    /// [`TollChargeApp::new`] for the table-layout contract).
+    pub fn new(store: &StateStore, config: &WorkloadConfig) -> Self {
+        let segments = store.create_table("segments", 0, false);
+        store
+            .preallocate_range(segments, config.key_space)
+            .expect("segments table exists");
+        Self {
+            segments,
+            cost_us: config.udf_complexity_us,
+        }
+    }
+}
+
+impl StreamApp for RoadStatsApp {
+    type Event = TpCharged;
+    type Output = bool;
+
+    fn state_access(&self, event: &TpCharged, txn: &mut TxnBuilder) {
+        txn.set_cost_us(self.cost_us);
+        let delta = if event.charged { 1 } else { 0 };
+        txn.write(self.segments, event.segment, udfs::add_delta(delta));
+    }
+
+    fn post_process(&self, event: &TpCharged, _outcome: &TxnOutcome) -> bool {
+        // The end-to-end outcome of the position report is whether the toll
+        // was charged; the statistics update itself cannot abort.
+        event.charged
+    }
+}
+
+impl TollProcessingApp {
+    /// Assemble the two-operator split of the TP workload: a toll-charging
+    /// operator routed into a road-statistics operator over one shared
+    /// store. The topology ingests the same [`TpEvent`] stream as the fused
+    /// app and emits the same per-event `bool` outputs, so the two renditions
+    /// are interchangeable behind [`morphstream::TxnEngine`].
+    pub fn topology(
+        store: &StateStore,
+        config: &WorkloadConfig,
+        engine_config: EngineConfig,
+    ) -> Topology<TpEvent, bool> {
+        let mut builder = TopologyBuilder::new();
+        let charge = builder.add_operator(
+            "toll-charge",
+            TollChargeApp::new(store, config),
+            store.clone(),
+            engine_config,
+        );
+        let stats = builder.add_operator(
+            "road-stats",
+            RoadStatsApp::new(store, config),
+            store.clone(),
+            engine_config,
+        );
+        builder.connect(charge, stats, |charged: &TpCharged| Some(charged.clone()));
+        builder
+            .build(charge, stats)
+            .expect("the two-operator TP chain is a valid DAG")
+    }
+}
+
 impl StreamApp for TollProcessingApp {
     type Event = TpEvent;
     type Output = bool;
@@ -154,7 +306,7 @@ impl StreamApp for TollProcessingApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use morphstream::{EngineConfig, MorphStream};
+    use morphstream::{EngineConfig, MorphStream, TxnEngine};
 
     fn config() -> WorkloadConfig {
         WorkloadConfig::toll_processing()
@@ -176,6 +328,37 @@ mod tests {
             .filter(|e| e.group == 1 && e.inject_abort)
             .count();
         assert!(aborts0 > aborts1);
+    }
+
+    #[test]
+    fn split_topology_matches_the_fused_app() {
+        let cfg = config();
+        let events = TollProcessingApp::generate(&cfg, 500);
+
+        let fused_store = StateStore::new();
+        let fused_app = TollProcessingApp::new(&fused_store, &cfg);
+        let mut fused = MorphStream::new(
+            fused_app,
+            fused_store.clone(),
+            EngineConfig::with_threads(2).with_punctuation_interval(100),
+        );
+        let expected = fused.run(events.clone());
+
+        let split_store = StateStore::new();
+        let mut topology = TollProcessingApp::topology(
+            &split_store,
+            &cfg,
+            EngineConfig::with_threads(2).with_punctuation_interval(100),
+        );
+        let report = topology.run(events);
+
+        assert_eq!(report.outputs, expected.outputs);
+        assert_eq!(split_store.state_digest(), fused_store.state_digest());
+        assert_eq!(report.operators.len(), 2);
+        assert_eq!(
+            report.operators[0].committed + report.operators[1].committed,
+            report.committed
+        );
     }
 
     #[test]

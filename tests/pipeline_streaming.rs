@@ -128,6 +128,82 @@ fn on_batch_hook_fires_once_per_punctuation() {
 }
 
 #[test]
+fn punctuation_interval_of_one_batches_every_event() {
+    let config = config();
+    let events = StreamingLedgerApp::generate(&config, 50, 0.7);
+
+    let ref_store = StateStore::new();
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let mut reference = MorphStream::new(ref_app, ref_store.clone(), engine_config());
+    let expected = reference.process(events.clone());
+
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(
+        app,
+        store.clone(),
+        EngineConfig::with_threads(test_threads(4)).with_punctuation_interval(1),
+    );
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(events);
+    let report = pipeline.finish();
+
+    // one batch per event, every batch a singleton, nothing buffered at finish
+    assert_eq!(report.batches.len(), 50);
+    assert!(report.batches.iter().all(|b| b.events == 1));
+    assert_eq!(report.events(), 50);
+    // batching differs from the reference but the state must not
+    assert_eq!(report.committed, expected.committed);
+    assert_eq!(report.aborted, expected.aborted);
+    let ref_app = StreamingLedgerApp::new(&ref_store, &config);
+    let app = StreamingLedgerApp::new(&store, &config);
+    assert_eq!(balances(&store, &app), balances(&ref_store, &ref_app));
+}
+
+#[test]
+fn flush_on_an_empty_session_is_a_noop_and_finish_adds_no_trailing_batch() {
+    let config = config();
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(app, store, engine_config());
+
+    // flushes before anything was pushed are no-ops
+    let mut pipeline = engine.pipeline();
+    pipeline.flush();
+    pipeline.flush();
+    assert_eq!(pipeline.report().batches.len(), 0);
+
+    // push exactly two punctuation intervals: both batches are cut by the
+    // punctuation crossings, so the explicit flush afterwards has nothing to
+    // do, and finish must not append an empty trailing batch either.
+    pipeline.push_iter(StreamingLedgerApp::source(&config, 256, 0.7));
+    assert_eq!(pipeline.report().batches.len(), 2);
+    pipeline.flush();
+    assert_eq!(pipeline.report().batches.len(), 2);
+    let report = pipeline.finish();
+    assert_eq!(report.batches.len(), 2);
+    assert_eq!(report.events(), 256);
+    assert!(report.batches.iter().all(|b| b.events == 128));
+
+    // same contract under pipelined construction, where flush also drains
+    // the in-flight construction stage
+    let store = StateStore::new();
+    let app = StreamingLedgerApp::new(&store, &config);
+    let mut engine = MorphStream::new(
+        app,
+        store,
+        engine_config().with_pipelined_construction(true),
+    );
+    let mut pipeline = engine.pipeline();
+    pipeline.push_iter(StreamingLedgerApp::source(&config, 256, 0.7));
+    pipeline.flush();
+    assert_eq!(pipeline.report().batches.len(), 2);
+    let report = pipeline.finish();
+    assert_eq!(report.batches.len(), 2);
+    assert_eq!(report.events(), 256);
+}
+
+#[test]
 fn empty_pipeline_finishes_with_an_empty_report() {
     let config = config();
     for punctuation in [None, Some(64)] {
