@@ -987,13 +987,60 @@ pub mod fig_topology {
     use crate::harness::json_escape;
     use morphstream_workloads::TollProcessingApp;
 
-    /// One measured row: a whole system, or one operator inside the topology
-    /// (`operator` set).
+    /// How the benchmark drives the topology: set from the command line
+    /// (`--concurrent` adds the concurrent-runtime rows, `--parallelism N`
+    /// runs the keyed statistics stage with `N` parallel instances).
+    #[derive(Debug, Clone, Copy)]
+    pub struct TopologyOptions {
+        /// Also measure the concurrent (per-operator-thread) runtime.
+        pub concurrent: bool,
+        /// Parallel instances of the keyed road-statistics stage.
+        pub parallelism: usize,
+    }
+
+    impl Default for TopologyOptions {
+        fn default() -> Self {
+            Self {
+                concurrent: false,
+                parallelism: 1,
+            }
+        }
+    }
+
+    impl TopologyOptions {
+        /// Parse `--concurrent` / `--parallelism N` from the command line.
+        /// A `--parallelism` flag with a missing, unparsable, or zero operand
+        /// is fatal (like `--json` without a path): silently falling back to
+        /// 1 would record single-instance numbers under a multi-instance
+        /// artifact name.
+        pub fn from_args() -> Self {
+            let args: Vec<String> = std::env::args().collect();
+            let concurrent = args.iter().any(|a| a == "--concurrent");
+            let parallelism = match args.iter().position(|a| a == "--parallelism") {
+                None => 1,
+                Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("error: --parallelism requires a positive integer argument");
+                        std::process::exit(2);
+                    }
+                },
+            };
+            Self {
+                concurrent,
+                parallelism,
+            }
+        }
+    }
+
+    /// One measured row: a whole system, or one operator instance inside the
+    /// topology (`operator` set).
     #[derive(Debug, Clone)]
     pub struct TopologyRow {
         /// System label.
         pub system: String,
-        /// Operator name for per-operator sub-rows; `None` for system rows.
+        /// Operator (instance) name for per-operator sub-rows; `None` for
+        /// system rows.
         pub operator: Option<String>,
         /// Throughput in thousands of events per second.
         pub k_events_per_second: f64,
@@ -1005,6 +1052,12 @@ pub mod fig_topology {
         pub committed: usize,
         /// Aborted transactions.
         pub aborted: usize,
+        /// End-to-end wall-clock of the whole run in seconds (0 for
+        /// per-operator sub-rows) — the serial-vs-concurrent comparison axis.
+        pub wall_s: f64,
+        /// Total times a bounded edge channel was found full (back-pressure
+        /// observability; 0 under the serial wave loop).
+        pub queue_full_waits: u64,
     }
 
     impl TopologyRow {
@@ -1017,8 +1070,13 @@ pub mod fig_topology {
             (ms(50.0, latency), ms(95.0, latency))
         }
 
-        fn from_report(system: &str, report: &mut morphstream::RunReport<bool>) -> Self {
+        fn from_report(
+            system: &str,
+            report: &mut morphstream::RunReport<bool>,
+            wall_s: f64,
+        ) -> Self {
             let (p50, p95) = Self::percentiles(&mut report.latency);
+            let queue_full_waits = report.edges.iter().map(|e| e.queue_full_waits).sum();
             Self {
                 system: system.to_string(),
                 operator: None,
@@ -1027,6 +1085,8 @@ pub mod fig_topology {
                 p95_latency_ms: p95,
                 committed: report.committed,
                 aborted: report.aborted,
+                wall_s,
+                queue_full_waits,
             }
         }
 
@@ -1041,6 +1101,8 @@ pub mod fig_topology {
                 p95_latency_ms: p95,
                 committed: op.committed,
                 aborted: op.aborted,
+                wall_s: 0.0,
+                queue_full_waits: 0,
             }
         }
 
@@ -1051,14 +1113,16 @@ pub mod fig_topology {
                 None => "null".to_string(),
             };
             format!(
-                r#"{{"system":"{}","operator":{},"k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{}}}"#,
+                r#"{{"system":"{}","operator":{},"k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"wall_s":{:.4},"queue_full_waits":{}}}"#,
                 json_escape(&self.system),
                 operator,
                 self.k_events_per_second,
                 self.p50_latency_ms,
                 self.p95_latency_ms,
                 self.committed,
-                self.aborted
+                self.aborted,
+                self.wall_s,
+                self.queue_full_waits
             )
         }
     }
@@ -1079,12 +1143,41 @@ pub mod fig_topology {
         std::fs::write(path, doc)
     }
 
-    /// Measure the fused TP app and the two-operator topology on the same
-    /// event stream; the topology contributes per-operator sub-rows. Both
-    /// renditions run through the one generic drive loop and must agree on
-    /// the final state digest — the measurement asserts it, so the benchmark
-    /// doubles as a correctness canary.
-    pub fn measure(scale: Scale) -> Vec<TopologyRow> {
+    /// Run one topology rendition and return `(rows, wall_s, digest)`.
+    fn measure_topology(
+        label: &str,
+        config: &WorkloadConfig,
+        engine_config: morphstream::EngineConfig,
+        topology_config: morphstream::TopologyConfig,
+        parallelism: usize,
+        events: &[TpEvent],
+    ) -> (Vec<TopologyRow>, f64, u64) {
+        let store = StateStore::new();
+        let mut topology = TollProcessingApp::topology_with(
+            &store,
+            config,
+            engine_config,
+            topology_config,
+            parallelism,
+        );
+        let started = std::time::Instant::now();
+        let mut report = topology.run(events.to_vec());
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut rows = vec![TopologyRow::from_report(label, &mut report, wall_s)];
+        for op in &report.operators {
+            rows.push(TopologyRow::from_operator(label, op));
+        }
+        (rows, wall_s, store.state_digest())
+    }
+
+    /// Measure the fused TP app and the two-operator topology — serial wave
+    /// loop and (with `--concurrent`) the concurrent runtime with
+    /// `--parallelism N` keyed statistics instances — on the same event
+    /// stream; topology renditions contribute per-operator-instance
+    /// sub-rows. Every rendition must agree on the final state digest — the
+    /// measurement asserts it, so the benchmark doubles as a correctness
+    /// canary for the concurrent runtime and keyed parallelism.
+    pub fn measure(scale: Scale, options: TopologyOptions) -> Vec<TopologyRow> {
         let config = WorkloadConfig::toll_processing()
             .with_key_space(20_000)
             .with_udf_complexity_us(1)
@@ -1096,57 +1189,101 @@ pub mod fig_topology {
         let fused_store = StateStore::new();
         let fused_app = TollProcessingApp::new(&fused_store, &config);
         let mut fused_engine = MorphStream::new(fused_app, fused_store.clone(), engine_config);
+        let fused_started = std::time::Instant::now();
         let mut fused_report = fused_engine.run(events.clone());
-
-        let split_store = StateStore::new();
-        let mut topology = TollProcessingApp::topology(&split_store, &config, engine_config);
-        let mut topology_report = topology.run(events);
-
-        assert_eq!(
-            fused_store.state_digest(),
-            split_store.state_digest(),
-            "the fused app and its topology split diverged"
-        );
+        let fused_wall = fused_started.elapsed().as_secs_f64();
 
         let fused_label = SystemUnderTest::MorphStream.to_string();
         let topology_label = SystemUnderTest::Topology.to_string();
-        let mut rows = vec![
-            TopologyRow::from_report(&format!("{fused_label} (fused TP)"), &mut fused_report),
-            TopologyRow::from_report(
-                &format!("{topology_label} (2-operator TP)"),
-                &mut topology_report,
-            ),
-        ];
-        for op in &topology_report.operators {
-            rows.push(TopologyRow::from_operator(&topology_label, op));
+        let mut rows = vec![TopologyRow::from_report(
+            &format!("{fused_label} (fused TP)"),
+            &mut fused_report,
+            fused_wall,
+        )];
+
+        let serial_label = format!("{topology_label} (serial)");
+        let (serial_rows, _, serial_digest) = measure_topology(
+            &serial_label,
+            &config,
+            engine_config,
+            morphstream::TopologyConfig::default(),
+            options.parallelism,
+            &events,
+        );
+        assert_eq!(
+            fused_store.state_digest(),
+            serial_digest,
+            "the fused app and its topology split diverged"
+        );
+        rows.extend(serial_rows);
+
+        if options.concurrent {
+            let concurrent_label =
+                format!("{topology_label} (concurrent ×{})", options.parallelism);
+            let (concurrent_rows, _, concurrent_digest) = measure_topology(
+                &concurrent_label,
+                &config,
+                engine_config,
+                morphstream::TopologyConfig::default().with_concurrent(true),
+                options.parallelism,
+                &events,
+            );
+            assert_eq!(
+                fused_store.state_digest(),
+                concurrent_digest,
+                "the concurrent topology runtime diverged"
+            );
+            rows.extend(concurrent_rows);
         }
         rows
     }
 
     /// Print the figure and return the measured rows.
-    pub fn run(scale: Scale) -> Vec<TopologyRow> {
+    pub fn run(scale: Scale, options: TopologyOptions) -> Vec<TopologyRow> {
         banner(
             "Topology",
-            "fused TP operator vs two-operator dataflow (per-operator sub-rows)",
+            "fused TP operator vs two-operator dataflow (serial vs concurrent runtime)",
         );
         println!(
-            "{:<38} {:>12} {:>10} {:>10} {:>10} {:>9}",
-            "system / operator", "k events/s", "p50 ms", "p95 ms", "committed", "aborted"
+            "{:<38} {:>12} {:>10} {:>10} {:>10} {:>9} {:>9} {:>7}",
+            "system / operator",
+            "k events/s",
+            "p50 ms",
+            "p95 ms",
+            "committed",
+            "aborted",
+            "wall s",
+            "q-full"
         );
-        let rows = measure(scale);
+        let rows = measure(scale, options);
         for row in &rows {
             let label = match &row.operator {
                 Some(op) => format!("  └ {op}"),
                 None => row.system.clone(),
             };
             println!(
-                "{:<38} {:>12.2} {:>10.2} {:>10.2} {:>10} {:>9}",
+                "{:<38} {:>12.2} {:>10.2} {:>10.2} {:>10} {:>9} {:>9.3} {:>7}",
                 label,
                 row.k_events_per_second,
                 row.p50_latency_ms,
                 row.p95_latency_ms,
                 row.committed,
-                row.aborted
+                row.aborted,
+                row.wall_s,
+                row.queue_full_waits
+            );
+        }
+        let wall_of = |needle: &str| {
+            rows.iter()
+                .find(|r| r.operator.is_none() && r.system.contains(needle))
+                .map(|r| r.wall_s)
+        };
+        if let (Some(serial), Some(concurrent)) = (wall_of("(serial)"), wall_of("(concurrent")) {
+            println!(
+                "\nconcurrent / serial wall-clock: {:.3}s / {:.3}s = {:.2}x",
+                concurrent,
+                serial,
+                concurrent / serial.max(f64::EPSILON)
             );
         }
         rows

@@ -262,7 +262,7 @@ pub fn run_sl_on(
             let mut builder = morphstream::TopologyBuilder::new();
             let op = builder.add_operator("streaming-ledger", app, store, engine_config);
             let mut engine = builder
-                .build(op, op)
+                .build(op, op, morphstream::TopologyConfig::default())
                 .expect("a single operator is a valid dataflow");
             drive(system, &mut engine, events)
         }

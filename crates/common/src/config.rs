@@ -289,6 +289,64 @@ impl Default for EngineConfig {
     }
 }
 
+/// Runtime configuration of an operator topology (a dataflow of
+/// transactional operators driven as one engine).
+///
+/// The default is the *serial wave loop*: every punctuation propagates
+/// through the whole dataflow on the caller thread, one operator at a time.
+/// With [`TopologyConfig::concurrent`] each operator instance runs on its own
+/// thread behind a bounded channel of event batches, so operators of one
+/// dataflow execute concurrently on multicores; `channel_capacity` bounds how
+/// many punctuation batches may queue on each edge, which is the
+/// back-pressure knob — a slow downstream operator makes upstream sends (and
+/// ultimately the caller's `push`) block instead of buffering the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct TopologyConfig {
+    /// Punctuation batches that may queue on each operator-to-operator edge
+    /// before the sender blocks. Memory in flight between two operators is
+    /// bounded by `channel_capacity × punctuation interval` events.
+    pub channel_capacity: usize,
+    /// Run every operator instance on its own thread (bounded channels,
+    /// punctuation alignment) instead of the serial wave loop. Final state
+    /// digests and outputs are identical either way — only timing changes.
+    pub concurrent: bool,
+}
+
+impl TopologyConfig {
+    /// Builder-style update of the per-edge channel capacity (in punctuation
+    /// batches).
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
+    pub fn with_channel_capacity(mut self, batches: usize) -> Self {
+        self.channel_capacity = batches;
+        self
+    }
+
+    /// Builder-style toggle of the concurrent (threaded) runtime.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
+    pub fn with_concurrent(mut self, concurrent: bool) -> Self {
+        self.concurrent = concurrent;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channel_capacity == 0 {
+            return Err("channel_capacity must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            channel_capacity: 2,
+            concurrent: false,
+        }
+    }
+}
+
 /// Available hardware parallelism, defaulting to 4 when it cannot be queried.
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism()
@@ -381,6 +439,19 @@ mod tests {
         assert_eq!(cfg.punctuation_interval, Some(1024));
         assert!(!cfg.reclaim_after_batch);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn topology_config_defaults_and_validation() {
+        let cfg = TopologyConfig::default();
+        assert!(!cfg.concurrent);
+        assert_eq!(cfg.channel_capacity, 2);
+        assert!(cfg.validate().is_ok());
+        let cfg = cfg.with_concurrent(true).with_channel_capacity(8);
+        assert!(cfg.concurrent);
+        assert_eq!(cfg.channel_capacity, 8);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.with_channel_capacity(0).validate().is_err());
     }
 
     #[test]

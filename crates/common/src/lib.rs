@@ -21,6 +21,6 @@ pub mod rng;
 pub mod types;
 pub mod zipf;
 
-pub use config::{EngineConfig, WorkloadConfig};
+pub use config::{EngineConfig, TopologyConfig, WorkloadConfig};
 pub use error::{AbortReason, MorphError};
 pub use types::{Key, OpId, StateRef, TableId, Timestamp, TxnId, Value};

@@ -86,6 +86,16 @@ struct ConstructedBatch<E> {
     /// Highest timestamp assigned to this batch's transactions; versions at
     /// or before it may be reclaimed once the batch committed.
     watermark: Timestamp,
+    /// Tables written by this batch — the scope of after-batch reclamation.
+    /// Reclamation is per-table because the watermark is only meaningful in
+    /// *this* engine's timestamp domain: on a store shared with sibling
+    /// operators of a topology, truncating a table the sibling writes would
+    /// apply an alien watermark to its version chains.
+    written_tables: Vec<morphstream_common::TableId>,
+    /// Tables serving windowed accesses in this batch (targets of windowed
+    /// reads/writes plus their window parameters); pinned before
+    /// reclamation so trailing windows keep their history.
+    windowed_tables: Vec<morphstream_common::TableId>,
     /// When the batch was cut from the ingest buffer.
     batch_started: Instant,
     /// Wall-clock interval of the construction stage.
@@ -123,11 +133,30 @@ fn construct_batch<A: StreamApp>(
     // ---- Phase 1: stream processing (pre-processing + decomposition) ----
     let mut groups: Vec<TransactionBatch> = Vec::new();
     let mut txn_locator: Vec<(usize, usize)> = Vec::with_capacity(events.len());
+    let mut written_tables: Vec<morphstream_common::TableId> = Vec::new();
+    let mut windowed_tables: Vec<morphstream_common::TableId> = Vec::new();
+    let note = |set: &mut Vec<morphstream_common::TableId>, table: morphstream_common::TableId| {
+        if !set.contains(&table) {
+            set.push(table);
+        }
+    };
     for (event_index, event) in events.iter().enumerate() {
         let ts = ts_base + event_index as Timestamp;
         let mut builder = TxnBuilder::new();
         app.state_access(event, &mut builder);
-        let txn = Transaction::new(ts, builder.into_ops()).with_event_index(event_index);
+        let ops = builder.into_ops();
+        for op in &ops {
+            if op.kind.is_write() {
+                note(&mut written_tables, op.table);
+            }
+            if op.kind.is_windowed() {
+                note(&mut windowed_tables, op.table);
+                for param in &op.params {
+                    note(&mut windowed_tables, param.table);
+                }
+            }
+        }
+        let txn = Transaction::new(ts, ops).with_event_index(event_index);
         let group = group_of(event);
         while groups.len() <= group {
             groups.push(
@@ -157,6 +186,8 @@ fn construct_batch<A: StreamApp>(
         groups,
         txn_locator,
         watermark,
+        written_tables,
+        windowed_tables,
         batch_started,
         construct_started,
         construct_finished: Instant::now(),
@@ -342,15 +373,6 @@ impl<A: StreamApp> MorphStream<A> {
         &self.app
     }
 
-    /// Turn off after-batch version reclamation. Used by topologies whose
-    /// operators share a state store: `StateStore::truncate_before` is
-    /// store-wide, and one operator's watermark is meaningless in another
-    /// operator's timestamp domain — truncating with it could collapse
-    /// versions a sibling's windowed reads still need.
-    pub(crate) fn disable_reclamation(&mut self) {
-        self.config.reclaim_after_batch = false;
-    }
-
     /// Process a stream of events, splitting it into punctuation-delimited
     /// batches, and return the run report.
     ///
@@ -485,6 +507,8 @@ impl<A: StreamApp> MorphStream<A> {
             groups,
             txn_locator,
             watermark,
+            written_tables,
+            windowed_tables,
             batch_started,
             construct_started,
             construct_finished,
@@ -551,8 +575,18 @@ impl<A: StreamApp> MorphStream<A> {
         }
 
         // ---- Bookkeeping ----
+        // Windowed tables are pinned before any reclamation: a trailing
+        // window aggregates historical versions that truncation would drop.
+        for table in &windowed_tables {
+            let _ = self.store.pin_table(*table);
+        }
         if self.config.reclaim_after_batch {
-            self.store.truncate_before(watermark);
+            // Per-table scope: reclaim only the tables this batch wrote. The
+            // watermark lives in this engine's timestamp domain, so on a
+            // store shared with sibling operators (each stamping its own
+            // domain) it must never be applied to a sibling's tables.
+            self.store
+                .truncate_tables_before(&written_tables, watermark);
         }
         let execute_interval = (execute_started, Instant::now());
         // Construction time hidden behind the previous batch's execution:
@@ -821,6 +855,51 @@ mod tests {
         assert_eq!(
             store_reclaim.snapshot_latest(accounts).unwrap(),
             store_keep.snapshot_latest(accounts).unwrap()
+        );
+    }
+
+    #[test]
+    fn reclamation_is_per_table_and_pins_windowed_tables() {
+        /// Writes a hot counter table every event; every fourth event also
+        /// appends to a log table and window-reads its full history.
+        struct WindowedTail {
+            hot: TableId,
+            log: TableId,
+        }
+        impl StreamApp for WindowedTail {
+            type Event = u64;
+            type Output = Value;
+            fn state_access(&self, event: &u64, txn: &mut TxnBuilder) {
+                txn.write(self.hot, *event % 8, udfs::add_delta(1));
+                if event.is_multiple_of(4) {
+                    txn.write(self.log, 0, udfs::add_delta(1));
+                    txn.window_read(self.log, 0, 1 << 30, udfs::window_sum());
+                }
+            }
+            fn post_process(&self, _event: &u64, outcome: &TxnOutcome) -> Value {
+                outcome.committed as Value
+            }
+        }
+
+        let store = StateStore::new();
+        let hot = store.create_table("hot", 0, true);
+        let log = store.create_table("log", 0, true);
+        let mut engine = MorphStream::new(
+            WindowedTail { hot, log },
+            store.clone(),
+            EngineConfig::with_threads(2)
+                .with_punctuation_interval(32)
+                .with_reclaim_after_batch(true),
+        );
+        let report = engine.run(0..256u64);
+        assert_eq!(report.committed, 256);
+        // the hot table was reclaimed down to roughly one version per key…
+        assert!(store.table(hot).unwrap().version_count() < 32);
+        // …while the windowed log was pinned: its full history survives
+        assert!(store.table(log).unwrap().is_pinned());
+        assert_eq!(
+            store.window_values(log, 0, 1, u64::MAX).unwrap().len(),
+            64 // one log append per 4 events
         );
     }
 

@@ -59,10 +59,10 @@ pub mod topology;
 pub use app::{StreamApp, TxnBuilder};
 pub use engine::{MorphStream, SchedulingMode};
 pub use pipeline::{BatchHook, PendingBatch, Pipeline, SessionState, TxnEngine};
-pub use report::{BatchSummary, OperatorReport, RunReport};
-pub use topology::{OperatorHandle, Topology, TopologyBuilder, TopologyError};
+pub use report::{BatchSummary, EdgeReport, OperatorReport, RunReport};
+pub use topology::{OperatorHandle, Route, Topology, TopologyBuilder, TopologyError};
 
-pub use morphstream_common::{AbortReason, EngineConfig, WorkloadConfig};
+pub use morphstream_common::{AbortReason, EngineConfig, TopologyConfig, WorkloadConfig};
 pub use morphstream_executor::TxnOutcome;
 pub use morphstream_scheduler::{
     AbortHandling, DecisionModel, ExplorationStrategy, Granularity, SchedulingDecision,

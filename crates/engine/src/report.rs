@@ -107,6 +107,21 @@ impl OperatorReport {
     }
 }
 
+/// Per-edge channel statistics of a [`Topology`](crate::Topology) run: one
+/// row per routed connection (plus the implicit `(input)` → entry feed), so
+/// back-pressure is observable. `queue_full_waits` counts how often a sender
+/// found the edge's bounded channel full and had to block; it is always zero
+/// under the serial wave loop, which has no channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeReport {
+    /// Name of the upstream operator (`"(input)"` for the entry feed).
+    pub from: String,
+    /// Name of the downstream operator.
+    pub to: String,
+    /// Times a send on this edge found the bounded channel full and blocked.
+    pub queue_full_waits: u64,
+}
+
 /// Report of a whole run (a sequence of batches).
 #[derive(Debug)]
 pub struct RunReport<O> {
@@ -134,8 +149,13 @@ pub struct RunReport<O> {
     pub batches: Vec<BatchSummary>,
     /// Per-operator sub-reports. Empty for a single-operator engine; filled
     /// by a finished [`Topology`](crate::Topology) session with one entry per
-    /// operator, whose counts sum to the top-level `committed`/`aborted`.
+    /// operator *instance* (named `name#i` when the operator runs with
+    /// parallelism above one), whose counts sum to the top-level
+    /// `committed`/`aborted`.
     pub operators: Vec<OperatorReport>,
+    /// Per-edge channel statistics of a topology run (empty for a
+    /// single-operator engine), so back-pressure is observable.
+    pub edges: Vec<EdgeReport>,
 }
 
 impl<O> RunReport<O> {
@@ -153,6 +173,7 @@ impl<O> RunReport<O> {
             stage_timings: StageTimings::new(),
             batches: Vec::new(),
             operators: Vec::new(),
+            edges: Vec::new(),
         }
     }
 

@@ -1,5 +1,6 @@
 //! First-class operator topologies: chain transactional operators into a
-//! dataflow that is itself a [`TxnEngine`].
+//! dataflow that is itself a [`TxnEngine`], with an optional concurrent
+//! runtime that executes the operators on separate threads.
 //!
 //! The paper's programming model covers one transactional operator per
 //! engine, but real TSPE applications — S-Store's dataflows of transactional
@@ -7,22 +8,44 @@
 //! settlement chains — are *graphs* of such operators. A [`Topology`] wires
 //! several [`StreamApp`]s into a DAG: each operator runs its own MorphStream
 //! engine (its own TPG, decision model, and scheduling), every upstream
-//! operator's `Output` is routed (map / filter / fan-out) into downstream
-//! operators' `Event`s, and punctuations propagate downstream on every batch
-//! boundary, so a batch cut by the entry operator flows through the whole
-//! dataflow before the next one starts executing downstream.
+//! operator's `Output` is routed into downstream operators' `Event`s through
+//! a first-class [`Route`] (map / filter / fan-out / keyed), and punctuations
+//! propagate downstream on every batch boundary.
+//!
+//! Two execution modes share one semantics (identical state digests and
+//! outputs, bit for bit):
+//!
+//! * the default **serial wave loop** propagates each punctuation through the
+//!   whole dataflow on the caller thread, one operator at a time;
+//! * with [`TopologyConfig::concurrent`] every operator *instance* runs on
+//!   its own thread behind a **bounded channel** of punctuation batches, so
+//!   the operators of one dataflow execute concurrently on multicores.
+//!   Bounded channels give real back-pressure — a slow downstream operator
+//!   makes upstream sends (and ultimately `Pipeline::push`) block, keeping
+//!   in-flight memory at O(`channel_capacity` × punctuation interval) — and
+//!   per-edge `queue_full_waits` in the final [`RunReport`] make the
+//!   back-pressure observable.
+//!
+//! Operators gain data parallelism through
+//! [`OperatorHandle::with_parallelism`]: [`Route::keyed`] hash-partitions the
+//! routed events across the `n` parallel instances of the downstream
+//! operator, each instance owns its partition's state, and the topology
+//! reassembles per-instance outputs into the original event order — so
+//! digests and outputs are deterministic regardless of `n`.
 //!
 //! The assembled `Topology` implements [`TxnEngine`], so
 //! [`Pipeline`](crate::Pipeline) sessions, the bench harness's generic drive
 //! loop, and trait-driven oracle tests work on a whole dataflow unchanged.
-//! Its [`RunReport`] aggregates every operator — per-operator sub-reports are
-//! attached as [`OperatorReport`]s when the session finishes, and their
-//! commit/abort counts sum to the top-level totals.
+//! Its [`RunReport`] aggregates every operator — per-instance sub-reports
+//! (`name#i` under parallelism) are attached as [`OperatorReport`]s when the
+//! session finishes, and their commit/abort counts sum to the top-level
+//! totals.
 //!
 //! ```
 //! use morphstream::storage::StateStore;
 //! use morphstream::{
-//!     udfs, EngineConfig, StreamApp, TopologyBuilder, TxnBuilder, TxnEngine, TxnOutcome,
+//!     udfs, EngineConfig, Route, StreamApp, TopologyBuilder, TopologyConfig, TxnBuilder,
+//!     TxnEngine, TxnOutcome,
 //! };
 //! use morphstream_common::TableId;
 //!
@@ -67,12 +90,24 @@
 //! let parities = store.create_table("parities", 0, true);
 //! let config = EngineConfig::with_threads(2).with_punctuation_interval(4);
 //!
-//! // counter --(committed words only)--> tally
+//! // counter --(committed words, keyed by parity)--> two parallel tallies
 //! let mut builder = TopologyBuilder::new();
 //! let counter = builder.add_operator("word-count", WordCount { words }, store.clone(), config);
-//! let tally = builder.add_operator("parity-tally", ParityTally { parities }, store.clone(), config);
-//! builder.connect(counter, tally, |(word, committed)| committed.then_some(*word));
-//! let mut topology = builder.build(counter, tally).unwrap();
+//! let tally = builder
+//!     .add_operator("parity-tally", ParityTally { parities }, store.clone(), config)
+//!     .with_parallelism(2); // each instance owns one parity class
+//! builder.connect(
+//!     counter,
+//!     tally,
+//!     Route::keyed(
+//!         |word: &u64| word % 2,
+//!         |(word, committed): &(u64, bool)| committed.then_some(*word),
+//!     ),
+//! );
+//! // run concurrently: every operator instance on its own thread
+//! let mut topology = builder
+//!     .build(counter, tally, TopologyConfig::default().with_concurrent(true))
+//!     .unwrap();
 //!
 //! // The topology is an engine: drive it through the ordinary Pipeline API.
 //! let mut pipeline = topology.pipeline();
@@ -80,28 +115,35 @@
 //! let report = pipeline.finish();
 //!
 //! assert_eq!(report.outputs.len(), 8);
-//! assert_eq!(report.operators.len(), 2);
-//! // per-operator counts sum to the top-level totals
+//! // word-count, parity-tally#0, parity-tally#1
+//! assert_eq!(report.operators.len(), 3);
+//! // per-instance counts sum to the top-level totals
 //! let summed: usize = report.operators.iter().map(|op| op.committed).sum();
 //! assert_eq!(report.committed, summed);
 //! assert_eq!(store.read_latest(parities, 0).unwrap(), 4); // 2, 4, 6, 8
 //! ```
 
 use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
 use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use morphstream_common::metrics::{Breakdown, StageTimings};
-use morphstream_common::EngineConfig;
+use morphstream_common::{EngineConfig, TopologyConfig};
 use morphstream_scheduler::SchedulingDecision;
 use morphstream_storage::StateStore;
 
 use crate::app::{StreamApp, TxnBuilder};
 use crate::engine::MorphStream;
 use crate::pipeline::{BatchHook, TxnEngine};
-use crate::report::{BatchSummary, OperatorReport, RunReport};
+use crate::report::{BatchSummary, EdgeReport, OperatorReport, RunReport};
 
 /// Distinguishes handles of different builders, so a handle can never index
 /// into a topology it was not created for.
@@ -109,10 +151,13 @@ static NEXT_BUILDER_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Typed reference to an operator added to a [`TopologyBuilder`]: carries the
 /// operator's event/output types so [`TopologyBuilder::connect`] and
-/// [`TopologyBuilder::build`] are checked at compile time.
+/// [`TopologyBuilder::build`] are checked at compile time, plus the
+/// operator's requested parallelism (see
+/// [`OperatorHandle::with_parallelism`]).
 pub struct OperatorHandle<E, O> {
     builder: u64,
     index: usize,
+    parallelism: usize,
     _marker: PhantomData<fn(E) -> O>,
 }
 
@@ -123,10 +168,41 @@ impl<E, O> Clone for OperatorHandle<E, O> {
 }
 impl<E, O> Copy for OperatorHandle<E, O> {}
 
+impl<E, O> OperatorHandle<E, O> {
+    /// Request `n` parallel instances of this operator. Every incoming edge
+    /// of a parallel operator must be a [`Route::keyed`] route: the routed
+    /// events are hash-partitioned by their key across the instances, each
+    /// instance owns its partition's state, and the topology merges the
+    /// per-instance outputs back into the original event order — digests and
+    /// outputs are deterministic regardless of `n`.
+    ///
+    /// The parallelism is recorded when the handle is passed back into the
+    /// builder (`connect` or `build`), so request it before wiring the
+    /// operator. Parallel operators keep after-batch version reclamation off:
+    /// each instance stamps its own timestamp domain over the shared tables,
+    /// so no single instance watermark is safe to truncate with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        assert!(n >= 1, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+
+    /// The parallelism recorded on this handle.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+}
+
 impl<E, O> std::fmt::Debug for OperatorHandle<E, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OperatorHandle")
             .field("index", &self.index)
+            .field("parallelism", &self.parallelism)
             .finish()
     }
 }
@@ -146,6 +222,19 @@ pub enum TopologyError {
     /// The terminal operator has an outgoing edge; its outputs are the
     /// topology's outputs.
     TerminalHasDownstream(String),
+    /// The entry operator requested parallelism above one; entry events are
+    /// not routed, so there is no key to partition them by.
+    ParallelEntry(String),
+    /// An edge into a parallel operator uses a route without a key; only
+    /// [`Route::keyed`] routes can partition events across instances.
+    UnkeyedParallelRoute {
+        /// Upstream operator of the offending edge.
+        from: String,
+        /// Downstream (parallel) operator of the offending edge.
+        to: String,
+    },
+    /// The [`TopologyConfig`] failed validation.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for TopologyError {
@@ -164,19 +253,181 @@ impl std::fmt::Display for TopologyError {
             TopologyError::TerminalHasDownstream(name) => {
                 write!(f, "terminal operator {name:?} has an outgoing edge")
             }
+            TopologyError::ParallelEntry(name) => {
+                write!(
+                    f,
+                    "entry operator {name:?} cannot be parallel: entry events are not keyed"
+                )
+            }
+            TopologyError::UnkeyedParallelRoute { from, to } => {
+                write!(
+                    f,
+                    "edge {from:?} -> {to:?} must use Route::keyed: {to:?} runs parallel instances"
+                )
+            }
+            TopologyError::InvalidConfig(reason) => {
+                write!(f, "invalid topology configuration: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for TopologyError {}
 
+// ---------------------------------------------------------------------------
+// Routes
+// ---------------------------------------------------------------------------
+
+/// The transformation half of a [`Route`]: expands one upstream output into
+/// downstream events.
+type ExpandFn<O, E2> = Box<dyn Fn(&O, &mut Vec<E2>) + Send>;
+/// The partition-key half of a [`Route::keyed`] route.
+type KeyFn<E2> = Arc<dyn Fn(&E2) -> u64 + Send + Sync>;
+
+/// How one operator's outputs become another operator's events.
+///
+/// A `Route` is attached to an edge with [`TopologyBuilder::connect`]. The
+/// plain constructors ([`Route::map`], [`Route::filter_map`],
+/// [`Route::fan_out`]) transform each upstream output into zero or more
+/// downstream events; [`Route::keyed`] additionally names the partition key
+/// used to spread the routed events across the parallel instances of the
+/// downstream operator (see [`OperatorHandle::with_parallelism`]).
+pub struct Route<O, E2> {
+    expand: ExpandFn<O, E2>,
+    key: Option<KeyFn<E2>>,
+}
+
+impl<O: 'static, E2: Send + 'static> Route<O, E2> {
+    /// Turn every upstream output into exactly one downstream event.
+    #[must_use = "a Route does nothing until attached with TopologyBuilder::connect"]
+    pub fn map(f: impl Fn(&O) -> E2 + Send + 'static) -> Self {
+        Self {
+            expand: Box::new(move |output, into| into.push(f(output))),
+            key: None,
+        }
+    }
+
+    /// Turn every upstream output into zero or one downstream events.
+    #[must_use = "a Route does nothing until attached with TopologyBuilder::connect"]
+    pub fn filter_map(f: impl Fn(&O) -> Option<E2> + Send + 'static) -> Self {
+        Self {
+            expand: Box::new(move |output, into| into.extend(f(output))),
+            key: None,
+        }
+    }
+
+    /// Fan every upstream output out into any number of downstream events.
+    #[must_use = "a Route does nothing until attached with TopologyBuilder::connect"]
+    pub fn fan_out<I>(f: impl Fn(&O) -> I + Send + 'static) -> Self
+    where
+        I: IntoIterator<Item = E2>,
+    {
+        Self {
+            expand: Box::new(move |output, into| into.extend(f(output))),
+            key: None,
+        }
+    }
+
+    /// Like [`Route::fan_out`], but the routed events carry a partition key:
+    /// when the downstream operator runs `n` parallel instances, each event
+    /// goes to the instance owning `hash(key_fn(event)) % n`, so all events
+    /// with one key — and therefore all updates to the state that key guards
+    /// — stay on one instance, in arrival order. Key by the downstream
+    /// operator's *state* key (the table key its transactions write), not by
+    /// an arbitrary attribute, so instances own disjoint state partitions.
+    #[must_use = "a Route does nothing until attached with TopologyBuilder::connect"]
+    pub fn keyed<I>(
+        key_fn: impl Fn(&E2) -> u64 + Send + Sync + 'static,
+        f: impl Fn(&O) -> I + Send + 'static,
+    ) -> Self
+    where
+        I: IntoIterator<Item = E2>,
+    {
+        Self {
+            expand: Box::new(move |output, into| into.extend(f(output))),
+            key: Some(Arc::new(key_fn)),
+        }
+    }
+
+    /// Whether this route carries a partition key (required by edges into
+    /// parallel operators).
+    pub fn is_keyed(&self) -> bool {
+        self.key.is_some()
+    }
+}
+
+/// Deterministic partition assignment for keyed routes.
+fn partition_of(key: u64, parts: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % parts
+}
+
+/// One punctuation's worth of routed events, already split across the
+/// destination operator's instances. `positions[i][j]` is the index the
+/// `j`-th event of part `i` had in the round's canonical order, so the
+/// destination's outputs can be merged back into that order; identity parts
+/// (single-instance destinations) carry an empty positions list.
+struct RoutedParts {
+    parts: Vec<Box<dyn Any + Send>>,
+    positions: Vec<Vec<usize>>,
+    total: usize,
+}
+
+/// Erased route: maps an upstream output batch (`&Vec<O>`) plus the
+/// destination's instance count to the per-instance event batches.
+type ErasedRoute = Box<dyn Fn(&(dyn Any + Send), usize) -> RoutedParts + Send>;
+
+fn erase_route<O: Send + 'static, E2: Send + 'static>(route: Route<O, E2>) -> (bool, ErasedRoute) {
+    let Route { expand, key } = route;
+    let keyed = key.is_some();
+    let erased = move |outputs: &(dyn Any + Send), parts_n: usize| -> RoutedParts {
+        let outputs = outputs
+            .downcast_ref::<Vec<O>>()
+            .expect("edge source type checked by OperatorHandle");
+        let mut flat: Vec<E2> = Vec::new();
+        for output in outputs {
+            expand(output, &mut flat);
+        }
+        let total = flat.len();
+        if parts_n <= 1 {
+            return RoutedParts {
+                parts: vec![Box::new(flat)],
+                positions: vec![Vec::new()],
+                total,
+            };
+        }
+        let key = key
+            .as_ref()
+            .expect("parallel destinations require Route::keyed (validated at build)");
+        let mut parts: Vec<Vec<E2>> = (0..parts_n).map(|_| Vec::new()).collect();
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); parts_n];
+        for (index, event) in flat.into_iter().enumerate() {
+            let part = partition_of(key(&event), parts_n);
+            parts[part].push(event);
+            positions[part].push(index);
+        }
+        RoutedParts {
+            parts: parts
+                .into_iter()
+                .map(|part| Box::new(part) as Box<dyn Any + Send>)
+                .collect(),
+            positions,
+            total,
+        }
+    };
+    (keyed, Box::new(erased))
+}
+
+// ---------------------------------------------------------------------------
+// Operator instances
+// ---------------------------------------------------------------------------
+
 /// Wraps a user application so its outputs are *tapped* into a queue the
 /// topology drains after every batch, instead of accumulating inside the
-/// operator's own `RunReport`. Outputs move — no `Clone` bound on routed
-/// output types — and the operator's report keeps every metric except the
-/// output values themselves.
+/// operator's own `RunReport`. The inner app is shared (`Arc`) so parallel
+/// instances of one operator run the same application object; outputs move —
+/// no `Clone` bound on routed output types.
 struct TapApp<A: StreamApp> {
-    inner: A,
+    inner: Arc<A>,
     queue: Arc<Mutex<Vec<A::Output>>>,
 }
 
@@ -204,12 +455,11 @@ where
     }
 }
 
-/// Cumulative counters aggregated over operators, used to turn two snapshots
-/// into one propagation wave's [`BatchSummary`].
+/// Cumulative session counters of one operator instance's engine. Deltas
+/// between two snapshots describe one propagation round.
 #[derive(Default, Clone)]
-struct AggregateStats {
-    /// Events ingested by the *entry* operator (the topology's input count).
-    entry_events: usize,
+struct InstanceStats {
+    events: usize,
     committed: usize,
     aborted: usize,
     redone_ops: usize,
@@ -217,50 +467,74 @@ struct AggregateStats {
     breakdown: Breakdown,
 }
 
-/// Object-safe view of one operator node: a typed `MorphStream<TapApp<A>>`
-/// behind event/output erasure, so a heterogeneous DAG fits in one `Vec`.
-trait ErasedNode: Send {
-    fn name(&self) -> &str;
+impl InstanceStats {
+    fn delta(&self, earlier: &InstanceStats) -> InstanceStats {
+        InstanceStats {
+            events: self.events.saturating_sub(earlier.events),
+            committed: self.committed.saturating_sub(earlier.committed),
+            aborted: self.aborted.saturating_sub(earlier.aborted),
+            redone_ops: self.redone_ops.saturating_sub(earlier.redone_ops),
+            timings: self.timings.saturating_sub(&earlier.timings),
+            breakdown: self.breakdown.saturating_sub(&earlier.breakdown),
+        }
+    }
+
+    fn merge(&mut self, other: &InstanceStats) {
+        self.events += other.events;
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.redone_ops += other.redone_ops;
+        self.timings.merge(&other.timings);
+        self.breakdown.merge(&other.breakdown);
+    }
+
+    fn is_zero(&self) -> bool {
+        self.events == 0 && self.committed == 0 && self.aborted == 0
+    }
+}
+
+/// Object-safe view of one operator *instance*: a typed
+/// `MorphStream<TapApp<A>>` behind event/output erasure, so both runtimes can
+/// drive heterogeneous instances uniformly (and the concurrent runtime can
+/// move each instance onto its own thread).
+trait ErasedInstance: Send {
     /// Ingest a batch of events (a boxed `Vec<A::Event>`).
-    fn ingest_batch(&mut self, events: Box<dyn Any>);
+    fn ingest_events(&mut self, events: Box<dyn Any + Send>);
     /// The engine's punctuation interval in events (`usize::MAX` when unset:
     /// one batch per flush).
     fn punctuation_interval(&self) -> usize;
     fn flush(&mut self);
-    /// Batches this operator's engine has completed in the current session —
-    /// a lock-free signal that new outputs are queued (outputs are tapped
-    /// during batch execution, before the batch is recorded).
+    /// Batches this instance's engine has completed in the current session —
+    /// a lock-free signal that new outputs are queued.
     fn completed_batches(&self) -> usize;
-    /// Drain the tapped outputs as a boxed `Vec<A::Output>`; `None` when
-    /// nothing is queued.
-    fn take_outputs(&mut self) -> Option<Box<dyn Any>>;
-    /// Turn off after-batch reclamation (shared-store topologies; see
-    /// [`TopologyBuilder::build`]).
-    fn disable_reclamation(&mut self);
-    /// Cumulative session counters of this operator's engine.
-    fn stats(&self) -> (usize, usize, usize, usize, StageTimings, Breakdown);
+    /// Drain the tapped outputs as a boxed `Vec<A::Output>` plus their count.
+    fn take_outputs(&mut self) -> (Box<dyn Any + Send>, usize);
+    /// Cumulative session counters of this instance's engine.
+    fn stats(&self) -> InstanceStats;
     fn last_batch(&self) -> Option<(Duration, SchedulingDecision)>;
-    fn store(&self) -> &StateStore;
-    /// Close the operator's session and condense it into a sub-report.
-    fn finish_operator(&mut self) -> OperatorReport;
+    /// Close the instance's session and condense it into a sub-report.
+    fn finish_instance(&mut self, name: &str) -> OperatorReport;
 }
 
-struct Node<A: StreamApp>
+struct Instance<A: StreamApp>
 where
     A::Output: 'static,
 {
-    name: String,
     engine: MorphStream<TapApp<A>>,
     queue: Arc<Mutex<Vec<A::Output>>>,
-    store: StateStore,
 }
 
-impl<A: StreamApp> ErasedNode for Node<A>
+impl<A: StreamApp> ErasedInstance for Instance<A>
 where
     A::Output: 'static,
 {
-    fn name(&self) -> &str {
-        &self.name
+    fn ingest_events(&mut self, events: Box<dyn Any + Send>) {
+        let events = events
+            .downcast::<Vec<A::Event>>()
+            .expect("routed event type checked by OperatorHandle");
+        for event in *events {
+            self.engine.ingest(event);
+        }
     }
 
     fn punctuation_interval(&self) -> usize {
@@ -271,15 +545,6 @@ where
             .max(1)
     }
 
-    fn ingest_batch(&mut self, events: Box<dyn Any>) {
-        let events = events
-            .downcast::<Vec<A::Event>>()
-            .expect("routed event type checked by OperatorHandle");
-        for event in *events {
-            self.engine.ingest(event);
-        }
-    }
-
     fn flush(&mut self) {
         self.engine.flush();
     }
@@ -288,28 +553,23 @@ where
         self.engine.report().batches.len()
     }
 
-    fn disable_reclamation(&mut self) {
-        self.engine.disable_reclamation();
-    }
-
-    fn take_outputs(&mut self) -> Option<Box<dyn Any>> {
+    fn take_outputs(&mut self) -> (Box<dyn Any + Send>, usize) {
         let mut queue = self.queue.lock().expect("output queue poisoned");
-        if queue.is_empty() {
-            return None;
-        }
-        Some(Box::new(std::mem::take(&mut *queue)))
+        let outputs = std::mem::take(&mut *queue);
+        let count = outputs.len();
+        (Box::new(outputs), count)
     }
 
-    fn stats(&self) -> (usize, usize, usize, usize, StageTimings, Breakdown) {
+    fn stats(&self) -> InstanceStats {
         let report = self.engine.report();
-        (
-            report.events(),
-            report.committed,
-            report.aborted,
-            report.redone_ops,
-            report.stage_timings,
-            report.breakdown.clone(),
-        )
+        InstanceStats {
+            events: report.events(),
+            committed: report.committed,
+            aborted: report.aborted,
+            redone_ops: report.redone_ops,
+            timings: report.stage_timings,
+            breakdown: report.breakdown.clone(),
+        }
     }
 
     fn last_batch(&self) -> Option<(Duration, SchedulingDecision)> {
@@ -320,34 +580,129 @@ where
             .map(|b| (b.elapsed, b.decision))
     }
 
+    fn finish_instance(&mut self, name: &str) -> OperatorReport {
+        let run = self.engine.finish();
+        self.queue.lock().expect("output queue poisoned").clear();
+        OperatorReport::from_run(name, &run)
+    }
+}
+
+/// Merge per-instance output batches back into the round's canonical order:
+/// takes `(outputs, count, positions)` per instance plus the round's total
+/// size, returns the boxed merged `Vec<A::Output>`. Typed inside, erased at
+/// the call sites.
+type MergeFn = Arc<dyn Fn(Vec<MergePart>, usize) -> Box<dyn Any + Send> + Send + Sync>;
+type MergePart = (Box<dyn Any + Send>, usize, Vec<usize>);
+
+/// An operator instantiated for a topology: its parallel instances, the
+/// output-merge function, and the store it runs over.
+struct NodeParts {
+    name: String,
+    instances: Vec<Box<dyn ErasedInstance>>,
+    merge: MergeFn,
+}
+
+/// Type-erased operator registration: holds the application until
+/// [`TopologyBuilder::build`] knows the operator's parallelism and can
+/// instantiate the engines.
+trait ErasedSpec: Send {
+    fn name(&self) -> &str;
+    fn store(&self) -> &StateStore;
+    fn instantiate(self: Box<Self>, parallelism: usize) -> NodeParts;
+}
+
+struct NodeSpec<A: StreamApp> {
+    name: String,
+    app: A,
+    store: StateStore,
+    config: EngineConfig,
+}
+
+impl<A: StreamApp> ErasedSpec for NodeSpec<A>
+where
+    A::Output: 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
     fn store(&self) -> &StateStore {
         &self.store
     }
 
-    fn finish_operator(&mut self) -> OperatorReport {
-        let run = self.engine.finish();
-        self.queue.lock().expect("output queue poisoned").clear();
-        OperatorReport::from_run(&self.name, &run)
+    fn instantiate(self: Box<Self>, parallelism: usize) -> NodeParts {
+        let spec = *self;
+        let app = Arc::new(spec.app);
+        // Parallel instances each stamp their own timestamp domain over the
+        // shared tables, so no single instance watermark is safe to truncate
+        // with — reclamation stays off above parallelism one.
+        let engine_config = if parallelism > 1 {
+            spec.config.with_reclaim_after_batch(false)
+        } else {
+            spec.config
+        };
+        let instances = (0..parallelism)
+            .map(|_| {
+                let queue = Arc::new(Mutex::new(Vec::new()));
+                let tapped = TapApp {
+                    inner: Arc::clone(&app),
+                    queue: Arc::clone(&queue),
+                };
+                Box::new(Instance {
+                    engine: MorphStream::new(tapped, spec.store.clone(), engine_config),
+                    queue,
+                }) as Box<dyn ErasedInstance>
+            })
+            .collect();
+        let merge: MergeFn = Arc::new(|parts: Vec<MergePart>, total: usize| {
+            let mut slots: Vec<Option<A::Output>> = Vec::with_capacity(total);
+            slots.resize_with(total, || None);
+            for (outputs, count, positions) in parts {
+                let outputs = outputs
+                    .downcast::<Vec<A::Output>>()
+                    .expect("instance output type checked by OperatorHandle");
+                debug_assert_eq!(
+                    count,
+                    positions.len(),
+                    "outputs desynchronised from routing"
+                );
+                for (output, position) in outputs.into_iter().zip(positions) {
+                    slots[position] = Some(output);
+                }
+            }
+            let merged: Vec<A::Output> = slots
+                .into_iter()
+                .map(|slot| slot.expect("keyed partition covered every event"))
+                .collect();
+            Box::new(merged)
+        });
+        NodeParts {
+            name: spec.name,
+            instances,
+            merge,
+        }
     }
 }
 
-/// Erased route function: maps a drained output batch (`&Vec<O>`) to the
-/// destination's event batch (`Box<Vec<E2>>`).
-type RouteFn = Box<dyn Fn(&dyn Any) -> Box<dyn Any> + Send>;
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
 
-/// One routed connection between two operators.
-struct Edge {
+/// One routed connection between two operators, before instantiation.
+struct EdgeSpec {
     dst: usize,
-    route: RouteFn,
+    keyed: bool,
+    route: ErasedRoute,
 }
 
-/// Builds a [`Topology`]: add operators, connect them with route functions,
-/// then [`TopologyBuilder::build`] the dataflow with a designated entry and
-/// terminal operator.
+/// Builds a [`Topology`]: add operators, connect them with [`Route`]s, then
+/// [`TopologyBuilder::build`] the dataflow with a designated entry and
+/// terminal operator and a [`TopologyConfig`].
 pub struct TopologyBuilder {
     id: u64,
-    nodes: Vec<Box<dyn ErasedNode>>,
-    edges: Vec<Vec<Edge>>,
+    specs: Vec<Box<dyn ErasedSpec>>,
+    edges: Vec<Vec<EdgeSpec>>,
+    parallelism: Vec<usize>,
 }
 
 impl Default for TopologyBuilder {
@@ -365,24 +720,36 @@ impl TopologyBuilder {
     pub fn new() -> Self {
         Self {
             id: NEXT_BUILDER_ID.fetch_add(1, Ordering::Relaxed),
-            nodes: Vec::new(),
+            specs: Vec::new(),
             edges: Vec::new(),
+            parallelism: Vec::new(),
         }
     }
 
     /// Add a transactional operator: `app` runs as its own MorphStream engine
     /// over `store` with `config` (its own punctuation interval, TPG,
     /// decision model, and worker pool). Returns the typed handle used to
-    /// [`connect`](TopologyBuilder::connect) it into the dataflow.
+    /// [`connect`](TopologyBuilder::connect) it into the dataflow; call
+    /// [`OperatorHandle::with_parallelism`] on the handle to run several
+    /// instances of the operator.
     ///
     /// Operators may share a `StateStore` (and must, when downstream
     /// operators read state written upstream), but two operators must never
     /// write the *same table* — each operator assigns its own timestamps, and
     /// interleaving two timestamp domains in one table's version chains would
-    /// un-order them. [`TopologyBuilder::build`] disables after-batch version
-    /// reclamation on operators whose store is shared, because store-wide
-    /// truncation with one operator's watermark could collapse versions a
-    /// sibling operator's windowed reads still need.
+    /// un-order them. After-batch version reclamation is per-table (each
+    /// engine truncates only the tables it writes, with its own watermark),
+    /// so sharing a store no longer disables reclamation; tables an operator
+    /// itself accesses through windows are pinned automatically and keep
+    /// their history.
+    ///
+    /// **Cross-operator windows need an explicit pin**: when one operator
+    /// *writes* a table that a *different* operator window-reads, pin the
+    /// table up front with
+    /// [`StateStore::pin_table`](morphstream_storage::StateStore::pin_table).
+    /// Windowed accesses are discovered per-engine as batches decompose, so
+    /// the reader's automatic pin can land only after the writer's first
+    /// reclamation already truncated the shared history.
     #[must_use]
     pub fn add_operator<A: StreamApp>(
         &mut self,
@@ -394,94 +761,94 @@ impl TopologyBuilder {
     where
         A::Output: 'static,
     {
-        let queue = Arc::new(Mutex::new(Vec::new()));
-        let tapped = TapApp {
-            inner: app,
-            queue: Arc::clone(&queue),
-        };
-        let index = self.nodes.len();
-        self.nodes.push(Box::new(Node {
+        let index = self.specs.len();
+        self.specs.push(Box::new(NodeSpec {
             name: name.into(),
-            engine: MorphStream::new(tapped, store.clone(), config),
-            queue,
+            app,
             store,
+            config,
         }));
         self.edges.push(Vec::new());
+        self.parallelism.push(1);
         OperatorHandle {
             builder: self.id,
             index,
+            parallelism: 1,
             _marker: PhantomData,
         }
     }
 
     /// Route `from`'s outputs into `to`'s events: after every batch `from`
-    /// completes, `route` is applied to each output in order and every event
-    /// it yields is ingested by `to` (then `to` is flushed, propagating the
-    /// punctuation). Return `Some`/`None` to map/filter, or a `Vec` to fan
-    /// one output out into several events; add several edges from one
-    /// operator to fan out across downstream operators.
+    /// completes, the [`Route`] is applied to each output in order and every
+    /// event it yields is ingested by `to` (then `to` is flushed, propagating
+    /// the punctuation). Add several edges from one operator to fan out
+    /// across downstream operators. An edge into a parallel operator must use
+    /// [`Route::keyed`].
     ///
     /// # Panics
     ///
     /// Panics if either handle does not belong to this builder.
-    pub fn connect<E1, O1, E2, O2, R, I>(
+    pub fn connect<E1, O1, E2, O2>(
         &mut self,
         from: OperatorHandle<E1, O1>,
         to: OperatorHandle<E2, O2>,
-        route: R,
+        route: Route<O1, E2>,
     ) where
-        O1: 'static,
-        E2: 'static,
-        R: Fn(&O1) -> I + Send + 'static,
-        I: IntoIterator<Item = E2>,
+        O1: Send + 'static,
+        E2: Send + 'static,
     {
-        self.check_handle(from.builder, from.index);
-        self.check_handle(to.builder, to.index);
-        let erased = move |outputs: &dyn Any| -> Box<dyn Any> {
-            let outputs = outputs
-                .downcast_ref::<Vec<O1>>()
-                .expect("edge source type checked by OperatorHandle");
-            let mut routed: Vec<E2> = Vec::new();
-            for output in outputs {
-                routed.extend(route(output));
-            }
-            Box::new(routed) as Box<dyn Any>
-        };
-        self.edges[from.index].push(Edge {
+        self.note_handle(from.builder, from.index, from.parallelism);
+        self.note_handle(to.builder, to.index, to.parallelism);
+        let (keyed, route) = erase_route(route);
+        self.edges[from.index].push(EdgeSpec {
             dst: to.index,
-            route: Box::new(erased),
+            keyed,
+            route,
         });
     }
 
-    fn check_handle(&self, builder: u64, index: usize) {
+    /// Validate a handle and record the parallelism it carries (the highest
+    /// request wins, so a handle upgraded with `with_parallelism` takes
+    /// effect whenever any copy of it is passed back in).
+    fn note_handle(&mut self, builder: u64, index: usize, parallelism: usize) {
         assert!(
-            builder == self.id && index < self.nodes.len(),
+            builder == self.id && index < self.specs.len(),
             "operator handle does not belong to this TopologyBuilder"
         );
+        self.parallelism[index] = self.parallelism[index].max(parallelism);
     }
 
     /// Assemble the dataflow: `entry` receives the topology's input events,
     /// `terminal`'s outputs become the topology's outputs (operators that are
     /// neither the terminal nor connected further act as side-effecting
-    /// sinks; their outputs are discarded). Validates that the graph is a
-    /// DAG, that every operator is reachable from `entry`, that `entry` has
-    /// no upstream, and that `terminal` has no downstream.
+    /// sinks; their outputs are discarded), and `config` selects the runtime
+    /// — the serial wave loop by default, or the concurrent per-operator
+    /// thread runtime with bounded channels (see [`TopologyConfig`]).
+    ///
+    /// Validates that the graph is a DAG, that every operator is reachable
+    /// from `entry`, that `entry` has no upstream and is not parallel, that
+    /// `terminal` has no downstream, and that every edge into a parallel
+    /// operator is keyed.
     ///
     /// # Panics
     ///
     /// Panics if either handle does not belong to this builder.
     pub fn build<In, EO, TE, Out>(
-        self,
+        mut self,
         entry: OperatorHandle<In, EO>,
         terminal: OperatorHandle<TE, Out>,
+        config: TopologyConfig,
     ) -> Result<Topology<In, Out>, TopologyError>
     where
         In: Send + 'static,
         Out: Send + 'static,
     {
-        self.check_handle(entry.builder, entry.index);
-        self.check_handle(terminal.builder, terminal.index);
-        let n = self.nodes.len();
+        self.note_handle(entry.builder, entry.index, entry.parallelism);
+        self.note_handle(terminal.builder, terminal.index, terminal.parallelism);
+        if let Err(reason) = config.validate() {
+            return Err(TopologyError::InvalidConfig(reason));
+        }
+        let n = self.specs.len();
 
         let mut in_degree = vec![0usize; n];
         for edges in &self.edges {
@@ -491,13 +858,28 @@ impl TopologyBuilder {
         }
         if in_degree[entry.index] != 0 {
             return Err(TopologyError::EntryHasUpstream(
-                self.nodes[entry.index].name().to_string(),
+                self.specs[entry.index].name().to_string(),
             ));
         }
         if !self.edges[terminal.index].is_empty() {
             return Err(TopologyError::TerminalHasDownstream(
-                self.nodes[terminal.index].name().to_string(),
+                self.specs[terminal.index].name().to_string(),
             ));
+        }
+        if self.parallelism[entry.index] > 1 {
+            return Err(TopologyError::ParallelEntry(
+                self.specs[entry.index].name().to_string(),
+            ));
+        }
+        for (src, edges) in self.edges.iter().enumerate() {
+            for edge in edges {
+                if self.parallelism[edge.dst] > 1 && !edge.keyed {
+                    return Err(TopologyError::UnkeyedParallelRoute {
+                        from: self.specs[src].name().to_string(),
+                        to: self.specs[edge.dst].name().to_string(),
+                    });
+                }
+            }
         }
 
         // Kahn's algorithm: the propagation order. A leftover node means a
@@ -532,15 +914,15 @@ impl TopologyBuilder {
         }
         if let Some(stranded) = (0..n).find(|&i| !reachable[i]) {
             return Err(TopologyError::Unreachable(
-                self.nodes[stranded].name().to_string(),
+                self.specs[stranded].name().to_string(),
             ));
         }
 
         // Deduplicate shared stores so per-wave memory accounting counts each
         // underlying store once.
         let mut stores: Vec<StateStore> = Vec::new();
-        for node in &self.nodes {
-            let store = node.store();
+        for spec in &self.specs {
+            let store = spec.store();
             if !stores
                 .iter()
                 .any(|s| s.instance_id() == store.instance_id())
@@ -549,96 +931,829 @@ impl TopologyBuilder {
             }
         }
 
-        // After-batch reclamation truncates the *whole* store with the
-        // reclaiming operator's watermark. Operators stamp independent
-        // timestamp domains, so on a shared store one operator's reclamation
-        // could collapse versions a sibling's windowed reads still need —
-        // turn it off for every operator whose store is shared. (Scoped
-        // per-table reclamation is a roadmap follow-up.)
-        let mut nodes = self.nodes;
-        if stores.len() < n {
-            let ids: Vec<usize> = nodes
-                .iter()
-                .map(|node| node.store().instance_id())
-                .collect();
-            for (idx, node) in nodes.iter_mut().enumerate() {
-                let shared = ids
-                    .iter()
-                    .enumerate()
-                    .any(|(other, id)| other != idx && *id == ids[idx]);
-                if shared {
-                    node.disable_reclamation();
-                }
+        let names: Vec<String> = self.specs.iter().map(|s| s.name().to_string()).collect();
+        // Edge observability rows: the implicit input feed first, then every
+        // routed edge in (source, insertion-order) order.
+        let mut edge_labels = vec![("(input)".to_string(), names[entry.index].clone())];
+        for (src, edges) in self.edges.iter().enumerate() {
+            for edge in edges {
+                edge_labels.push((names[src].clone(), names[edge.dst].clone()));
             }
         }
+        let edge_waits: Vec<Arc<AtomicU64>> = (0..edge_labels.len())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
 
-        let pending = (0..n).map(|_| Vec::new()).collect();
-        let entry_punctuation = nodes[entry.index].punctuation_interval();
-        Ok(Topology {
-            nodes,
-            edges: self.edges,
-            pending,
-            topo_order,
-            entry: entry.index,
-            terminal: terminal.index,
-            stores,
+        let parallelism = std::mem::take(&mut self.parallelism);
+        let nodes: Vec<NodeParts> = self
+            .specs
+            .drain(..)
+            .zip(&parallelism)
+            .map(|(spec, &p)| spec.instantiate(p))
+            .collect();
+        let entry_punctuation = nodes[entry.index].instances[0].punctuation_interval();
+
+        let shared = SessionShared {
             report: RunReport::new(),
             hook: None,
             waves: 0,
             run_started: None,
-            entry_buffer: Vec::new(),
+            stores,
+            edge_labels,
+            edge_waits,
+        };
+        let mut topology = Topology {
+            names,
+            entry_index: entry.index,
+            terminal_index: terminal.index,
             entry_punctuation,
-            entry_batches_seen: 0,
-            last_stats: AggregateStats::default(),
+            entry_buffer: Vec::new(),
+            shared,
+            serial: None,
+            concurrent: None,
             _marker: PhantomData,
-        })
+        };
+        if config.concurrent {
+            topology.concurrent = Some(ConcurrentRuntime::launch(LaunchPlan {
+                nodes,
+                edges: self.edges,
+                topo_order,
+                entry: entry.index,
+                terminal: terminal.index,
+                capacity: config.channel_capacity.max(1),
+                edge_waits: topology.shared.edge_waits.clone(),
+            }));
+        } else {
+            let pending = (0..n).map(|_| Vec::new()).collect();
+            topology.serial = Some(SerialRuntime {
+                nodes: nodes.into_iter().map(SerialNode::new).collect(),
+                edges: self.edges,
+                pending,
+                topo_order,
+                entry: entry.index,
+                terminal: terminal.index,
+                entry_batches_seen: 0,
+                last_stats: AggregateStats::default(),
+            });
+        }
+        Ok(topology)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shared session state and the serial runtime
+// ---------------------------------------------------------------------------
+
+/// Session state shared by both runtimes: the accumulated report, hook,
+/// wave counter, and the edge observability rows.
+struct SessionShared<Out> {
+    report: RunReport<Out>,
+    hook: Option<BatchHook>,
+    waves: usize,
+    run_started: Option<Instant>,
+    /// The distinct state stores of the operators (shared stores counted
+    /// once), for per-wave memory accounting.
+    stores: Vec<StateStore>,
+    edge_labels: Vec<(String, String)>,
+    edge_waits: Vec<Arc<AtomicU64>>,
+}
+
+impl<Out> SessionShared<Out> {
+    fn bytes_retained(&self) -> u64 {
+        self.stores.iter().map(StateStore::bytes_retained).sum()
+    }
+
+    fn edge_report(&self) -> Vec<EdgeReport> {
+        self.edge_labels
+            .iter()
+            .zip(&self.edge_waits)
+            .map(|((from, to), waits)| EdgeReport {
+                from: from.clone(),
+                to: to.clone(),
+                queue_full_waits: waits.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn record_round(&mut self, summary: BatchSummary, breakdown: &Breakdown) {
+        if let Some(hook) = self.hook.as_mut() {
+            hook(&summary);
+        }
+        let at = self.run_started.map(|s| s.elapsed()).unwrap_or_default();
+        self.report.record_batch(summary, breakdown, at);
+        self.waves += 1;
+    }
+
+    fn reset_session(&mut self) {
+        self.waves = 0;
+        self.run_started = None;
+        self.hook = None;
+        for waits in &self.edge_waits {
+            waits.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Cumulative counters aggregated over operators, used to turn two snapshots
+/// into one propagation wave's [`BatchSummary`].
+#[derive(Default, Clone)]
+struct AggregateStats {
+    /// Events ingested by the *entry* operator (the topology's input count).
+    entry_events: usize,
+    totals: InstanceStats,
+}
+
+/// One operator of the serial runtime: its instances plus the per-wave
+/// position bookkeeping that merges parallel outputs back into order.
+struct SerialNode {
+    name: String,
+    instances: Vec<Box<dyn ErasedInstance>>,
+    merge: MergeFn,
+    /// Canonical positions (within the current wave) of the events each
+    /// instance ingested, in ingestion order.
+    wave_positions: Vec<Vec<usize>>,
+    /// Events routed to this node in the current wave, across instances.
+    wave_total: usize,
+}
+
+impl SerialNode {
+    fn new(parts: NodeParts) -> Self {
+        let instances = parts.instances;
+        Self {
+            name: parts.name,
+            wave_positions: vec![Vec::new(); instances.len()],
+            instances,
+            merge: parts.merge,
+            wave_total: 0,
+        }
+    }
+
+    /// Ingest one routed round: part `i` goes to instance `i`; the round's
+    /// positions are offset by the events already routed this wave, so
+    /// several upstream rounds concatenate into one canonical order.
+    fn ingest_round(&mut self, round: RoutedParts) {
+        let RoutedParts {
+            parts,
+            positions,
+            total,
+        } = round;
+        debug_assert_eq!(parts.len(), self.instances.len());
+        let offset = self.wave_total;
+        for (index, (events, pos)) in parts.into_iter().zip(positions).enumerate() {
+            self.wave_positions[index].extend(pos.iter().map(|p| p + offset));
+            self.instances[index].ingest_events(events);
+        }
+        self.wave_total += total;
+    }
+
+    fn flush_instances(&mut self) {
+        for instance in &mut self.instances {
+            instance.flush();
+        }
+    }
+
+    /// Drain this wave's outputs, merged across instances into the canonical
+    /// order; `None` when nothing is queued.
+    fn take_wave_outputs(&mut self) -> Option<Box<dyn Any + Send>> {
+        if self.instances.len() == 1 {
+            self.wave_positions[0].clear();
+            self.wave_total = 0;
+            let (outputs, count) = self.instances[0].take_outputs();
+            return (count > 0).then_some(outputs);
+        }
+        let total = std::mem::replace(&mut self.wave_total, 0);
+        let mut parts: Vec<MergePart> = Vec::with_capacity(self.instances.len());
+        let mut drained = 0usize;
+        for (instance, positions) in self.instances.iter_mut().zip(&mut self.wave_positions) {
+            let (outputs, count) = instance.take_outputs();
+            drained += count;
+            parts.push((outputs, count, std::mem::take(positions)));
+        }
+        if drained == 0 && total == 0 {
+            return None;
+        }
+        Some((self.merge)(parts, total))
+    }
+
+    fn stats(&self) -> InstanceStats {
+        let mut sum = InstanceStats::default();
+        for instance in &self.instances {
+            sum.merge(&instance.stats());
+        }
+        sum
+    }
+
+    fn finish_instances(&mut self) -> Vec<OperatorReport> {
+        let parallel = self.instances.len() > 1;
+        let name = self.name.clone();
+        self.instances
+            .iter_mut()
+            .enumerate()
+            .map(|(i, instance)| {
+                let label = if parallel {
+                    format!("{name}#{i}")
+                } else {
+                    name.clone()
+                };
+                instance.finish_instance(&label)
+            })
+            .collect()
+    }
+}
+
+/// The serial wave loop: operators execute one wave at a time on the caller
+/// thread, in topological order.
+struct SerialRuntime {
+    nodes: Vec<SerialNode>,
+    edges: Vec<Vec<EdgeSpec>>,
+    /// Routed-but-not-yet-ingested rounds per destination operator.
+    pending: Vec<Vec<RoutedParts>>,
+    topo_order: Vec<usize>,
+    entry: usize,
+    terminal: usize,
+    /// Entry-operator batches already propagated, so ingestion detects new
+    /// batch boundaries without locking the output queue per event.
+    entry_batches_seen: usize,
+    last_stats: AggregateStats,
+}
+
+impl SerialRuntime {
+    fn aggregate_stats(&self) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let stats = node.stats();
+            if idx == self.entry {
+                agg.entry_events = stats.events;
+            }
+            agg.totals.merge(&stats);
+        }
+        agg
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent runtime: messages and workers
+// ---------------------------------------------------------------------------
+
+/// What a propagation round means to the operators it flows through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundKind {
+    /// An ordinary punctuation: the entry operator cuts its batch internally,
+    /// downstream operators flush on arrival (punctuation alignment).
+    Normal,
+    /// A synchronisation round: every operator (the entry included) flushes
+    /// its partial batch, so the round drains the whole dataflow.
+    Flush,
+    /// Flush *and* close every operator session, emitting the per-instance
+    /// [`OperatorReport`]s.
+    Finish,
+}
+
+/// One routed part of a round, addressed to a single operator instance.
+struct InstanceMsg {
+    seq: usize,
+    kind: RoundKind,
+    /// Which of the destination's incoming edges this part arrived on, in the
+    /// canonical (topological source order) numbering — the alignment slot.
+    in_edge: usize,
+    events: Box<dyn Any + Send>,
+    /// Canonical positions of `events` within the sending edge's round.
+    positions: Vec<usize>,
+    /// Total events of the sending edge's round (across all instances).
+    total: usize,
+}
+
+/// One instance's processed round, on its way to the operator's merger.
+struct MergerMsg {
+    seq: usize,
+    kind: RoundKind,
+    instance: usize,
+    outputs: Box<dyn Any + Send>,
+    count: usize,
+    positions: Vec<usize>,
+    /// Events routed to the whole operator this round (all instances agree).
+    total: usize,
+}
+
+/// Everything the worker threads report back to the topology.
+enum ToTopology {
+    /// The terminal operator's merged outputs for one round (sent every
+    /// round, possibly empty, so the caller can await round completion).
+    Outputs {
+        seq: usize,
+        outputs: Box<dyn Any + Send>,
+    },
+    /// One instance finished processing one round.
+    RoundStats {
+        seq: usize,
+        is_entry: bool,
+        delta: InstanceStats,
+        decision: Option<SchedulingDecision>,
+    },
+    /// One instance closed its session (a `Finish` round).
+    Operator {
+        node: usize,
+        instance: usize,
+        report: OperatorReport,
+    },
+    /// A worker thread panicked; the payload is in the shared panic slot.
+    WorkerPanicked,
+}
+
+type PanicSlot = Arc<Mutex<Option<Box<dyn Any + Send>>>>;
+
+/// Send with back-pressure accounting: a full channel bumps the edge's
+/// `queue_full_waits` before blocking. Returns `false` when the receiver hung
+/// up (topology drop or worker panic) — the caller winds down.
+fn send_counting(tx: &SyncSender<InstanceMsg>, msg: InstanceMsg, waits: &AtomicU64) -> bool {
+    match tx.try_send(msg) {
+        Ok(()) => true,
+        Err(TrySendError::Full(msg)) => {
+            waits.fetch_add(1, Ordering::Relaxed);
+            tx.send(msg).is_ok()
+        }
+        Err(TrySendError::Disconnected(_)) => false,
+    }
+}
+
+/// The sender side of one outgoing edge: the route plus the destination
+/// instances' channels.
+struct OutEdge {
+    route: ErasedRoute,
+    dst_in_edge: usize,
+    dst_txs: Vec<SyncSender<InstanceMsg>>,
+    full_waits: Arc<AtomicU64>,
+}
+
+/// Routes one operator's merged round outputs onward: applies every outgoing
+/// edge (partitioning keyed routes across the destination's instances) and,
+/// on the terminal operator, ships the outputs to the topology.
+struct OutRouter {
+    edges: Vec<OutEdge>,
+    terminal_tx: Option<Sender<ToTopology>>,
+}
+
+impl OutRouter {
+    fn send_round(&self, seq: usize, kind: RoundKind, outputs: Box<dyn Any + Send>) -> bool {
+        for edge in &self.edges {
+            let RoutedParts {
+                parts,
+                positions,
+                total,
+            } = (edge.route)(outputs.as_ref(), edge.dst_txs.len());
+            for ((tx, events), positions) in edge.dst_txs.iter().zip(parts).zip(positions) {
+                let msg = InstanceMsg {
+                    seq,
+                    kind,
+                    in_edge: edge.dst_in_edge,
+                    events,
+                    positions,
+                    total,
+                };
+                if !send_counting(tx, msg, &edge.full_waits) {
+                    return false;
+                }
+            }
+        }
+        if let Some(tx) = &self.terminal_tx {
+            if tx.send(ToTopology::Outputs { seq, outputs }).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Where an instance sends its processed rounds: straight through the
+/// operator's router (single instance) or to the operator's merger.
+enum WorkerOut {
+    Router(OutRouter),
+    Merger(SyncSender<MergerMsg>),
+}
+
+/// One operator instance running on its own thread.
+struct InstanceWorker {
+    node: usize,
+    instance: usize,
+    label: String,
+    is_entry: bool,
+    in_edge_count: usize,
+    rx: Receiver<InstanceMsg>,
+    inst: Box<dyn ErasedInstance>,
+    out: WorkerOut,
+    collector: Sender<ToTopology>,
+}
+
+impl InstanceWorker {
+    fn run(mut self) {
+        let mut queues: Vec<VecDeque<InstanceMsg>> = (0..self.in_edge_count.max(1))
+            .map(|_| VecDeque::new())
+            .collect();
+        let mut baseline = InstanceStats::default();
+        'session: loop {
+            // Drain the channel eagerly so bounded-channel back-pressure acts
+            // on the upstream sender, then process every aligned round.
+            let Ok(msg) = self.rx.recv() else { break };
+            queues[msg.in_edge].push_back(msg);
+            while queues.iter().all(|q| !q.is_empty()) {
+                // Punctuation alignment: one part per incoming edge, in the
+                // canonical edge order, all belonging to the same round.
+                let round: Vec<InstanceMsg> = queues
+                    .iter_mut()
+                    .map(|q| q.pop_front().expect("checked non-empty"))
+                    .collect();
+                let seq = round[0].seq;
+                let kind = round[0].kind;
+                debug_assert!(
+                    round.iter().all(|m| m.seq == seq && m.kind == kind),
+                    "edge rounds desynchronised"
+                );
+                let mut positions: Vec<usize> = Vec::new();
+                let mut offset = 0usize;
+                for msg in round {
+                    positions.extend(msg.positions.iter().map(|p| p + offset));
+                    offset += msg.total;
+                    self.inst.ingest_events(msg.events);
+                }
+                // The entry engine cuts its own punctuations from the fed
+                // events; every other operator flushes per round so its
+                // batches align with upstream batch boundaries.
+                if kind != RoundKind::Normal || !self.is_entry {
+                    self.inst.flush();
+                }
+                let stats = self.inst.stats();
+                let delta = stats.delta(&baseline);
+                baseline = stats;
+                let decision = if self.is_entry {
+                    self.inst.last_batch().map(|(_, decision)| decision)
+                } else {
+                    None
+                };
+                let (outputs, count) = self.inst.take_outputs();
+                let delivered = match &self.out {
+                    WorkerOut::Router(router) => router.send_round(seq, kind, outputs),
+                    WorkerOut::Merger(tx) => tx
+                        .send(MergerMsg {
+                            seq,
+                            kind,
+                            instance: self.instance,
+                            outputs,
+                            count,
+                            positions,
+                            total: offset,
+                        })
+                        .is_ok(),
+                };
+                let _ = self.collector.send(ToTopology::RoundStats {
+                    seq,
+                    is_entry: self.is_entry,
+                    delta,
+                    decision,
+                });
+                if kind == RoundKind::Finish {
+                    let report = self.inst.finish_instance(&self.label);
+                    baseline = InstanceStats::default();
+                    let _ = self.collector.send(ToTopology::Operator {
+                        node: self.node,
+                        instance: self.instance,
+                        report,
+                    });
+                }
+                if !delivered {
+                    break 'session;
+                }
+            }
+        }
+    }
+}
+
+/// Merges the parallel instances' per-round outputs back into the canonical
+/// order and routes them onward.
+struct MergerWorker {
+    rx: Receiver<MergerMsg>,
+    instances: usize,
+    merge: MergeFn,
+    out: OutRouter,
+}
+
+impl MergerWorker {
+    fn run(self) {
+        let mut queues: Vec<VecDeque<MergerMsg>> =
+            (0..self.instances).map(|_| VecDeque::new()).collect();
+        'session: loop {
+            let Ok(msg) = self.rx.recv() else { break };
+            queues[msg.instance].push_back(msg);
+            while queues.iter().all(|q| !q.is_empty()) {
+                let round: Vec<MergerMsg> = queues
+                    .iter_mut()
+                    .map(|q| q.pop_front().expect("checked non-empty"))
+                    .collect();
+                let seq = round[0].seq;
+                let kind = round[0].kind;
+                let total = round[0].total;
+                debug_assert!(
+                    round.iter().all(|m| m.seq == seq && m.total == total),
+                    "instance rounds desynchronised"
+                );
+                let parts: Vec<MergePart> = round
+                    .into_iter()
+                    .map(|m| (m.outputs, m.count, m.positions))
+                    .collect();
+                let merged = (self.merge)(parts, total);
+                if !self.out.send_round(seq, kind, merged) {
+                    break 'session;
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a worker with panic capture: the first panic payload lands in the
+/// shared slot and a `WorkerPanicked` notice reaches the topology, which
+/// re-raises it on the caller thread with the original payload.
+fn spawn_worker(
+    thread_name: String,
+    panic_slot: PanicSlot,
+    collector: Sender<ToTopology>,
+    body: impl FnOnce() + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(body)) {
+                let mut slot = panic_slot.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+                drop(slot);
+                let _ = collector.send(ToTopology::WorkerPanicked);
+            }
+        })
+        .expect("failed to spawn topology worker thread")
+}
+
+/// Per-round accumulator: stats deltas from every operator instance fold in
+/// until the round is complete, then the round becomes one [`BatchSummary`].
+struct RoundAcc {
+    received: usize,
+    started: Instant,
+    entry_events: usize,
+    totals: InstanceStats,
+    decision: Option<SchedulingDecision>,
+}
+
+impl RoundAcc {
+    fn new(started: Instant) -> Self {
+        Self {
+            received: 0,
+            started,
+            entry_events: 0,
+            totals: InstanceStats::default(),
+            decision: None,
+        }
+    }
+}
+
+/// Everything `ConcurrentRuntime::launch` needs to wire the worker threads.
+struct LaunchPlan {
+    nodes: Vec<NodeParts>,
+    edges: Vec<Vec<EdgeSpec>>,
+    topo_order: Vec<usize>,
+    entry: usize,
+    terminal: usize,
+    capacity: usize,
+    /// Aligned with the builder's edge rows: `[0]` is the input feed.
+    edge_waits: Vec<Arc<AtomicU64>>,
+}
+
+/// The concurrent runtime: every operator instance on its own thread behind
+/// a bounded channel, mergers restoring output order for parallel operators,
+/// and an unbounded collector channel feeding rounds, outputs, and reports
+/// back to the caller thread.
+struct ConcurrentRuntime {
+    entry_tx: Option<SyncSender<InstanceMsg>>,
+    entry_waits: Arc<AtomicU64>,
+    collector_rx: Option<Receiver<ToTopology>>,
+    workers: Vec<JoinHandle<()>>,
+    panic_slot: PanicSlot,
+    total_instances: usize,
+    seq_next: usize,
+    rounds: BTreeMap<usize, RoundAcc>,
+    /// Highest round sequence whose stats are fully folded in.
+    finalized: Option<usize>,
+    /// Highest round sequence whose terminal outputs arrived.
+    outputs_seq: Option<usize>,
+    /// Per-instance reports collected from `Finish` rounds.
+    operator_rows: Vec<(usize, usize, OperatorReport)>,
+}
+
+impl ConcurrentRuntime {
+    fn launch(plan: LaunchPlan) -> Self {
+        let LaunchPlan {
+            nodes,
+            edges,
+            topo_order,
+            entry,
+            terminal,
+            capacity,
+            edge_waits,
+        } = plan;
+        let n = nodes.len();
+        let total_instances: usize = nodes.iter().map(|node| node.instances.len()).sum();
+
+        // Bounded per-instance channels: the back-pressure boundary.
+        let mut txs: Vec<Vec<SyncSender<InstanceMsg>>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Vec<Receiver<InstanceMsg>>> = Vec::with_capacity(n);
+        for node in &nodes {
+            let (mut node_txs, mut node_rxs) = (Vec::new(), Vec::new());
+            for _ in 0..node.instances.len() {
+                let (tx, rx) = sync_channel(capacity);
+                node_txs.push(tx);
+                node_rxs.push(rx);
+            }
+            txs.push(node_txs);
+            rxs.push(node_rxs);
+        }
+
+        // Canonical in-edge numbering: sort each destination's incoming edges
+        // by the source's topological position (then insertion order) — the
+        // same order the serial wave loop ingests rounds in.
+        let mut topo_pos = vec![0usize; n];
+        for (pos, &idx) in topo_order.iter().enumerate() {
+            topo_pos[idx] = pos;
+        }
+        let mut incoming: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+        for (src, node_edges) in edges.iter().enumerate() {
+            for (local, edge) in node_edges.iter().enumerate() {
+                incoming[edge.dst].push((topo_pos[src], src, local));
+            }
+        }
+        let mut in_edge_index: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut in_count = vec![0usize; n];
+        for (dst, mut sources) in incoming.into_iter().enumerate() {
+            sources.sort_unstable();
+            in_count[dst] = sources.len();
+            for (slot, (_, src, local)) in sources.into_iter().enumerate() {
+                in_edge_index.insert((src, local), slot);
+            }
+        }
+
+        let (collector_tx, collector_rx) = channel();
+        let panic_slot: PanicSlot = Arc::new(Mutex::new(None));
+        let entry_tx = txs[entry][0].clone();
+        let entry_waits = Arc::clone(&edge_waits[0]);
+
+        // Routers: one per node, consuming the edge specs (global edge order
+        // = flatten by source then insertion, matching `edge_waits[1..]`).
+        let mut edge_cursor = 1usize;
+        let mut routers: Vec<Option<OutRouter>> = Vec::with_capacity(n);
+        for (src, node_edges) in edges.into_iter().enumerate() {
+            let mut out_edges = Vec::with_capacity(node_edges.len());
+            for (local, edge) in node_edges.into_iter().enumerate() {
+                out_edges.push(OutEdge {
+                    route: edge.route,
+                    dst_in_edge: in_edge_index[&(src, local)],
+                    dst_txs: txs[edge.dst].clone(),
+                    full_waits: Arc::clone(&edge_waits[edge_cursor]),
+                });
+                edge_cursor += 1;
+            }
+            routers.push(Some(OutRouter {
+                edges: out_edges,
+                terminal_tx: (src == terminal).then(|| collector_tx.clone()),
+            }));
+        }
+
+        let mut workers = Vec::with_capacity(total_instances + n);
+        for (idx, node) in nodes.into_iter().enumerate() {
+            let parallel = node.instances.len() > 1;
+            let router = routers[idx].take().expect("router built per node");
+            // Parallel operators interpose a merger that restores the round's
+            // canonical output order before routing onward.
+            let (merger_tx, mut router) = if parallel {
+                let slots = node.instances.len();
+                let (tx, rx) = sync_channel(capacity.max(1) * slots);
+                workers.push(spawn_worker(
+                    format!("morph-topo-{}-merge", node.name),
+                    Arc::clone(&panic_slot),
+                    collector_tx.clone(),
+                    {
+                        let merge = Arc::clone(&node.merge);
+                        move || {
+                            MergerWorker {
+                                rx,
+                                instances: slots,
+                                merge,
+                                out: router,
+                            }
+                            .run()
+                        }
+                    },
+                ));
+                (Some(tx), None)
+            } else {
+                (None, Some(router))
+            };
+            let instance_rxs = std::mem::take(&mut rxs[idx]);
+            for (i, (inst, rx)) in node.instances.into_iter().zip(instance_rxs).enumerate() {
+                let label = if parallel {
+                    format!("{}#{i}", node.name)
+                } else {
+                    node.name.clone()
+                };
+                let out = match &merger_tx {
+                    Some(tx) => WorkerOut::Merger(tx.clone()),
+                    None => WorkerOut::Router(router.take().expect("single instance router")),
+                };
+                let worker = InstanceWorker {
+                    node: idx,
+                    instance: i,
+                    label: label.clone(),
+                    is_entry: idx == entry,
+                    in_edge_count: in_count[idx],
+                    rx,
+                    inst,
+                    out,
+                    collector: collector_tx.clone(),
+                };
+                workers.push(spawn_worker(
+                    format!("morph-topo-{label}"),
+                    Arc::clone(&panic_slot),
+                    collector_tx.clone(),
+                    move || worker.run(),
+                ));
+            }
+        }
+        // Drop the builder's collector sender so "all workers gone" surfaces
+        // as a disconnect on the caller side.
+        drop(collector_tx);
+
+        Self {
+            entry_tx: Some(entry_tx),
+            entry_waits,
+            collector_rx: Some(collector_rx),
+            workers,
+            panic_slot,
+            total_instances,
+            seq_next: 0,
+            rounds: BTreeMap::new(),
+            finalized: None,
+            outputs_seq: None,
+            operator_rows: Vec::new(),
+        }
+    }
+
+    /// Close the channels and join every worker. Safe to call repeatedly;
+    /// also the drop path, so a topology dropped mid-stream winds down
+    /// without deadlock (receivers disconnect, blocked senders error out).
+    fn shutdown(&mut self) {
+        self.entry_tx = None;
+        self.collector_rx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ConcurrentRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The assembled topology
+// ---------------------------------------------------------------------------
 
 /// A DAG of transactional operators that is itself a [`TxnEngine`]: events
 /// pushed into the topology enter the entry operator, every completed batch's
 /// outputs are routed downstream with the punctuation, and the terminal
 /// operator's outputs become the topology's outputs. Built by
 /// [`TopologyBuilder`]; see the [module documentation](self) for the
-/// lifecycle and a complete example.
+/// lifecycle, the two runtimes, and a complete example.
 pub struct Topology<In, Out> {
-    nodes: Vec<Box<dyn ErasedNode>>,
-    edges: Vec<Vec<Edge>>,
-    /// Routed-but-not-yet-ingested event batches per destination operator.
-    pending: Vec<Vec<Box<dyn Any>>>,
-    topo_order: Vec<usize>,
-    entry: usize,
-    terminal: usize,
-    /// The distinct state stores of the operators (shared stores counted
-    /// once), for per-wave memory accounting.
-    stores: Vec<StateStore>,
-    report: RunReport<Out>,
-    hook: Option<BatchHook>,
-    waves: usize,
-    run_started: Option<Instant>,
+    names: Vec<String>,
+    entry_index: usize,
+    terminal_index: usize,
+    /// The entry operator's punctuation interval, captured at build time.
+    entry_punctuation: usize,
     /// Typed staging buffer for entry events: pushed events accumulate here
     /// (no per-event boxing or virtual dispatch) and are handed to the entry
     /// operator one punctuation interval at a time.
     entry_buffer: Vec<In>,
-    /// The entry operator's punctuation interval, captured at build time.
-    entry_punctuation: usize,
-    /// Entry-operator batches already propagated, so ingestion detects new
-    /// batch boundaries without locking the output queue per event.
-    entry_batches_seen: usize,
-    last_stats: AggregateStats,
+    shared: SessionShared<Out>,
+    serial: Option<SerialRuntime>,
+    concurrent: Option<ConcurrentRuntime>,
     _marker: PhantomData<fn(In) -> Out>,
 }
 
 impl<In, Out> std::fmt::Debug for Topology<In, Out> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Topology")
-            .field(
-                "operators",
-                &self.nodes.iter().map(|n| n.name()).collect::<Vec<_>>(),
-            )
-            .field("entry", &self.nodes[self.entry].name())
-            .field("terminal", &self.nodes[self.terminal].name())
-            .field("waves", &self.waves)
+            .field("operators", &self.names)
+            .field("entry", &self.names[self.entry_index])
+            .field("terminal", &self.names[self.terminal_index])
+            .field("concurrent", &self.concurrent.is_some())
+            .field("waves", &self.shared.waves)
             .finish()
     }
 }
@@ -648,142 +1763,309 @@ where
     In: Send + 'static,
     Out: Send + 'static,
 {
-    /// Number of operators in the dataflow.
+    /// Number of operators in the dataflow (instances of one parallel
+    /// operator count once).
     pub fn operator_count(&self) -> usize {
-        self.nodes.len()
+        self.names.len()
     }
 
     /// Operator names in the order they were added to the builder.
     pub fn operator_names(&self) -> Vec<&str> {
-        self.nodes.iter().map(|n| n.name()).collect()
+        self.names.iter().map(String::as_str).collect()
     }
 
+    /// Whether the topology runs the concurrent (threaded) runtime.
+    pub fn is_concurrent(&self) -> bool {
+        self.concurrent.is_some()
+    }
+
+    // ---- serial runtime -------------------------------------------------
+
     /// One propagation wave: walk the operators in topological order,
-    /// ingesting routed batches, flushing where a punctuation must propagate,
+    /// ingesting routed rounds, flushing where a punctuation must propagate,
     /// and routing drained outputs further downstream. With `flush_all` the
     /// wave is a synchronisation point — every operator (the entry included)
-    /// drains its buffer and pipeline stages, so all pushed events are
-    /// reflected in the report afterwards.
-    fn wave(&mut self, flush_all: bool) {
+    /// drains its buffer and pipeline stages.
+    fn serial_wave(&mut self, flush_all: bool) {
+        let Some(rt) = self.serial.as_mut() else {
+            return;
+        };
+        let shared = &mut self.shared;
         let wave_started = Instant::now();
-        for i in 0..self.topo_order.len() {
-            let idx = self.topo_order[i];
-            let routed_in = !self.pending[idx].is_empty();
-            for batch in std::mem::take(&mut self.pending[idx]) {
-                self.nodes[idx].ingest_batch(batch);
+        for i in 0..rt.topo_order.len() {
+            let idx = rt.topo_order[i];
+            let rounds = std::mem::take(&mut rt.pending[idx]);
+            let routed_in = !rounds.is_empty();
+            for round in rounds {
+                rt.nodes[idx].ingest_round(round);
             }
             // Punctuation propagation: a downstream operator is flushed on
             // every upstream batch boundary, so its batches align with (or
             // subdivide, when its own punctuation interval is smaller) the
             // batches of its upstream.
-            if flush_all || (idx != self.entry && routed_in) {
-                self.nodes[idx].flush();
+            if flush_all || (idx != rt.entry && routed_in) {
+                rt.nodes[idx].flush_instances();
             }
-            if idx == self.entry {
+            if idx == rt.entry {
                 // Any entry batches drained by this wave's flush are now
                 // propagated; keep the ingest-path boundary detector in sync.
-                self.entry_batches_seen = self.nodes[idx].completed_batches();
+                rt.entry_batches_seen = rt.nodes[idx].instances[0].completed_batches();
             }
-            let Some(outputs) = self.nodes[idx].take_outputs() else {
+            let Some(outputs) = rt.nodes[idx].take_wave_outputs() else {
                 continue;
             };
-            if idx == self.terminal {
+            if idx == rt.terminal {
                 let outputs = outputs
                     .downcast::<Vec<Out>>()
                     .expect("terminal output type checked by OperatorHandle");
-                self.report.outputs.extend(*outputs);
+                shared.report.outputs.extend(*outputs);
             } else {
-                for edge in &self.edges[idx] {
-                    self.pending[edge.dst].push((edge.route)(outputs.as_ref()));
+                for edge in &rt.edges[idx] {
+                    let parts = (edge.route)(outputs.as_ref(), rt.nodes[edge.dst].instances.len());
+                    rt.pending[edge.dst].push(parts);
                 }
             }
         }
-        self.record_wave(wave_started, flush_all);
-    }
 
-    /// Hand the staged entry events to the entry operator and, when that
-    /// completed a batch (its tapped outputs appeared), propagate the
-    /// punctuation through the dataflow. Batch counting is lock-free;
-    /// outputs are queued strictly before a batch is recorded.
-    fn feed_entry(&mut self) {
-        if self.entry_buffer.is_empty() {
-            return;
-        }
-        let events = std::mem::take(&mut self.entry_buffer);
-        self.nodes[self.entry].ingest_batch(Box::new(events));
-        let completed = self.nodes[self.entry].completed_batches();
-        if completed > self.entry_batches_seen {
-            self.entry_batches_seen = completed;
-            self.wave(false);
-        }
-    }
-
-    /// Cumulative counters summed over every operator (entry events kept
-    /// separately — they are the topology's input count).
-    fn aggregate_stats(&self) -> AggregateStats {
-        let mut agg = AggregateStats::default();
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let (events, committed, aborted, redone, timings, breakdown) = node.stats();
-            if idx == self.entry {
-                agg.entry_events = events;
-            }
-            agg.committed += committed;
-            agg.aborted += aborted;
-            agg.redone_ops += redone;
-            agg.timings.merge(&timings);
-            agg.breakdown.merge(&breakdown);
-        }
-        agg
-    }
-
-    /// Fold one propagation wave into the topology-level report as a
-    /// [`BatchSummary`]: the delta of the aggregated operator counters since
-    /// the previous wave. A wave that moved nothing records nothing, so a
-    /// trailing `flush`/`finish` never appends an empty batch.
-    fn record_wave(&mut self, wave_started: Instant, flush_all: bool) {
-        let now = self.aggregate_stats();
-        let last = &self.last_stats;
-        let events = now.entry_events - last.entry_events;
-        let committed = now.committed - last.committed;
-        let aborted = now.aborted - last.aborted;
-        if events == 0 && committed == 0 && aborted == 0 {
+        // Fold the wave into the report as one BatchSummary: the delta of
+        // the aggregated operator counters since the previous wave. A wave
+        // that moved nothing records nothing, so a trailing flush/finish
+        // never appends an empty batch.
+        let now = rt.aggregate_stats();
+        let delta = now.totals.delta(&rt.last_stats.totals);
+        let events = now.entry_events - rt.last_stats.entry_events;
+        if events == 0 && delta.is_zero() {
             return;
         }
         // End-to-end latency of the wave. Ingest-triggered waves start
         // *after* the entry batch executed, so the entry batch's own
         // cut-to-post latency is added; in a flush wave the entry batch
         // executes inside the wave interval and must not be counted twice.
+        let entry_last = rt.nodes[rt.entry].instances[0].last_batch();
         let entry_elapsed = if flush_all {
             Duration::ZERO
         } else {
-            self.nodes[self.entry]
-                .last_batch()
-                .map(|(elapsed, _)| elapsed)
-                .unwrap_or_default()
+            entry_last.map(|(elapsed, _)| elapsed).unwrap_or_default()
         };
-        let decision = self.nodes[self.entry]
-            .last_batch()
-            .map(|(_, decision)| decision)
-            .unwrap_or_default();
         let summary = BatchSummary {
-            batch: self.waves,
+            batch: shared.waves,
             events,
-            committed,
-            aborted,
+            committed: delta.committed,
+            aborted: delta.aborted,
             elapsed: entry_elapsed + wave_started.elapsed(),
-            decision,
-            redone_ops: now.redone_ops - last.redone_ops,
-            bytes_retained: self.stores.iter().map(StateStore::bytes_retained).sum(),
-            timings: now.timings.saturating_sub(&last.timings),
+            decision: entry_last.map(|(_, decision)| decision).unwrap_or_default(),
+            redone_ops: delta.redone_ops,
+            bytes_retained: shared.bytes_retained(),
+            timings: delta.timings,
         };
-        let breakdown = now.breakdown.saturating_sub(&last.breakdown);
-        if let Some(hook) = self.hook.as_mut() {
-            hook(&summary);
+        rt.last_stats = now;
+        shared.record_round(summary, &delta.breakdown);
+    }
+
+    /// Hand the staged entry events to the entry operator and, when that
+    /// completed a batch, propagate the punctuation through the dataflow.
+    fn serial_feed(&mut self) {
+        if self.entry_buffer.is_empty() {
+            return;
         }
-        let at = self.run_started.map(|s| s.elapsed()).unwrap_or_default();
-        self.report.record_batch(summary, &breakdown, at);
-        self.waves += 1;
-        self.last_stats = now;
+        let events = std::mem::take(&mut self.entry_buffer);
+        let total = events.len();
+        let trigger = {
+            let rt = self.serial.as_mut().expect("serial runtime");
+            rt.nodes[rt.entry].ingest_round(RoutedParts {
+                parts: vec![Box::new(events)],
+                positions: vec![Vec::new()],
+                total,
+            });
+            let completed = rt.nodes[rt.entry].instances[0].completed_batches();
+            let new_batch = completed > rt.entry_batches_seen;
+            if new_batch {
+                rt.entry_batches_seen = completed;
+            }
+            new_batch
+        };
+        if trigger {
+            self.serial_wave(false);
+        }
+    }
+
+    // ---- concurrent runtime ---------------------------------------------
+
+    /// Tear the runtime down and re-raise a worker panic with its original
+    /// payload (same discipline as pipelined construction), or report the
+    /// unexpected shutdown.
+    fn concurrent_fail(&mut self) -> ! {
+        let payload = self.concurrent.as_mut().and_then(|rt| {
+            // Join the workers *first*: a panicking worker's channels drop
+            // while it unwinds, so siblings (and this thread) can observe the
+            // disconnect before the payload lands in the slot — after the
+            // join, the slot is authoritative.
+            rt.shutdown();
+            rt.panic_slot.lock().expect("panic slot poisoned").take()
+        });
+        match payload {
+            Some(payload) => std::panic::resume_unwind(payload),
+            None => panic!("topology worker threads terminated unexpectedly"),
+        }
+    }
+
+    /// Fold one collector message into the session.
+    fn concurrent_apply(
+        shared: &mut SessionShared<Out>,
+        rt: &mut ConcurrentRuntime,
+        msg: ToTopology,
+    ) {
+        match msg {
+            ToTopology::Outputs { seq, outputs } => {
+                let outputs = outputs
+                    .downcast::<Vec<Out>>()
+                    .expect("terminal output type checked by OperatorHandle");
+                shared.report.outputs.extend(*outputs);
+                rt.outputs_seq = Some(seq);
+            }
+            ToTopology::RoundStats {
+                seq,
+                is_entry,
+                delta,
+                decision,
+            } => {
+                let acc = rt
+                    .rounds
+                    .get_mut(&seq)
+                    .expect("round stats for an unknown round");
+                acc.received += 1;
+                if is_entry {
+                    acc.entry_events += delta.events;
+                    acc.decision = acc.decision.or(decision);
+                }
+                acc.totals.merge(&delta);
+                // Rounds complete in order: finalize every leading round all
+                // instances have reported.
+                while let Some(entry) = rt.rounds.first_entry() {
+                    if entry.get().received < rt.total_instances {
+                        break;
+                    }
+                    let (seq, acc) = entry.remove_entry();
+                    rt.finalized = Some(seq);
+                    if acc.entry_events == 0 && acc.totals.is_zero() {
+                        continue;
+                    }
+                    let summary = BatchSummary {
+                        batch: shared.waves,
+                        events: acc.entry_events,
+                        committed: acc.totals.committed,
+                        aborted: acc.totals.aborted,
+                        elapsed: acc.started.elapsed(),
+                        decision: acc.decision.unwrap_or_default(),
+                        redone_ops: acc.totals.redone_ops,
+                        bytes_retained: shared.bytes_retained(),
+                        timings: acc.totals.timings,
+                    };
+                    shared.record_round(summary, &acc.totals.breakdown);
+                }
+            }
+            ToTopology::Operator {
+                node,
+                instance,
+                report,
+            } => {
+                rt.operator_rows.push((node, instance, report));
+            }
+            ToTopology::WorkerPanicked => {
+                // Handled by the caller (needs `&mut self` to tear down);
+                // flag through the panic slot which is already set.
+            }
+        }
+    }
+
+    /// Drain collector messages without blocking.
+    fn concurrent_drain(&mut self) {
+        loop {
+            let received = {
+                let rt = self.concurrent.as_ref().expect("concurrent runtime");
+                rt.collector_rx
+                    .as_ref()
+                    .expect("collector open while running")
+                    .try_recv()
+            };
+            match received {
+                Ok(ToTopology::WorkerPanicked) => self.concurrent_fail(),
+                Ok(msg) => {
+                    let rt = self.concurrent.as_mut().expect("concurrent runtime");
+                    Self::concurrent_apply(&mut self.shared, rt, msg);
+                }
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => self.concurrent_fail(),
+            }
+        }
+    }
+
+    /// Ship the staged entry events as one round; returns its sequence
+    /// number. Blocks (back-pressure) when the entry channel is full.
+    fn concurrent_feed(&mut self, kind: RoundKind) -> usize {
+        self.concurrent_drain();
+        let events = std::mem::take(&mut self.entry_buffer);
+        let total = events.len();
+        let (seq, delivered) = {
+            let rt = self.concurrent.as_mut().expect("concurrent runtime");
+            let seq = rt.seq_next;
+            rt.seq_next += 1;
+            rt.rounds.insert(seq, RoundAcc::new(Instant::now()));
+            let msg = InstanceMsg {
+                seq,
+                kind,
+                in_edge: 0,
+                events: Box::new(events),
+                positions: Vec::new(),
+                total,
+            };
+            let tx = rt.entry_tx.as_ref().expect("entry channel open");
+            (seq, send_counting(tx, msg, &rt.entry_waits))
+        };
+        if !delivered {
+            self.concurrent_fail();
+        }
+        seq
+    }
+
+    /// Block until round `seq` is fully recorded and its terminal outputs
+    /// arrived; with `reports` also until every instance reported its
+    /// [`OperatorReport`] (finish path).
+    fn concurrent_wait(&mut self, seq: usize, reports: bool) {
+        loop {
+            {
+                let rt = self.concurrent.as_ref().expect("concurrent runtime");
+                let rounds_done = rt.finalized >= Some(seq) && rt.outputs_seq >= Some(seq);
+                let reports_done = !reports || rt.operator_rows.len() == rt.total_instances;
+                if rounds_done && reports_done {
+                    return;
+                }
+            }
+            let received = {
+                let rt = self.concurrent.as_ref().expect("concurrent runtime");
+                rt.collector_rx
+                    .as_ref()
+                    .expect("collector open while running")
+                    .recv()
+            };
+            match received {
+                Ok(ToTopology::WorkerPanicked) | Err(_) => self.concurrent_fail(),
+                Ok(msg) => {
+                    let rt = self.concurrent.as_mut().expect("concurrent runtime");
+                    Self::concurrent_apply(&mut self.shared, rt, msg);
+                }
+            }
+        }
+    }
+
+    fn feed_entry(&mut self) {
+        if self.concurrent.is_some() {
+            if !self.entry_buffer.is_empty() {
+                self.concurrent_feed(RoundKind::Normal);
+            }
+        } else {
+            self.serial_feed();
+        }
     }
 }
 
@@ -796,7 +2078,7 @@ where
     type Output = Out;
 
     fn ingest(&mut self, event: In) {
-        self.run_started.get_or_insert_with(Instant::now);
+        self.shared.run_started.get_or_insert_with(Instant::now);
         // The hot path is a typed buffer push; the staged events are handed
         // to the entry operator one punctuation interval at a time, so the
         // entry engine cuts exactly the batches it would have cut from
@@ -808,32 +2090,53 @@ where
     }
 
     fn flush(&mut self) {
-        self.feed_entry();
-        self.wave(true);
+        if self.concurrent.is_some() {
+            let seq = self.concurrent_feed(RoundKind::Flush);
+            self.concurrent_wait(seq, false);
+        } else {
+            self.serial_feed();
+            self.serial_wave(true);
+        }
     }
 
     fn finish(&mut self) -> RunReport<Out> {
         TxnEngine::flush(self);
-        let mut report = std::mem::take(&mut self.report);
-        report.operators = self
-            .nodes
-            .iter_mut()
-            .map(|node| node.finish_operator())
-            .collect();
-        self.waves = 0;
-        self.run_started = None;
-        self.hook = None;
-        self.entry_batches_seen = 0;
-        self.last_stats = AggregateStats::default();
+        let operators = if self.concurrent.is_some() {
+            let seq = self.concurrent_feed(RoundKind::Finish);
+            self.concurrent_wait(seq, true);
+            let rt = self.concurrent.as_mut().expect("concurrent runtime");
+            rt.operator_rows
+                .sort_by_key(|(node, instance, _)| (*node, *instance));
+            rt.rounds.clear();
+            rt.operator_rows
+                .drain(..)
+                .map(|(_, _, report)| report)
+                .collect()
+        } else {
+            let rt = self.serial.as_mut().expect("serial runtime");
+            rt.entry_batches_seen = 0;
+            rt.last_stats = AggregateStats::default();
+            rt.nodes
+                .iter_mut()
+                .flat_map(SerialNode::finish_instances)
+                .collect()
+        };
+        let mut report = std::mem::take(&mut self.shared.report);
+        report.operators = operators;
+        report.edges = self.shared.edge_report();
+        self.shared.reset_session();
         report
     }
 
     fn report(&self) -> &RunReport<Out> {
-        &self.report
+        // Under the concurrent runtime the report trails the stream until the
+        // next flush/finish synchronisation point (rounds complete on worker
+        // threads); the serial wave loop keeps it current per punctuation.
+        &self.shared.report
     }
 
     fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
-        self.hook = hook;
+        self.shared.hook = hook;
     }
 }
 
@@ -862,7 +2165,7 @@ mod tests {
         }
     }
 
-    /// Sums routed keys into one accumulator cell.
+    /// Sums routed keys into one accumulator cell per key class.
     struct Summer {
         table: TableId,
     }
@@ -880,7 +2183,29 @@ mod tests {
         }
     }
 
-    fn two_op_topology(punctuation: usize) -> (Topology<u64, u64>, StateStore, TableId, TableId) {
+    /// Counts per-key updates (used by keyed-parallelism tests: every key is
+    /// owned by exactly one instance).
+    struct KeyCounter {
+        table: TableId,
+    }
+
+    impl StreamApp for KeyCounter {
+        type Event = u64;
+        type Output = u64;
+
+        fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+            txn.write(self.table, *key, udfs::add_delta(1));
+        }
+
+        fn post_process(&self, key: &u64, _outcome: &crate::TxnOutcome) -> u64 {
+            *key
+        }
+    }
+
+    fn two_op_topology(
+        punctuation: usize,
+        topo: TopologyConfig,
+    ) -> (Topology<u64, u64>, StateStore, TableId, TableId) {
         let store = StateStore::new();
         let doubled = store.create_table("doubled", 0, true);
         let sums = store.create_table("sums", 0, true);
@@ -888,16 +2213,21 @@ mod tests {
         let mut builder = TopologyBuilder::new();
         let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
         let b = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
-        builder.connect(a, b, |(key, committed)| committed.then_some(*key));
-        let topology = builder.build(a, b).unwrap();
+        builder.connect(
+            a,
+            b,
+            Route::filter_map(|(key, committed): &(u64, bool)| committed.then_some(*key)),
+        );
+        let topology = builder.build(a, b, topo).unwrap();
         (topology, store, doubled, sums)
     }
 
     #[test]
     fn events_flow_through_both_operators_and_reports_aggregate() {
-        let (mut topology, store, doubled, sums) = two_op_topology(4);
+        let (mut topology, store, doubled, sums) = two_op_topology(4, TopologyConfig::default());
         assert_eq!(topology.operator_count(), 2);
         assert_eq!(topology.operator_names(), vec!["doubler", "summer"]);
+        assert!(!topology.is_concurrent());
 
         let report = topology.run(1..=10u64);
         // terminal outputs: every committed key, in order
@@ -914,14 +2244,129 @@ mod tests {
         assert_eq!(report.aborted, aborted);
         // 10 entry events reported once (not once per operator)
         assert_eq!(report.events(), 10);
+        // edge observability rows: the input feed plus the one routed edge
+        assert_eq!(report.edges.len(), 2);
+        assert_eq!(report.edges[0].from, "(input)");
+        assert_eq!(report.edges[1].to, "summer");
+        assert!(report.edges.iter().all(|e| e.queue_full_waits == 0));
         // state reflects both stages
         assert_eq!(store.read_latest(doubled, 3).unwrap(), 2);
         assert_eq!(store.read_latest(sums, 0).unwrap(), 55);
     }
 
     #[test]
+    fn concurrent_runtime_matches_the_serial_wave_loop() {
+        let (mut serial, serial_store, _, _) = two_op_topology(4, TopologyConfig::default());
+        let expected = serial.run(1..=64u64);
+
+        let concurrent_config = TopologyConfig::default()
+            .with_concurrent(true)
+            .with_channel_capacity(2);
+        let (mut concurrent, store, _, _) = two_op_topology(4, concurrent_config);
+        assert!(concurrent.is_concurrent());
+        let report = concurrent.run(1..=64u64);
+
+        assert_eq!(report.outputs, expected.outputs);
+        assert_eq!(report.committed, expected.committed);
+        assert_eq!(report.aborted, expected.aborted);
+        assert_eq!(store.state_digest(), serial_store.state_digest());
+        assert_eq!(report.operators.len(), 2);
+        let committed: usize = report.operators.iter().map(|op| op.committed).sum();
+        assert_eq!(report.committed, committed);
+
+        // sessions stay reusable on the same worker threads
+        let second = concurrent.run(1..=8u64);
+        assert_eq!(second.events(), 8);
+        assert_eq!(second.outputs, (1..=8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_parallelism_is_deterministic_across_instance_counts() {
+        let run = |parallelism: usize, concurrent: bool| -> (u64, Vec<u64>, usize) {
+            let store = StateStore::new();
+            let doubled = store.create_table("doubled", 0, true);
+            let counts = store.create_table("counts", 0, true);
+            let config = EngineConfig::with_threads(2).with_punctuation_interval(8);
+            let mut builder = TopologyBuilder::new();
+            let a =
+                builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+            let b = builder
+                .add_operator(
+                    "counter",
+                    KeyCounter { table: counts },
+                    store.clone(),
+                    config,
+                )
+                .with_parallelism(parallelism);
+            builder.connect(
+                a,
+                b,
+                Route::keyed(
+                    |key: &u64| *key,
+                    |(key, committed): &(u64, bool)| committed.then_some(*key),
+                ),
+            );
+            let mut topology = builder
+                .build(a, b, TopologyConfig::default().with_concurrent(concurrent))
+                .unwrap();
+            let events: Vec<u64> = (0..96u64).map(|i| i % 13).collect();
+            let report = topology.run(events);
+            (store.state_digest(), report.outputs, report.operators.len())
+        };
+
+        let (digest1, outputs1, rows1) = run(1, false);
+        assert_eq!(rows1, 2);
+        for parallelism in [2, 4] {
+            for concurrent in [false, true] {
+                let (digest, outputs, rows) = run(parallelism, concurrent);
+                assert_eq!(
+                    digest, digest1,
+                    "digest diverged at parallelism={parallelism} concurrent={concurrent}"
+                );
+                // outputs come back merged into the original event order
+                assert_eq!(outputs, outputs1);
+                // per-instance rows: doubler + counter#0..#n
+                assert_eq!(rows, 1 + parallelism);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_instance_rows_are_named_and_sum_to_totals() {
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let counts = store.create_table("counts", 0, true);
+        let config = EngineConfig::with_threads(1).with_punctuation_interval(4);
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+        let b = builder
+            .add_operator(
+                "counter",
+                KeyCounter { table: counts },
+                store.clone(),
+                config,
+            )
+            .with_parallelism(2);
+        builder.connect(
+            a,
+            b,
+            Route::keyed(|key: &u64| *key, |(key, _): &(u64, bool)| Some(*key)),
+        );
+        let mut topology = builder.build(a, b, TopologyConfig::default()).unwrap();
+        let report = topology.run(0..16u64);
+        let names: Vec<&str> = report.operators.iter().map(|op| op.name.as_str()).collect();
+        assert_eq!(names, vec!["doubler", "counter#0", "counter#1"]);
+        let committed: usize = report.operators.iter().map(|op| op.committed).sum();
+        assert_eq!(report.committed, committed);
+        // both instances saw work (16 distinct keys across 2 partitions)
+        assert!(report.operators[1].events > 0);
+        assert!(report.operators[2].events > 0);
+        assert_eq!(report.operators[1].events + report.operators[2].events, 16);
+    }
+
+    #[test]
     fn punctuation_propagates_on_every_batch_boundary() {
-        let (mut topology, _store, _doubled, _sums) = two_op_topology(4);
+        let (mut topology, _store, _doubled, _sums) = two_op_topology(4, TopologyConfig::default());
         let mut pipeline = topology.pipeline();
         pipeline.push_iter(1..=8u64);
         // two full entry batches have propagated end-to-end without a flush
@@ -936,7 +2381,7 @@ mod tests {
     fn batch_hook_fires_once_per_wave_and_sessions_are_reusable() {
         use std::sync::atomic::AtomicUsize;
 
-        let (mut topology, _store, _doubled, _sums) = two_op_topology(4);
+        let (mut topology, _store, _doubled, _sums) = two_op_topology(4, TopologyConfig::default());
         let fired = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&fired);
         let mut pipeline = topology.pipeline().on_batch(move |batch| {
@@ -965,18 +2410,44 @@ mod tests {
         let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
         let b = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
         // every committed key fans out into two downstream events
-        builder.connect(a, b, |(key, committed): &(u64, bool)| {
-            if *committed {
-                vec![*key, *key]
-            } else {
-                Vec::new()
-            }
-        });
-        let mut topology = builder.build(a, b).unwrap();
+        builder.connect(
+            a,
+            b,
+            Route::fan_out(|(key, committed): &(u64, bool)| {
+                if *committed {
+                    vec![*key, *key]
+                } else {
+                    Vec::new()
+                }
+            }),
+        );
+        let mut topology = builder.build(a, b, TopologyConfig::default()).unwrap();
         let report = topology.run([1u64, 2, 3]);
         assert_eq!(report.outputs, vec![1, 1, 2, 2, 3, 3]);
         assert_eq!(store.read_latest(sums, 0).unwrap(), 12);
         assert_eq!(report.operators[1].events, 6);
+    }
+
+    #[test]
+    fn route_map_and_is_keyed() {
+        let mapped: Route<(u64, bool), u64> = Route::map(|(key, _): &(u64, bool)| *key);
+        assert!(!mapped.is_keyed());
+        let keyed: Route<(u64, bool), u64> =
+            Route::keyed(|key: &u64| *key, |(key, _): &(u64, bool)| Some(*key));
+        assert!(keyed.is_keyed());
+
+        // Route::map forwards every output 1:1
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let sums = store.create_table("sums", 0, true);
+        let config = EngineConfig::with_threads(1).with_punctuation_interval(4);
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
+        let b = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
+        builder.connect(a, b, Route::map(|(key, _): &(u64, bool)| *key));
+        let mut topology = builder.build(a, b, TopologyConfig::default()).unwrap();
+        let report = topology.run([5u64, 6, 7]);
+        assert_eq!(report.outputs, vec![5, 6, 7]);
     }
 
     #[test]
@@ -987,7 +2458,9 @@ mod tests {
         let mut builder = TopologyBuilder::new();
         let only =
             builder.add_operator("doubler", Doubler { table: doubled }, store.clone(), config);
-        let mut topology = builder.build(only, only).unwrap();
+        let mut topology = builder
+            .build(only, only, TopologyConfig::default())
+            .unwrap();
         let report = topology.run(0..6u64);
         assert_eq!(report.outputs.len(), 6);
         assert_eq!(report.operators.len(), 1);
@@ -1000,6 +2473,7 @@ mod tests {
         let config = EngineConfig::with_threads(1);
         let store = StateStore::new();
         let t = store.create_table("t", 0, true);
+        let pass = || Route::map(|key: &u64| *key);
 
         // cycle downstream of the entry: a -> b -> c -> b, c -> d
         let mut builder = TopologyBuilder::new();
@@ -1007,20 +2481,23 @@ mod tests {
         let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
         let c = builder.add_operator("c", Summer { table: t }, store.clone(), config);
         let d = builder.add_operator("d", Summer { table: t }, store.clone(), config);
-        builder.connect(a, b, |k: &u64| Some(*k));
-        builder.connect(b, c, |k: &u64| Some(*k));
-        builder.connect(c, b, |k: &u64| Some(*k));
-        builder.connect(c, d, |k: &u64| Some(*k));
-        assert_eq!(builder.build(a, d).unwrap_err(), TopologyError::Cycle);
+        builder.connect(a, b, pass());
+        builder.connect(b, c, pass());
+        builder.connect(c, b, pass());
+        builder.connect(c, d, pass());
+        assert_eq!(
+            builder.build(a, d, TopologyConfig::default()).unwrap_err(),
+            TopologyError::Cycle
+        );
 
         // unreachable: c is never connected
         let mut builder = TopologyBuilder::new();
         let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
         let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
         let _c = builder.add_operator("stranded", Summer { table: t }, store.clone(), config);
-        builder.connect(a, b, |k: &u64| Some(*k));
+        builder.connect(a, b, pass());
         assert_eq!(
-            builder.build(a, b).unwrap_err(),
+            builder.build(a, b, TopologyConfig::default()).unwrap_err(),
             TopologyError::Unreachable("stranded".into())
         );
 
@@ -1028,9 +2505,9 @@ mod tests {
         let mut builder = TopologyBuilder::new();
         let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
         let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
-        builder.connect(a, b, |k: &u64| Some(*k));
+        builder.connect(a, b, pass());
         assert_eq!(
-            builder.build(b, b).unwrap_err(),
+            builder.build(b, b, TopologyConfig::default()).unwrap_err(),
             TopologyError::EntryHasUpstream("b".into())
         );
 
@@ -1038,13 +2515,65 @@ mod tests {
         let mut builder = TopologyBuilder::new();
         let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
         let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
-        builder.connect(a, b, |k: &u64| Some(*k));
+        builder.connect(a, b, pass());
         assert_eq!(
-            builder.build(a, a).unwrap_err(),
+            builder.build(a, a, TopologyConfig::default()).unwrap_err(),
             TopologyError::TerminalHasDownstream("a".into())
         );
         // errors render as readable messages
         assert!(TopologyError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn build_rejects_parallel_entry_unkeyed_parallel_routes_and_bad_configs() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+
+        // a parallel entry has no routed key to partition by
+        let mut builder = TopologyBuilder::new();
+        let a = builder
+            .add_operator("a", Summer { table: t }, store.clone(), config)
+            .with_parallelism(2);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, Route::map(|key: &u64| *key));
+        assert_eq!(
+            builder.build(a, b, TopologyConfig::default()).unwrap_err(),
+            TopologyError::ParallelEntry("a".into())
+        );
+
+        // an unkeyed route into a parallel operator cannot partition
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder
+            .add_operator("b", Summer { table: t }, store.clone(), config)
+            .with_parallelism(3);
+        builder.connect(a, b, Route::map(|key: &u64| *key));
+        assert_eq!(
+            builder.build(a, b, TopologyConfig::default()).unwrap_err(),
+            TopologyError::UnkeyedParallelRoute {
+                from: "a".into(),
+                to: "b".into(),
+            }
+        );
+        assert!(TopologyError::UnkeyedParallelRoute {
+            from: "a".into(),
+            to: "b".into()
+        }
+        .to_string()
+        .contains("Route::keyed"));
+
+        // a zero channel capacity is rejected before any thread spawns
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store, config);
+        builder.connect(a, b, Route::map(|key: &u64| *key));
+        assert!(matches!(
+            builder
+                .build(a, b, TopologyConfig::default().with_channel_capacity(0))
+                .unwrap_err(),
+            TopologyError::InvalidConfig(_)
+        ));
     }
 
     #[test]
@@ -1057,6 +2586,31 @@ mod tests {
         let foreign = first.add_operator("a", Summer { table: t }, store.clone(), config);
         let mut second = TopologyBuilder::new();
         let local = second.add_operator("b", Summer { table: t }, store, config);
-        second.connect(foreign, local, |k: &u64| Some(*k));
+        second.connect(foreign, local, Route::map(|key: &u64| *key));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be at least 1")]
+    fn zero_parallelism_is_rejected() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+        let mut builder = TopologyBuilder::new();
+        let _ = builder
+            .add_operator("a", Summer { table: t }, store, config)
+            .with_parallelism(0);
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for key in 0..1_000u64 {
+            let p = partition_of(key, 4);
+            assert!(p < 4);
+            assert_eq!(p, partition_of(key, 4));
+        }
+        // all partitions of a small modulus get hit
+        let hit: std::collections::HashSet<usize> =
+            (0..64u64).map(|k| partition_of(k, 4)).collect();
+        assert_eq!(hit.len(), 4);
     }
 }

@@ -159,11 +159,34 @@ impl StateStore {
     }
 
     /// Reclaim old versions of every table (keep only the newest visible at
-    /// `ts` plus anything newer).
+    /// `ts` plus anything newer). Pinned tables are skipped (see
+    /// [`StateStore::pin_table`]).
     pub fn truncate_before(&self, ts: Timestamp) {
         for table in self.inner.tables.read().iter() {
             table.truncate_before(ts);
         }
+    }
+
+    /// Reclaim old versions of exactly `tables` at watermark `ts`, skipping
+    /// pinned tables. This is the per-table-scoped reclamation used by
+    /// engines whose store is shared with sibling operators of a topology:
+    /// every operator stamps its own timestamp domain, so a watermark is only
+    /// meaningful for the tables *that operator writes* — truncating the
+    /// whole store with it could collapse versions a sibling still needs.
+    pub fn truncate_tables_before(&self, tables: &[TableId], ts: Timestamp) {
+        for id in tables {
+            if let Ok(table) = self.table(*id) {
+                table.truncate_before(ts);
+            }
+        }
+    }
+
+    /// Permanently exempt `table` from version reclamation. The engine pins
+    /// every table it sees serving windowed accesses, so trailing windows
+    /// keep their history even with after-batch reclamation enabled.
+    pub fn pin_table(&self, table: TableId) -> Result<()> {
+        self.table(table)?.pin();
+        Ok(())
     }
 
     /// Total retained versions across all tables.
@@ -275,6 +298,32 @@ mod tests {
         store.truncate_before(5);
         assert!(store.version_count() < before);
         assert_eq!(store.read_latest(t, 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn per_table_truncation_scopes_reclamation_and_respects_pins() {
+        let store = StateStore::new();
+        let a = store.create_table("a", 0, false);
+        let b = store.create_table("b", 0, false);
+        store.preallocate_range(a, 1).unwrap();
+        store.preallocate_range(b, 1).unwrap();
+        for ts in 1..=10u64 {
+            store.write(a, 0, ts, 0, ts, ts as Value).unwrap();
+            store.write(b, 0, ts, 0, ts, ts as Value).unwrap();
+        }
+        let b_versions = store.table(b).unwrap().version_count();
+        // truncating only `a` leaves `b`'s history intact
+        store.truncate_tables_before(&[a], 10);
+        assert_eq!(store.table(b).unwrap().version_count(), b_versions);
+        assert!(store.table(a).unwrap().version_count() < b_versions);
+        // a pinned table survives even a targeted truncation
+        store.pin_table(b).unwrap();
+        store.truncate_tables_before(&[b], 10);
+        assert_eq!(store.table(b).unwrap().version_count(), b_versions);
+        assert_eq!(store.window_values(b, 0, 1, 10).unwrap().len(), 10);
+        // unknown table ids are ignored by the targeted call, not an error
+        store.truncate_tables_before(&[TableId(99)], 10);
+        assert!(store.pin_table(TableId(99)).is_err());
     }
 
     #[test]

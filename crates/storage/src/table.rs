@@ -29,6 +29,10 @@ pub struct MvTable {
     shards: Vec<RwLock<Shard>>,
     /// Total number of versions currently retained, across all shards.
     version_count: AtomicU64,
+    /// Pinned tables are exempt from [`MvTable::truncate_before`]: windowed
+    /// reads aggregate historical versions, so once a table serves windows
+    /// its history must survive after-batch reclamation.
+    pinned: std::sync::atomic::AtomicBool,
 }
 
 impl MvTable {
@@ -50,7 +54,21 @@ impl MvTable {
             auto_create,
             shards,
             version_count: AtomicU64::new(0),
+            pinned: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Exempt this table from [`MvTable::truncate_before`] permanently. The
+    /// engine pins every table serving windowed accesses: reclamation keeps
+    /// only the newest version at the reclaiming watermark, which would
+    /// silently empty trailing windows.
+    pub fn pin(&self) {
+        self.pinned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this table is exempt from truncation.
+    pub fn is_pinned(&self) -> bool {
+        self.pinned.load(Ordering::Relaxed)
     }
 
     /// Table id.
@@ -239,8 +257,12 @@ impl MvTable {
     }
 
     /// Drop versions older than the newest one at or before `ts`, for every
-    /// key (the after-batch reclamation toggle).
+    /// key (the after-batch reclamation toggle). A no-op on pinned tables
+    /// (see [`MvTable::pin`]).
     pub fn truncate_before(&self, ts: Timestamp) {
+        if self.is_pinned() {
+            return;
+        }
         for shard in &self.shards {
             let mut shard = shard.write();
             for chain in shard.chains.values_mut() {
@@ -394,6 +416,22 @@ mod tests {
         t.truncate_before(50);
         assert!(t.version_count() < before);
         assert_eq!(t.read_latest(2).unwrap(), 50);
+    }
+
+    #[test]
+    fn pinned_tables_are_exempt_from_truncation() {
+        let t = table();
+        for ts in 1..=20u64 {
+            t.write(3, ts, 0, ts, ts as Value).unwrap();
+        }
+        assert!(!t.is_pinned());
+        t.pin();
+        assert!(t.is_pinned());
+        let before = t.version_count();
+        t.truncate_before(20);
+        assert_eq!(t.version_count(), before);
+        // the full window history survives
+        assert_eq!(t.window(3, 1, 20).unwrap().len(), 20);
     }
 
     #[test]

@@ -48,10 +48,13 @@ pub trait Source: Iterator {
     }
 
     /// Interleave this source with `other` in timestamp order: at every step
-    /// the event with the smaller `timestamp` is yielded (ties go to `self`,
-    /// so merging is deterministic). Both inputs must themselves be
-    /// timestamp-ordered — the merge preserves, not creates, order. This is
-    /// how a topology is fed from several deterministic feeds as one stream.
+    /// the event with the smaller `timestamp` is yielded. Ties break in
+    /// deterministic *feed order* — on equal timestamps `self` is drained
+    /// first, so a run of colliding timestamps yields all of the left feed's
+    /// events (in their feed order) before the right feed's. Both inputs must
+    /// themselves be timestamp-ordered — the merge preserves, not creates,
+    /// order. This is how a topology is fed from several deterministic feeds
+    /// as one stream.
     ///
     /// The merged source keeps the [`Source`] size contract: its
     /// [`Iterator::size_hint`] is the element-wise sum of the inputs' hints.
@@ -197,6 +200,39 @@ mod tests {
         );
         assert_eq!(merged.expected_events(), Some(0));
         assert!(merged.next().is_none());
+    }
+
+    #[test]
+    fn merge_by_timestamp_breaks_colliding_runs_in_feed_order() {
+        // Runs of identical timestamps on both feeds: every tie must resolve
+        // to the left feed, and within one feed the original order must be
+        // preserved — the interleaving is a pure function of the inputs, so
+        // replays reproduce the exact event sequence.
+        let left = from_iter([(7u64, "L0"), (7, "L1"), (7, "L2"), (9, "L3")]);
+        let right = from_iter([(7u64, "R0"), (7, "R1"), (9, "R2"), (9, "R3")]);
+        let merged: Vec<(u64, &str)> = left.merge_by_timestamp(right, |(ts, _)| *ts).collect();
+        assert_eq!(
+            merged,
+            vec![
+                // the whole left ts=7 run drains before the right one starts
+                (7, "L0"),
+                (7, "L1"),
+                (7, "L2"),
+                (7, "R0"),
+                (7, "R1"),
+                (9, "L3"), // the tie at ts=9 goes left again
+                (9, "R2"),
+                (9, "R3"),
+            ]
+        );
+        // merging is deterministic: a second merge of the same feeds agrees
+        let again: Vec<(u64, &str)> = from_iter([(7u64, "L0"), (7, "L1"), (7, "L2"), (9, "L3")])
+            .merge_by_timestamp(
+                from_iter([(7u64, "R0"), (7, "R1"), (9, "R2"), (9, "R3")]),
+                |(ts, _)| *ts,
+            )
+            .collect();
+        assert_eq!(merged, again);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    udfs, EngineConfig, StreamApp, Topology, TopologyBuilder, TxnBuilder, TxnOutcome,
+    udfs, EngineConfig, Route, StreamApp, Topology, TopologyBuilder, TopologyConfig, TxnBuilder,
+    TxnOutcome,
 };
 use morphstream_common::rng::DetRng;
 use morphstream_common::zipf::Zipf;
@@ -244,11 +245,29 @@ impl TollProcessingApp {
     /// operator routed into a road-statistics operator over one shared
     /// store. The topology ingests the same [`TpEvent`] stream as the fused
     /// app and emits the same per-event `bool` outputs, so the two renditions
-    /// are interchangeable behind [`morphstream::TxnEngine`].
+    /// are interchangeable behind [`morphstream::TxnEngine`]. Equivalent to
+    /// [`TollProcessingApp::topology_with`] with the default (serial)
+    /// topology configuration and a single statistics instance.
     pub fn topology(
         store: &StateStore,
         config: &WorkloadConfig,
         engine_config: EngineConfig,
+    ) -> Topology<TpEvent, bool> {
+        Self::topology_with(store, config, engine_config, TopologyConfig::default(), 1)
+    }
+
+    /// The two-operator TP split with explicit runtime choices: the
+    /// statistics stage is *keyed by road segment* and runs
+    /// `stats_parallelism` parallel instances — every segment's statistics
+    /// stay on one instance, so digests and outputs are identical for any
+    /// parallelism — and `topology_config` selects the serial wave loop or
+    /// the concurrent per-operator-thread runtime.
+    pub fn topology_with(
+        store: &StateStore,
+        config: &WorkloadConfig,
+        engine_config: EngineConfig,
+        topology_config: TopologyConfig,
+        stats_parallelism: usize,
     ) -> Topology<TpEvent, bool> {
         let mut builder = TopologyBuilder::new();
         let charge = builder.add_operator(
@@ -257,15 +276,24 @@ impl TollProcessingApp {
             store.clone(),
             engine_config,
         );
-        let stats = builder.add_operator(
-            "road-stats",
-            RoadStatsApp::new(store, config),
-            store.clone(),
-            engine_config,
+        let stats = builder
+            .add_operator(
+                "road-stats",
+                RoadStatsApp::new(store, config),
+                store.clone(),
+                engine_config,
+            )
+            .with_parallelism(stats_parallelism);
+        builder.connect(
+            charge,
+            stats,
+            Route::keyed(
+                |charged: &TpCharged| charged.segment,
+                |charged: &TpCharged| Some(charged.clone()),
+            ),
         );
-        builder.connect(charge, stats, |charged: &TpCharged| Some(charged.clone()));
         builder
-            .build(charge, stats)
+            .build(charge, stats, topology_config)
             .expect("the two-operator TP chain is a valid DAG")
     }
 }
@@ -359,6 +387,43 @@ mod tests {
             report.operators[0].committed + report.operators[1].committed,
             report.committed
         );
+    }
+
+    #[test]
+    fn keyed_parallel_stats_stage_matches_the_fused_app() {
+        let cfg = config();
+        let events = TollProcessingApp::generate(&cfg, 600);
+
+        let fused_store = StateStore::new();
+        let fused_app = TollProcessingApp::new(&fused_store, &cfg);
+        let mut fused = MorphStream::new(
+            fused_app,
+            fused_store.clone(),
+            EngineConfig::with_threads(2).with_punctuation_interval(100),
+        );
+        let expected = fused.run(events.clone());
+
+        for concurrent in [false, true] {
+            let split_store = StateStore::new();
+            let mut topology = TollProcessingApp::topology_with(
+                &split_store,
+                &cfg,
+                EngineConfig::with_threads(2).with_punctuation_interval(100),
+                TopologyConfig::default().with_concurrent(concurrent),
+                4,
+            );
+            let report = topology.run(events.clone());
+            assert_eq!(report.outputs, expected.outputs);
+            assert_eq!(split_store.state_digest(), fused_store.state_digest());
+            // per-instance rows: toll-charge + road-stats#0..#3
+            assert_eq!(report.operators.len(), 5);
+            assert_eq!(report.operators[0].name, "toll-charge");
+            assert_eq!(report.operators[1].name, "road-stats#0");
+            let committed: usize = report.operators.iter().map(|op| op.committed).sum();
+            assert_eq!(report.committed, committed);
+            let stats_events: usize = report.operators[1..].iter().map(|op| op.events).sum();
+            assert_eq!(stats_events, 600);
+        }
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!
 //! The input is two deterministic feeds (card-present and online) interleaved
 //! in timestamp order by `Source::merge_by_timestamp`, and the whole dataflow
-//! is driven through the ordinary `Pipeline` push API.
+//! is driven through the ordinary `Pipeline` push API — on the *concurrent*
+//! topology runtime: every operator instance runs on its own thread behind a
+//! bounded channel, and the scoring stage runs two parallel instances keyed
+//! by account (each instance owns its accounts' score state; outputs come
+//! back in the original event order regardless of the parallelism).
 //!
 //! ```text
 //! cargo run --release --example fraud_pipeline
@@ -29,8 +33,8 @@ use std::sync::Arc;
 
 use morphstream::storage::StateStore;
 use morphstream::{
-    app::result_or_zero, udfs, EngineConfig, StreamApp, TopologyBuilder, TxnBuilder, TxnEngine,
-    TxnOutcome,
+    app::result_or_zero, udfs, EngineConfig, Route, StreamApp, TopologyBuilder, TopologyConfig,
+    TxnBuilder, TxnEngine, TxnOutcome,
 };
 use morphstream_common::rng::DetRng;
 use morphstream_common::{TableId, Value};
@@ -170,7 +174,8 @@ fn main() {
         .unwrap_or(4);
     let config = EngineConfig::with_threads(threads).with_punctuation_interval(PUNCTUATION);
 
-    // enrichment -> scoring -> settlement, all over one shared store
+    // enrichment -> scoring (2 keyed instances) -> settlement, all over one
+    // shared store, on the concurrent runtime
     let mut builder = TopologyBuilder::new();
     let enrich = builder.add_operator(
         "account-enrichment",
@@ -178,12 +183,15 @@ fn main() {
         store.clone(),
         config,
     );
-    let score = builder.add_operator(
-        "fraud-scoring",
-        FraudScoring { scores, audit },
-        store.clone(),
-        config,
-    );
+    let score = builder
+        .add_operator(
+            "fraud-scoring",
+            FraudScoring { scores, audit },
+            store.clone(),
+            config,
+        )
+        // keyed by account: each instance owns its accounts' score state
+        .with_parallelism(2);
     let settle = builder.add_operator(
         "ledger-settlement",
         LedgerSettlement {
@@ -193,9 +201,21 @@ fn main() {
         store.clone(),
         config,
     );
-    builder.connect(enrich, score, |enriched: &Enriched| Some(enriched.clone()));
-    builder.connect(score, settle, |scored: &Scored| Some(scored.clone()));
-    let mut topology = builder.build(enrich, settle).expect("valid dataflow");
+    builder.connect(
+        enrich,
+        score,
+        Route::keyed(
+            |enriched: &Enriched| enriched.txn.account,
+            |enriched: &Enriched| Some(enriched.clone()),
+        ),
+    );
+    builder.connect(score, settle, Route::map(|scored: &Scored| scored.clone()));
+    let topology_config = TopologyConfig::default()
+        .with_concurrent(true)
+        .with_channel_capacity(2);
+    let mut topology = builder
+        .build(enrich, settle, topology_config)
+        .expect("valid dataflow");
 
     // Two deterministic feeds, interleaved in event-time order.
     let card_present = from_iter(feed(0xF4A6D, EVENTS_PER_FEED, 0));
@@ -209,7 +229,7 @@ fn main() {
 
     let settled = report.outputs.iter().filter(|ok| **ok).count();
     println!(
-        "fraud pipeline: {} events through {} operators, {} waves",
+        "fraud pipeline: {} events through {} operator instances, {} waves (concurrent runtime)",
         total_events,
         report.operators.len(),
         report.batches.len()
@@ -235,10 +255,20 @@ fn main() {
         store.read_latest(quarantine, 0).unwrap_or(0)
     );
 
+    for edge in &report.edges {
+        println!(
+            "edge {:<22} -> {:<20} queue_full_waits {}",
+            edge.from, edge.to, edge.queue_full_waits
+        );
+    }
+
     // The dataflow is transactional end to end: every event produced exactly
-    // one output, and per-operator counts aggregate into the topology totals.
+    // one output (in input order, despite the parallel scoring stage), and
+    // per-instance counts aggregate into the topology totals.
     assert_eq!(report.events(), total_events);
     assert_eq!(report.outputs.len(), total_events);
+    // enrichment, scoring#0, scoring#1, settlement
+    assert_eq!(report.operators.len(), 4);
     let summed: usize = report.operators.iter().map(|op| op.committed).sum();
     assert_eq!(report.committed, summed);
 }

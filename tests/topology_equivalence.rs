@@ -1,13 +1,15 @@
-//! Equivalence and determinism proof for the operator-topology redesign: a
+//! Equivalence and determinism proof for the operator-topology runtime: a
 //! fused single-operator TP application and its two-operator topology split
 //! must produce identical `state_digest()`s and identical per-event outputs,
-//! across worker-thread counts (`MORPH_TEST_THREADS`) and with pipelined
-//! construction on and off — while the topology is driven exclusively
-//! through the *generic* `TxnEngine` surface (`Pipeline::push_iter` and the
-//! bench harness's `drive` loop), never through topology-specific calls.
+//! across worker-thread counts (`MORPH_TEST_THREADS`), pipelined
+//! construction on/off, the serial wave loop vs the concurrent runtime, and
+//! keyed statistics parallelism 1 vs 4 — while the topology is driven
+//! exclusively through the *generic* `TxnEngine` surface
+//! (`Pipeline::push_iter` and the bench harness's `drive` loop), never
+//! through topology-specific calls.
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream, RunReport, TxnEngine};
+use morphstream::{EngineConfig, MorphStream, RunReport, TopologyConfig, TxnEngine};
 use morphstream_baselines::SystemUnderTest;
 use morphstream_bench::harness::drive;
 use morphstream_common::config::test_threads;
@@ -45,9 +47,25 @@ fn run_fused(threads: usize, pipelined: bool) -> (u64, RunReport<bool>) {
 
 /// Run the two-operator split through the generic `Pipeline` session.
 fn run_topology(threads: usize, pipelined: bool) -> (u64, RunReport<bool>) {
+    run_topology_with(threads, pipelined, false, 1)
+}
+
+/// The split with explicit runtime choices: serial wave loop vs concurrent
+/// per-operator threads, and keyed statistics parallelism.
+fn run_topology_with(
+    threads: usize,
+    pipelined: bool,
+    concurrent: bool,
+    parallelism: usize,
+) -> (u64, RunReport<bool>) {
     let store = StateStore::new();
-    let mut topology =
-        TollProcessingApp::topology(&store, &config(), engine_config(threads, pipelined));
+    let mut topology = TollProcessingApp::topology_with(
+        &store,
+        &config(),
+        engine_config(threads, pipelined),
+        TopologyConfig::default().with_concurrent(concurrent),
+        parallelism,
+    );
     let mut pipeline = topology.pipeline();
     pipeline.push_iter(events());
     let report = pipeline.finish();
@@ -81,6 +99,44 @@ fn split_topology_matches_the_fused_app_across_threads_and_pipelining() {
                 "topology outputs diverged at threads={threads} pipelined={pipelined}"
             );
             assert_eq!(report.events(), expected.events());
+        }
+    }
+}
+
+#[test]
+fn concurrent_runtime_and_keyed_parallelism_match_the_serial_wave_loop() {
+    // The acceptance matrix of the concurrent-runtime redesign: digests and
+    // outputs must be identical across {serial, concurrent} × parallelism
+    // {1, 4} × threads {1, MORPH_TEST_THREADS} × pipelining on/off.
+    let (expected_digest, expected) = run_fused(1, false);
+    for concurrent in [false, true] {
+        for parallelism in [1usize, 4] {
+            for threads in [1, test_threads(4)] {
+                for pipelined in [false, true] {
+                    let (digest, report) =
+                        run_topology_with(threads, pipelined, concurrent, parallelism);
+                    let label = format!(
+                        "concurrent={concurrent} parallelism={parallelism} \
+                         threads={threads} pipelined={pipelined}"
+                    );
+                    assert_eq!(digest, expected_digest, "digest diverged at {label}");
+                    assert_eq!(
+                        report.outputs, expected.outputs,
+                        "outputs diverged at {label}"
+                    );
+                    assert_eq!(report.events(), expected.events());
+                    // per-instance rows: toll-charge + road-stats{#i}
+                    assert_eq!(report.operators.len(), 1 + parallelism, "{label}");
+                    let committed: usize = report.operators.iter().map(|op| op.committed).sum();
+                    assert_eq!(report.committed, committed, "{label}");
+                    // edge rows are always present; back-pressure counters
+                    // only tick under the concurrent runtime
+                    assert_eq!(report.edges.len(), 2);
+                    if !concurrent {
+                        assert!(report.edges.iter().all(|e| e.queue_full_waits == 0));
+                    }
+                }
+            }
         }
     }
 }
