@@ -79,6 +79,12 @@ impl<A: StreamApp> IngestState<A> {
         self.session.set_batch_hook(hook);
     }
 
+    /// Install (or remove) the output sink (see
+    /// [`TxnEngine::set_output_sink`](morphstream::TxnEngine::set_output_sink)).
+    pub fn set_output_sink(&mut self, sink: Option<morphstream::OutputSink<A::Output>>) {
+        self.session.set_output_sink(sink);
+    }
+
     fn process_pending<F>(
         &mut self,
         app: &A,

@@ -137,6 +137,10 @@ impl<A: StreamApp> TxnEngine for TStreamEngine<A> {
     fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
         self.state.set_batch_hook(hook);
     }
+
+    fn set_output_sink(&mut self, sink: Option<morphstream::OutputSink<A::Output>>) {
+        self.state.set_output_sink(sink);
+    }
 }
 
 #[cfg(test)]

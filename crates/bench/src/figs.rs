@@ -344,7 +344,6 @@ pub mod fig15 {
 /// execution (the construction-overhead axis of 16a).
 pub mod fig16 {
     use super::*;
-    use crate::harness::json_escape;
 
     /// Fraction of runtime spent per breakdown bucket.
     pub type BucketFractions = Vec<(BreakdownBucket, f64)>;
@@ -388,23 +387,20 @@ pub mod fig16 {
             crate::harness::overlap_fraction_of(self.construct_s, self.overlap_s)
         }
 
-        /// One JSON object row (hand-formatted; serde is offline-gated).
+        /// One JSON object row, via the shared [`morphstream_common::json`]
+        /// path (serde is offline-gated).
         pub fn json(&self) -> String {
-            let buckets: Vec<String> = self
-                .fractions
-                .iter()
-                .map(|(b, f)| format!(r#""{}":{:.4}"#, b.label(), f))
-                .collect();
-            format!(
-                r#"{{"system":"{}",{},"peak_bytes":{},"construct_s":{:.6},"execute_s":{:.6},"overlap_s":{:.6},"overlap_fraction":{:.4}}}"#,
-                json_escape(&self.system),
-                buckets.join(","),
-                self.peak_bytes,
-                self.construct_s,
-                self.execute_s,
-                self.overlap_s,
-                self.overlap_fraction()
-            )
+            let mut row =
+                morphstream_common::json::JsonObject::new().string("system", &self.system);
+            for (bucket, fraction) in &self.fractions {
+                row = row.fixed(bucket.label(), *fraction, 4);
+            }
+            row.unsigned("peak_bytes", self.peak_bytes)
+                .fixed("construct_s", self.construct_s, 6)
+                .fixed("execute_s", self.execute_s, 6)
+                .fixed("overlap_s", self.overlap_s, 6)
+                .fixed("overlap_fraction", self.overlap_fraction(), 4)
+                .build()
         }
     }
 
@@ -1106,24 +1102,24 @@ pub mod fig_topology {
             }
         }
 
-        /// One JSON object row (hand-formatted; serde is offline-gated).
+        /// One JSON object row, via the shared [`morphstream_common::json`]
+        /// path (serde is offline-gated).
         pub fn json(&self) -> String {
             let operator = match &self.operator {
                 Some(name) => format!(r#""{}""#, json_escape(name)),
                 None => "null".to_string(),
             };
-            format!(
-                r#"{{"system":"{}","operator":{},"k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"wall_s":{:.4},"queue_full_waits":{}}}"#,
-                json_escape(&self.system),
-                operator,
-                self.k_events_per_second,
-                self.p50_latency_ms,
-                self.p95_latency_ms,
-                self.committed,
-                self.aborted,
-                self.wall_s,
-                self.queue_full_waits
-            )
+            morphstream_common::json::JsonObject::new()
+                .string("system", &self.system)
+                .raw("operator", operator)
+                .fixed("k_events_per_second", self.k_events_per_second, 3)
+                .fixed("p50_latency_ms", self.p50_latency_ms, 4)
+                .fixed("p95_latency_ms", self.p95_latency_ms, 4)
+                .unsigned("committed", self.committed as u64)
+                .unsigned("aborted", self.aborted as u64)
+                .fixed("wall_s", self.wall_s, 4)
+                .unsigned("queue_full_waits", self.queue_full_waits)
+                .build()
         }
     }
 

@@ -2,8 +2,9 @@
 //! workload through it, and report throughput/latency in the paper's units.
 
 use morphstream::storage::StateStore;
-use morphstream::{EngineConfig, MorphStream, RunReport, TxnEngine};
+use morphstream::{EngineConfig, EventSource, MorphStream, RunReport, TxnEngine};
 use morphstream_baselines::{LockedSpeEngine, SStoreEngine, SystemUnderTest, TStreamEngine};
+use morphstream_common::json::JsonObject;
 use morphstream_common::WorkloadConfig;
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
@@ -121,22 +122,22 @@ impl SystemReport {
         )
     }
 
-    /// One JSON object row. Serde is feature-gated off in offline builds, so
-    /// the (flat, numeric) shape is formatted by hand.
+    /// One JSON object row, rendered through the workspace-shared
+    /// [`morphstream_common::json`] path (serde is feature-gated off in
+    /// offline builds).
     pub fn json(&self) -> String {
-        format!(
-            r#"{{"system":"{}","k_events_per_second":{:.3},"p50_latency_ms":{:.4},"p95_latency_ms":{:.4},"committed":{},"aborted":{},"peak_bytes_retained":{},"construct_s":{:.6},"overlap_s":{:.6},"overlap_fraction":{:.4}}}"#,
-            json_escape(&self.system.to_string()),
-            self.k_events_per_second,
-            self.p50_latency_ms,
-            self.p95_latency_ms,
-            self.committed,
-            self.aborted,
-            self.peak_bytes_retained,
-            self.construct_seconds,
-            self.overlap_seconds,
-            self.overlap_fraction()
-        )
+        JsonObject::new()
+            .string("system", &self.system.to_string())
+            .fixed("k_events_per_second", self.k_events_per_second, 3)
+            .fixed("p50_latency_ms", self.p50_latency_ms, 4)
+            .fixed("p95_latency_ms", self.p95_latency_ms, 4)
+            .unsigned("committed", self.committed as u64)
+            .unsigned("aborted", self.aborted as u64)
+            .unsigned("peak_bytes_retained", self.peak_bytes_retained)
+            .fixed("construct_s", self.construct_seconds, 6)
+            .fixed("overlap_s", self.overlap_seconds, 6)
+            .fixed("overlap_fraction", self.overlap_fraction(), 4)
+            .build()
     }
 }
 
@@ -154,16 +155,7 @@ pub fn overlap_fraction_of(construct_s: f64, overlap_s: f64) -> f64 {
     .overlap_fraction()
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
+pub(crate) use morphstream_common::json::escape as json_escape;
 
 /// Parse `--json PATH` from the command line of a `fig*` binary. Exits with
 /// an error if `--json` is present without a following path, so a malformed
@@ -218,6 +210,25 @@ where
     I: IntoIterator<Item = E::Event>,
 {
     SystemReport::from_run(system, engine.run(events))
+}
+
+/// Chunk size used when pulling from an [`EventSource`] in
+/// [`drive_source`]: big enough to amortise the pull loop, far smaller than
+/// a punctuation interval.
+pub const SOURCE_CHUNK: usize = 256;
+
+/// Like [`drive`], but pulling from any conveyor-style [`EventSource`] —
+/// a generated workload source or a socket decoder — through
+/// [`Pipeline::push_source`](morphstream::Pipeline::push_source), so the
+/// benchmark path and the server path exercise the same ingestion loop.
+pub fn drive_source<E, S>(system: SystemUnderTest, engine: &mut E, source: &mut S) -> SystemReport
+where
+    E: TxnEngine,
+    S: EventSource<Event = E::Event>,
+{
+    let mut pipeline = engine.pipeline();
+    pipeline.push_source(source, SOURCE_CHUNK);
+    SystemReport::from_run(system, pipeline.finish())
 }
 
 /// Run the Streaming Ledger workload on one system and return its condensed

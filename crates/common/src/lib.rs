@@ -16,7 +16,9 @@
 pub mod config;
 pub mod error;
 pub mod hash;
+pub mod json;
 pub mod metrics;
+pub mod protocol;
 pub mod rng;
 pub mod types;
 pub mod zipf;

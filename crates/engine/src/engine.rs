@@ -672,6 +672,10 @@ impl<A: StreamApp> TxnEngine for MorphStream<A> {
     fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
         self.session.set_batch_hook(hook);
     }
+
+    fn set_output_sink(&mut self, sink: Option<crate::pipeline::OutputSink<A::Output>>) {
+        self.session.set_output_sink(sink);
+    }
 }
 
 #[cfg(test)]

@@ -58,8 +58,13 @@ pub mod topology;
 
 pub use app::{StreamApp, TxnBuilder};
 pub use engine::{MorphStream, SchedulingMode};
-pub use pipeline::{BatchHook, PendingBatch, Pipeline, SessionState, TxnEngine};
-pub use report::{BatchSummary, EdgeReport, OperatorReport, RunReport};
+pub use pipeline::{
+    BatchHook, EventSink, EventSource, FnSink, OutputSink, PendingBatch, Pipeline, SessionState,
+    TxnEngine,
+};
+pub use report::{
+    BatchSummary, EdgeReport, OperatorCounters, OperatorReport, ReportSnapshot, RunReport,
+};
 pub use topology::{OperatorHandle, Route, Topology, TopologyBuilder, TopologyError};
 
 pub use morphstream_common::{AbortReason, EngineConfig, TopologyConfig, WorkloadConfig};

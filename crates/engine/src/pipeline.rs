@@ -67,6 +67,78 @@ use crate::report::{BatchSummary, RunReport};
 /// long-running sessions report progress without waiting for `finish()`.
 pub type BatchHook = Box<dyn FnMut(&BatchSummary) + Send>;
 
+/// A pull-side event feed: anything that can hand the engine the next chunk
+/// of events — a generated workload, a merged pair of feeds, or a socket
+/// decoder.
+///
+/// The conveyor-style contract splits ingestion into *offer* and *consume*:
+/// [`EventSource::next_batch`] appends up to `max` ready events, and
+/// [`EventSource::ack`] tells the source they were durably handed to the
+/// engine (a socket source frees its frame buffers there; generated sources
+/// ignore it). Pull-based drivers ([`Pipeline::push_source`], the bench
+/// harness, `morphstream serve`) are generic over this trait, so a workload
+/// generator and a TCP connection feed the engine through the same path.
+pub trait EventSource {
+    /// The event type this source yields.
+    type Event;
+
+    /// Append up to `max` events to `out`, returning how many were appended.
+    /// Returning `0` means the source is exhausted — drivers stop pulling.
+    /// A blocking source (socket) may wait for data before returning.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Self::Event>) -> usize;
+
+    /// Acknowledge that the last `n` delivered events were consumed.
+    /// Sources with retained buffers release them here; the default is a
+    /// no-op.
+    fn ack(&mut self, _n: usize) {}
+
+    /// Events this source will still yield, when known up front (generated
+    /// workloads). `None` for unbounded feeds such as sockets.
+    fn remaining_events(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A push-side consumer of items leaving the engine: per-event outputs, or
+/// any other stream a component emits downstream.
+///
+/// The mirror image of [`EventSource`]: where sources are pulled in batches,
+/// sinks are pushed one item at a time, with [`EventSink::flush`] as the
+/// durability point (a socket sink writes out its buffer there; collectors
+/// ignore it).
+pub trait EventSink<T> {
+    /// Consume one item.
+    fn emit(&mut self, item: T);
+
+    /// Make everything emitted so far durable / visible. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Collecting sink: emitted items are appended in order.
+impl<T> EventSink<T> for Vec<T> {
+    fn emit(&mut self, item: T) {
+        self.push(item);
+    }
+}
+
+/// Adapter turning a closure into an [`EventSink`] (a direct blanket impl
+/// over `FnMut(T)` would collide with the `Vec<T>` impl under coherence).
+pub struct FnSink<F>(pub F);
+
+impl<T, F: FnMut(T)> EventSink<T> for FnSink<F> {
+    fn emit(&mut self, item: T) {
+        (self.0)(item);
+    }
+}
+
+/// A boxed output sink installable on any [`TxnEngine`] via
+/// [`TxnEngine::set_output_sink`]. While installed, per-event outputs are
+/// *drained* to the sink as they are produced instead of accumulating in
+/// [`RunReport::outputs`] — the difference between a benchmark (collect
+/// everything, inspect at the end) and a server (bounded memory over an
+/// unbounded stream).
+pub type OutputSink<O> = Box<dyn EventSink<O> + Send>;
+
 /// A batch taken out of a [`SessionState`] for processing.
 pub struct PendingBatch<E> {
     /// The buffered events forming the batch, in ingestion order.
@@ -98,6 +170,7 @@ pub struct SessionState<E, O> {
     batch_index: usize,
     run_started: Option<Instant>,
     on_batch: Option<BatchHook>,
+    output_sink: Option<OutputSink<O>>,
 }
 
 impl<E, O> SessionState<E, O> {
@@ -109,6 +182,7 @@ impl<E, O> SessionState<E, O> {
             batch_index: 0,
             run_started: None,
             on_batch: None,
+            output_sink: None,
         }
     }
 
@@ -135,9 +209,17 @@ impl<E, O> SessionState<E, O> {
         })
     }
 
-    /// Append one per-event output (in input order) to the session report.
+    /// Deliver one per-event output (in input order): appended to the session
+    /// report, or drained to the installed output sink (counted in
+    /// [`RunReport::drained_outputs`] so `events()` stays exact).
     pub fn push_output(&mut self, output: O) {
-        self.report.outputs.push(output);
+        match self.output_sink.as_mut() {
+            Some(sink) => {
+                sink.emit(output);
+                self.report.drained_outputs += 1;
+            }
+            None => self.report.outputs.push(output),
+        }
     }
 
     /// Record a processed batch: fire the hook, fold the metrics into the
@@ -168,6 +250,9 @@ impl<E, O> SessionState<E, O> {
         self.batch_index = 0;
         self.run_started = None;
         self.on_batch = None;
+        if let Some(sink) = self.output_sink.as_mut() {
+            sink.flush();
+        }
         std::mem::take(&mut self.report)
     }
 
@@ -179,6 +264,13 @@ impl<E, O> SessionState<E, O> {
     /// Install (or clear) the per-batch observability hook.
     pub fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
         self.on_batch = hook;
+    }
+
+    /// Install (or remove) the output sink. Unlike the batch hook, the sink
+    /// survives `finish()` — a server rotates sessions to bound report memory
+    /// while the same sink keeps receiving outputs.
+    pub fn set_output_sink(&mut self, sink: Option<OutputSink<O>>) {
+        self.output_sink = sink;
     }
 }
 
@@ -226,6 +318,16 @@ pub trait TxnEngine {
     /// Install (or clear) the per-batch observability hook. The hook fires
     /// once per processed batch and is cleared when the session finishes.
     fn set_batch_hook(&mut self, hook: Option<BatchHook>);
+
+    /// Install (or remove) a sink that per-event outputs are drained to as
+    /// they are produced, instead of accumulating in
+    /// [`RunReport::outputs`]. While a sink is installed, `report().outputs`
+    /// stays empty and [`RunReport::drained_outputs`] counts deliveries, so
+    /// [`RunReport::events`] is unaffected. The sink survives
+    /// [`TxnEngine::finish`] (it is flushed, not cleared): a long-lived
+    /// server periodically finishes sessions to bound report memory while
+    /// the sink keeps streaming outputs.
+    fn set_output_sink(&mut self, sink: Option<OutputSink<Self::Output>>);
 
     /// Push every event of `events` in order.
     fn ingest_iter<I>(&mut self, events: I)
@@ -313,6 +415,38 @@ impl<'e, E: TxnEngine> Pipeline<'e, E> {
     /// `Vec` first.
     pub fn push_iter<I: IntoIterator<Item = E::Event>>(&mut self, events: I) {
         self.engine.ingest_iter(events);
+    }
+
+    /// Drain an [`EventSource`] to exhaustion: pull chunks of up to
+    /// `chunk` events, push each in order, and `ack` the source after the
+    /// chunk is fully handed to the engine. Equivalent to
+    /// [`Pipeline::push_iter`] over the same events — the server's socket
+    /// decoder and a generated workload drive the engine identically here.
+    pub fn push_source<S>(&mut self, source: &mut S, chunk: usize)
+    where
+        S: EventSource<Event = E::Event> + ?Sized,
+    {
+        let chunk = chunk.max(1);
+        let mut buf = Vec::with_capacity(chunk);
+        loop {
+            let n = source.next_batch(chunk, &mut buf);
+            if n == 0 {
+                break;
+            }
+            for event in buf.drain(..) {
+                self.engine.ingest(event);
+            }
+            source.ack(n);
+        }
+    }
+
+    /// Install an output sink on the underlying engine (builder-style); see
+    /// [`TxnEngine::set_output_sink`]. Unlike the batch hook, the sink
+    /// belongs to the *engine* and deliberately outlives this handle.
+    #[must_use = "builder methods return the updated value instead of mutating in place"]
+    pub fn output_sink(self, sink: impl EventSink<E::Output> + Send + 'static) -> Self {
+        self.engine.set_output_sink(Some(Box::new(sink)));
+        self
     }
 
     /// Process the buffered events as a (possibly partial) batch now.

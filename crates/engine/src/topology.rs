@@ -143,7 +143,7 @@ use morphstream_storage::StateStore;
 use crate::app::{StreamApp, TxnBuilder};
 use crate::engine::MorphStream;
 use crate::pipeline::{BatchHook, TxnEngine};
-use crate::report::{BatchSummary, EdgeReport, OperatorReport, RunReport};
+use crate::report::{BatchSummary, EdgeReport, OperatorCounters, OperatorReport, RunReport};
 
 /// Distinguishes handles of different builders, so a handle can never index
 /// into a topology it was not created for.
@@ -233,6 +233,17 @@ pub enum TopologyError {
         /// Downstream (parallel) operator of the offending edge.
         to: String,
     },
+    /// An operator other than the entry has no upstream edge but feeds the
+    /// graph — a second entry point. A topology has exactly one entry;
+    /// multiple feeds must be merged ahead of it (e.g. with
+    /// `Source::merge_by_timestamp` in `morphstream_workloads`) so events
+    /// arrive as one deterministically ordered stream.
+    MultiEntry {
+        /// The declared entry operator.
+        entry: String,
+        /// The operator acting as a second entry.
+        extra: String,
+    },
     /// The [`TopologyConfig`] failed validation.
     InvalidConfig(String),
 }
@@ -263,6 +274,14 @@ impl std::fmt::Display for TopologyError {
                 write!(
                     f,
                     "edge {from:?} -> {to:?} must use Route::keyed: {to:?} runs parallel instances"
+                )
+            }
+            TopologyError::MultiEntry { entry, extra } => {
+                write!(
+                    f,
+                    "operator {extra:?} acts as a second entry (no upstream edge) besides \
+                     {entry:?}; a topology has exactly one entry — merge the feeds ahead of \
+                     it, e.g. with Source::merge_by_timestamp"
                 )
             }
             TopologyError::InvalidConfig(reason) => {
@@ -828,7 +847,11 @@ impl TopologyBuilder {
     /// Validates that the graph is a DAG, that every operator is reachable
     /// from `entry`, that `entry` has no upstream and is not parallel, that
     /// `terminal` has no downstream, and that every edge into a parallel
-    /// operator is keyed.
+    /// operator is keyed. A topology has exactly **one** entry: an operator
+    /// that feeds the graph without an upstream of its own is rejected as
+    /// [`TopologyError::MultiEntry`] — merge multiple feeds into one ordered
+    /// stream ahead of the entry (e.g. `Source::merge_by_timestamp` in the
+    /// workloads crate) instead of wiring two sources into the dataflow.
     ///
     /// # Panics
     ///
@@ -860,6 +883,19 @@ impl TopologyBuilder {
             return Err(TopologyError::EntryHasUpstream(
                 self.specs[entry.index].name().to_string(),
             ));
+        }
+        // A second source-like operator — no upstream but feeding the graph —
+        // is a multi-entry attempt; report it as such instead of the
+        // misleading `Unreachable` the reachability sweep would produce. (An
+        // operator with no edges at all is merely stranded and still reports
+        // as unreachable below.)
+        if let Some(extra) =
+            (0..n).find(|&i| i != entry.index && in_degree[i] == 0 && !self.edges[i].is_empty())
+        {
+            return Err(TopologyError::MultiEntry {
+                entry: self.specs[entry.index].name().to_string(),
+                extra: self.specs[extra].name().to_string(),
+            });
         }
         if !self.edges[terminal.index].is_empty() {
             return Err(TopologyError::TerminalHasDownstream(
@@ -956,6 +992,7 @@ impl TopologyBuilder {
         let shared = SessionShared {
             report: RunReport::new(),
             hook: None,
+            sink: None,
             waves: 0,
             run_started: None,
             stores,
@@ -1009,6 +1046,9 @@ impl TopologyBuilder {
 struct SessionShared<Out> {
     report: RunReport<Out>,
     hook: Option<BatchHook>,
+    /// Installed output sink: terminal outputs are drained here instead of
+    /// accumulating in the report (see [`TxnEngine::set_output_sink`]).
+    sink: Option<crate::pipeline::OutputSink<Out>>,
     waves: usize,
     run_started: Option<Instant>,
     /// The distinct state stores of the operators (shared stores counted
@@ -1021,6 +1061,20 @@ struct SessionShared<Out> {
 impl<Out> SessionShared<Out> {
     fn bytes_retained(&self) -> u64 {
         self.stores.iter().map(StateStore::bytes_retained).sum()
+    }
+
+    /// Deliver a wave's terminal outputs: drained to the installed sink
+    /// (counted so `events()` stays exact) or retained in the report.
+    fn deliver_outputs(&mut self, outputs: Vec<Out>) {
+        match self.sink.as_mut() {
+            Some(sink) => {
+                self.report.drained_outputs += outputs.len();
+                for output in outputs {
+                    sink.emit(output);
+                }
+            }
+            None => self.report.outputs.extend(outputs),
+        }
     }
 
     fn edge_report(&self) -> Vec<EdgeReport> {
@@ -1141,6 +1195,26 @@ impl SerialNode {
             sum.merge(&instance.stats());
         }
         sum
+    }
+
+    /// Live per-instance counters, labelled exactly as `finish_instances`
+    /// labels its reports, for observers that cannot wait for `finish`.
+    fn live_counters(&self, out: &mut Vec<OperatorCounters>) {
+        let parallel = self.instances.len() > 1;
+        for (i, instance) in self.instances.iter().enumerate() {
+            let stats = instance.stats();
+            out.push(OperatorCounters {
+                name: if parallel {
+                    format!("{}#{i}", self.name)
+                } else {
+                    self.name.clone()
+                },
+                events: stats.events as u64,
+                committed: stats.committed as u64,
+                aborted: stats.aborted as u64,
+                batches: instance.completed_batches() as u64,
+            });
+        }
     }
 
     fn finish_instances(&mut self) -> Vec<OperatorReport> {
@@ -1779,6 +1853,23 @@ where
         self.concurrent.is_some()
     }
 
+    /// Live per-operator counters and per-edge wait totals of the current
+    /// session, for observers that cannot wait for `finish` (e.g. a metrics
+    /// scrape). Under the serial runtime the operator rows read the instance
+    /// counters directly, with the same labels [`TxnEngine::finish`] reports;
+    /// under the concurrent runtime instance counters live on the worker
+    /// threads, so the operator list is empty and only the edge rows (shared
+    /// atomics) are live.
+    pub fn live_rows(&self) -> (Vec<OperatorCounters>, Vec<EdgeReport>) {
+        let mut operators = Vec::new();
+        if let Some(rt) = self.serial.as_ref() {
+            for node in &rt.nodes {
+                node.live_counters(&mut operators);
+            }
+        }
+        (operators, self.shared.edge_report())
+    }
+
     // ---- serial runtime -------------------------------------------------
 
     /// One propagation wave: walk the operators in topological order,
@@ -1818,7 +1909,7 @@ where
                 let outputs = outputs
                     .downcast::<Vec<Out>>()
                     .expect("terminal output type checked by OperatorHandle");
-                shared.report.outputs.extend(*outputs);
+                shared.deliver_outputs(*outputs);
             } else {
                 for edge in &rt.edges[idx] {
                     let parts = (edge.route)(outputs.as_ref(), rt.nodes[edge.dst].instances.len());
@@ -1920,7 +2011,7 @@ where
                 let outputs = outputs
                     .downcast::<Vec<Out>>()
                     .expect("terminal output type checked by OperatorHandle");
-                shared.report.outputs.extend(*outputs);
+                shared.deliver_outputs(*outputs);
                 rt.outputs_seq = Some(seq);
             }
             ToTopology::RoundStats {
@@ -2124,6 +2215,9 @@ where
         let mut report = std::mem::take(&mut self.shared.report);
         report.operators = operators;
         report.edges = self.shared.edge_report();
+        if let Some(sink) = self.shared.sink.as_mut() {
+            sink.flush();
+        }
         self.shared.reset_session();
         report
     }
@@ -2137,6 +2231,10 @@ where
 
     fn set_batch_hook(&mut self, hook: Option<BatchHook>) {
         self.shared.hook = hook;
+    }
+
+    fn set_output_sink(&mut self, sink: Option<crate::pipeline::OutputSink<Out>>) {
+        self.shared.sink = sink;
     }
 }
 
@@ -2522,6 +2620,34 @@ mod tests {
         );
         // errors render as readable messages
         assert!(TopologyError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn build_rejects_a_second_entry_with_a_directed_error() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+        let pass = || Route::map(|key: &u64| *key);
+
+        // two source-like operators both feed the terminal: the second feed
+        // must be reported as a multi-entry attempt, not as "unreachable"
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let second =
+            builder.add_operator("second-feed", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, pass());
+        builder.connect(second, b, pass());
+        let err = builder.build(a, b, TopologyConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::MultiEntry {
+                entry: "a".into(),
+                extra: "second-feed".into(),
+            }
+        );
+        // the message tells the user how to fix it
+        assert!(err.to_string().contains("merge_by_timestamp"));
     }
 
     #[test]

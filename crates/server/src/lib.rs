@@ -1,0 +1,36 @@
+//! Network ingress for the MorphStream reproduction: the `morphstream`
+//! binary's `serve` and `loadgen` subcommands, as a library so tests can run
+//! a server in-process.
+//!
+//! The server accepts events over TCP in two self-describing wire formats
+//! (length-prefixed binary behind an `MSB1` magic, or JSON lines starting
+//! with `{` — see [`morphstream_common::protocol`]), decodes them with a
+//! [`SocketEventSource`] (an ordinary
+//! [`EventSource`](morphstream::EventSource), so sockets and generated
+//! workloads feed the engine through the same trait), and pushes them
+//! through [`Pipeline::push`](morphstream::Pipeline::push) into a
+//! `ledger → audit` dataflow. Back-pressure is end-to-end: a slow operator
+//! fills the bounded inter-operator channel, the blocked push holds the
+//! ingestion lock, the connection handler stops reading, and TCP flow
+//! control throttles the client — memory stays bounded to one punctuation
+//! interval plus the channel capacity.
+//!
+//! Observability is a `/metrics` endpoint in Prometheus text format (live
+//! [`ReportSnapshot`](morphstream::ReportSnapshot) of the current session
+//! folded into rotated-session totals) plus `/healthz`; shutdown on
+//! SIGINT/SIGTERM drains in-flight punctuations (`flush` + `finish`) before
+//! exit.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod loadgen;
+pub mod metrics;
+pub mod serve;
+pub mod signal;
+
+pub use codec::{encode_event, write_preamble, SocketEventSource};
+pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
+pub use metrics::{render_prometheus, ServerMetrics};
+pub use serve::{build_topology, reference_run, AuditApp, ServeOptions, Server, ServerSummary};
+pub use signal::{install_shutdown_handler, shutdown_requested, trigger_shutdown};

@@ -1,0 +1,171 @@
+//! `morphstream loadgen`: a reproducible heavy-traffic client.
+//!
+//! Generates the Streaming Ledger event stream (millions of distinct keys,
+//! Zipf-skewed via `common::zipf`, deterministic per seed), encodes it in
+//! either wire format, and sends it in bursts — `burst` events back to back,
+//! then a pause — so arrival is bursty rather than a smooth drip. Every
+//! burst's socket write is timed: under server back-pressure the write
+//! blocks (TCP flow control reaching the client), so the write-latency tail
+//! *is* the back-pressure signal, reported alongside the achieved rate.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use morphstream_common::json::JsonObject;
+use morphstream_common::metrics::LatencyRecorder;
+use morphstream_common::protocol::WireFormat;
+use morphstream_common::WorkloadConfig;
+use morphstream_workloads::{EventSource, SlEvent, StreamingLedgerApp};
+
+use crate::codec::{encode_event, write_preamble};
+
+/// Load-generation knobs; [`Default`] is the documented smoke profile.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server event address to connect to.
+    pub addr: String,
+    /// Total events to send.
+    pub events: usize,
+    /// Distinct account keys the stream draws from.
+    pub key_space: u64,
+    /// Zipf skew of key popularity (0.0 = uniform).
+    pub zipf_theta: f64,
+    /// Fraction of transfer (vs deposit) events.
+    pub transfer_ratio: f64,
+    /// Wire format to send in.
+    pub format: WireFormat,
+    /// Events per burst (written back to back in one buffered flush).
+    pub burst: usize,
+    /// Pause between bursts.
+    pub burst_pause: Duration,
+    /// Workload generator seed, for reproducible streams.
+    pub seed: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            events: 100_000,
+            key_space: 2_000_000,
+            zipf_theta: 0.6,
+            transfer_ratio: 0.5,
+            format: WireFormat::Binary,
+            burst: 1024,
+            burst_pause: Duration::ZERO,
+            seed: 0xD5EE_D001,
+        }
+    }
+}
+
+/// What the run achieved, as observed from the client side.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Events actually sent.
+    pub sent: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Median per-burst socket write latency.
+    pub p50_write_ms: f64,
+    /// 95th-percentile per-burst socket write latency.
+    pub p95_write_ms: f64,
+    /// 99th-percentile per-burst socket write latency (the back-pressure
+    /// tail).
+    pub p99_write_ms: f64,
+}
+
+impl LoadgenReport {
+    /// Achieved send rate in thousands of events per second.
+    pub fn k_events_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.sent as f64 / self.elapsed.as_secs_f64() / 1000.0
+        }
+    }
+
+    /// One JSON object, for `BENCH_serve_smoke.json`-style artifacts.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .unsigned("sent", self.sent as u64)
+            .fixed("elapsed_s", self.elapsed.as_secs_f64(), 4)
+            .fixed("k_events_per_second", self.k_events_per_second(), 3)
+            .fixed("p50_write_ms", self.p50_write_ms, 4)
+            .fixed("p95_write_ms", self.p95_write_ms, 4)
+            .fixed("p99_write_ms", self.p99_write_ms, 4)
+            .build()
+    }
+
+    /// Human-readable one-paragraph summary.
+    pub fn render(&self) -> String {
+        format!(
+            "sent {} events in {:.2}s ({:.1}k events/s); burst write latency p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.k_events_per_second(),
+            self.p50_write_ms,
+            self.p95_write_ms,
+            self.p99_write_ms,
+        )
+    }
+}
+
+/// Generate and send the stream; returns the client-side report.
+pub fn run_loadgen(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
+    let config = WorkloadConfig::streaming_ledger()
+        .with_zipf_theta(opts.zipf_theta)
+        .with_key_space(opts.key_space)
+        .with_seed(opts.seed);
+    let mut source = StreamingLedgerApp::source(&config, opts.events, opts.transfer_ratio);
+
+    let mut stream = TcpStream::connect(&opts.addr)?;
+    stream.set_nodelay(true)?;
+
+    let burst = opts.burst.max(1);
+    let mut events: Vec<SlEvent> = Vec::with_capacity(burst);
+    let mut wire: Vec<u8> = Vec::with_capacity(burst * 32);
+    let mut scratch: Vec<u8> = Vec::new();
+    write_preamble(opts.format, &mut wire);
+
+    let mut writes = LatencyRecorder::new();
+    let mut sent = 0usize;
+    let started = Instant::now();
+    loop {
+        events.clear();
+        if source.next_batch(burst, &mut events) == 0 {
+            break;
+        }
+        for event in &events {
+            encode_event(event, opts.format, &mut scratch, &mut wire)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+        let write_started = Instant::now();
+        stream.write_all(&wire)?;
+        writes.record(write_started.elapsed());
+        sent += events.len();
+        wire.clear();
+        if !opts.burst_pause.is_zero() {
+            std::thread::sleep(opts.burst_pause);
+        }
+    }
+    stream.flush()?;
+    // Half-close tells the server the stream is complete; it keeps
+    // processing everything already buffered.
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let elapsed = started.elapsed();
+
+    let pct = |recorder: &mut LatencyRecorder, p: f64| {
+        recorder
+            .percentile(p)
+            .map(|d| d.as_secs_f64() * 1000.0)
+            .unwrap_or(0.0)
+    };
+    Ok(LoadgenReport {
+        sent,
+        elapsed,
+        p50_write_ms: pct(&mut writes, 50.0),
+        p95_write_ms: pct(&mut writes, 95.0),
+        p99_write_ms: pct(&mut writes, 99.0),
+    })
+}

@@ -1,0 +1,249 @@
+//! The `morphstream` command: `serve` (TCP event ingress) and `loadgen`
+//! (reproducible heavy-traffic client). Flags are parsed by hand — the
+//! workspace is offline and two subcommands do not justify vendoring an
+//! argument parser.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use morphstream_common::protocol::WireFormat;
+use morphstream_server::{
+    install_shutdown_handler, run_loadgen, shutdown_requested, LoadgenOptions, ServeOptions, Server,
+};
+
+const USAGE: &str = "\
+morphstream — transactional stream processing over TCP
+
+USAGE:
+    morphstream serve   [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+                        [--threads N] [--punctuation N] [--key-space N]
+                        [--channel-capacity N] [--concurrent]
+                        [--audit-cost-us N] [--session-events N]
+    morphstream loadgen [--addr HOST:PORT] [--events N] [--key-space N]
+                        [--zipf-theta F] [--transfer-ratio F]
+                        [--format binary|json] [--burst N]
+                        [--burst-pause-ms N] [--seed N] [--json]
+
+serve accepts events on --addr (length-prefixed binary after an MSB1 magic,
+or JSON lines; auto-detected per connection), serves Prometheus metrics on
+http://<metrics-addr>/metrics and liveness on /healthz, and drains in-flight
+punctuations on SIGINT/SIGTERM before exiting.
+
+loadgen connects to a running server and sends a deterministic Zipf-skewed
+Streaming Ledger stream in bursts, reporting the achieved rate and the
+socket write-latency tail (which rises when server back-pressure reaches the
+client through TCP flow control).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull the value of `--flag VALUE` out of `args`, parsed with `parse`.
+fn flag_value<T>(
+    args: &[String],
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    let mut found = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            let raw = iter
+                .next()
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            found = Some(parse(raw).ok_or_else(|| format!("invalid value {raw:?} for {flag}"))?);
+        }
+    }
+    Ok(found)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn known_flags(args: &[String], known: &[(&str, bool)]) -> Result<(), String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match known.iter().find(|(name, _)| name == arg) {
+            Some((_, takes_value)) => {
+                if *takes_value {
+                    iter.next();
+                }
+            }
+            None => return Err(format!("unknown flag {arg:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<ServeOptions, String> {
+        known_flags(
+            args,
+            &[
+                ("--addr", true),
+                ("--metrics-addr", true),
+                ("--threads", true),
+                ("--punctuation", true),
+                ("--key-space", true),
+                ("--channel-capacity", true),
+                ("--concurrent", false),
+                ("--audit-cost-us", true),
+                ("--session-events", true),
+            ],
+        )?;
+        let mut opts = ServeOptions {
+            event_addr: "127.0.0.1:7878".into(),
+            metrics_addr: "127.0.0.1:9878".into(),
+            // A session per ~10M events keeps the in-engine report bounded
+            // on an unbounded stream while staying invisible at smoke scale.
+            session_events: 10_000_000,
+            ..ServeOptions::default()
+        };
+        if let Some(addr) = flag_value(args, "--addr", |s| Some(s.to_string()))? {
+            opts.event_addr = addr;
+        }
+        if let Some(addr) = flag_value(args, "--metrics-addr", |s| Some(s.to_string()))? {
+            opts.metrics_addr = addr;
+        }
+        if let Some(n) = flag_value(args, "--threads", |s| s.parse::<usize>().ok())? {
+            opts.threads = n.max(1);
+        }
+        if let Some(n) = flag_value(args, "--punctuation", |s| s.parse::<usize>().ok())? {
+            opts.workload.txns_per_batch = n.max(1);
+        }
+        if let Some(n) = flag_value(args, "--key-space", |s| s.parse::<u64>().ok())? {
+            opts.workload.key_space = n.max(1);
+        }
+        if let Some(n) = flag_value(args, "--channel-capacity", |s| s.parse::<usize>().ok())? {
+            opts.channel_capacity = n.max(1);
+        }
+        opts.concurrent = has_flag(args, "--concurrent");
+        if let Some(n) = flag_value(args, "--audit-cost-us", |s| s.parse::<u64>().ok())? {
+            opts.audit_cost_us = n;
+        }
+        if let Some(n) = flag_value(args, "--session-events", |s| s.parse::<u64>().ok())? {
+            opts.session_events = n;
+        }
+        Ok(opts)
+    })();
+    let opts = match parsed {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("morphstream serve: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    install_shutdown_handler();
+    let server = match Server::start(opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("morphstream serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "morphstream serve: events on {}  metrics on http://{}/metrics",
+        server.event_addr(),
+        server.metrics_addr()
+    );
+    while !shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("morphstream serve: shutdown requested, draining");
+    let summary = server.shutdown();
+    println!(
+        "morphstream serve: drained; {} events ({} committed, {} aborted) over {} connections, {} frames, {} decode errors",
+        summary.snapshot.events,
+        summary.snapshot.committed,
+        summary.snapshot.aborted,
+        summary.connections,
+        summary.frames,
+        summary.decode_errors,
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(LoadgenOptions, bool), String> {
+        known_flags(
+            args,
+            &[
+                ("--addr", true),
+                ("--events", true),
+                ("--key-space", true),
+                ("--zipf-theta", true),
+                ("--transfer-ratio", true),
+                ("--format", true),
+                ("--burst", true),
+                ("--burst-pause-ms", true),
+                ("--seed", true),
+                ("--json", false),
+            ],
+        )?;
+        let mut opts = LoadgenOptions::default();
+        if let Some(addr) = flag_value(args, "--addr", |s| Some(s.to_string()))? {
+            opts.addr = addr;
+        }
+        if let Some(n) = flag_value(args, "--events", |s| s.parse::<usize>().ok())? {
+            opts.events = n;
+        }
+        if let Some(n) = flag_value(args, "--key-space", |s| s.parse::<u64>().ok())? {
+            opts.key_space = n.max(1);
+        }
+        if let Some(f) = flag_value(args, "--zipf-theta", |s| s.parse::<f64>().ok())? {
+            opts.zipf_theta = f;
+        }
+        if let Some(f) = flag_value(args, "--transfer-ratio", |s| s.parse::<f64>().ok())? {
+            opts.transfer_ratio = f;
+        }
+        if let Some(format) = flag_value(args, "--format", WireFormat::from_name)? {
+            opts.format = format;
+        }
+        if let Some(n) = flag_value(args, "--burst", |s| s.parse::<usize>().ok())? {
+            opts.burst = n.max(1);
+        }
+        if let Some(n) = flag_value(args, "--burst-pause-ms", |s| s.parse::<u64>().ok())? {
+            opts.burst_pause = Duration::from_millis(n);
+        }
+        if let Some(n) = flag_value(args, "--seed", |s| s.parse::<u64>().ok())? {
+            opts.seed = n;
+        }
+        Ok((opts, has_flag(args, "--json")))
+    })();
+    let (opts, json) = match parsed {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("morphstream loadgen: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_loadgen(&opts) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("morphstream loadgen: {}", report.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("morphstream loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

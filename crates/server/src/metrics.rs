@@ -1,0 +1,369 @@
+//! Live observability: lifetime metric state and the `/metrics` endpoint.
+//!
+//! [`ServerMetrics`] holds the server's lifetime totals as a folded
+//! [`ReportSnapshot`] (sessions rotate to bound report memory; each finished
+//! session's snapshot is folded in) plus socket-layer counters maintained by
+//! the connection handlers. A scrape combines the folded base with a live
+//! snapshot of the current session and renders Prometheus text exposition
+//! format — every number a scrape reports therefore sums to exactly what the
+//! final [`RunReport`](morphstream::RunReport) would say if the server shut
+//! down at that instant.
+//!
+//! The HTTP side is a deliberately small single-threaded responder: scrapes
+//! are rare, the response is one string, and pulling in an HTTP stack for
+//! two GET routes would dwarf the server itself.
+
+use std::fmt::Write as _;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use morphstream::ReportSnapshot;
+
+/// Shared metric state: folded lifetime totals plus socket-layer counters.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Totals of every *finished* session, folded.
+    base: Mutex<ReportSnapshot>,
+    /// Last coherent lifetime total (base + live), served when the engine
+    /// lock is contended at scrape time (e.g. blocked in back-pressure).
+    cached: Mutex<ReportSnapshot>,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Frames/lines decoded over the server's lifetime.
+    pub frames: AtomicU64,
+    /// Connections closed by a protocol error.
+    pub decode_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metric state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a finished session's snapshot into the lifetime base.
+    pub fn fold_session(&self, snapshot: &ReportSnapshot) {
+        self.base.lock().expect("metrics lock").fold(snapshot);
+    }
+
+    /// Lifetime totals given a live snapshot of the current session; also
+    /// refreshes the stale-scrape cache.
+    pub fn total_with_live(&self, live: &ReportSnapshot) -> ReportSnapshot {
+        let mut total = self.base.lock().expect("metrics lock").clone();
+        total.fold(live);
+        *self.cached.lock().expect("metrics lock") = total.clone();
+        total
+    }
+
+    /// The last coherent lifetime total, for scrapes that cannot take the
+    /// engine lock without blocking behind back-pressure.
+    pub fn cached_total(&self) -> ReportSnapshot {
+        self.cached.lock().expect("metrics lock").clone()
+    }
+}
+
+/// Render a lifetime snapshot as Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers, counters suffixed `_total`,
+/// label values escaped per the spec.
+pub fn render_prometheus(total: &ReportSnapshot, metrics: &ServerMetrics) -> String {
+    let mut out = String::with_capacity(2048);
+    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter(
+        &mut out,
+        "morphstream_events_total",
+        "Events processed (committed + aborted transactions).",
+        total.events,
+    );
+    counter(
+        &mut out,
+        "morphstream_committed_total",
+        "Committed transactions.",
+        total.committed,
+    );
+    counter(
+        &mut out,
+        "morphstream_aborted_total",
+        "Aborted transactions.",
+        total.aborted,
+    );
+    counter(
+        &mut out,
+        "morphstream_redone_ops_total",
+        "Operations redone because of upstream aborts.",
+        total.redone_ops,
+    );
+    counter(
+        &mut out,
+        "morphstream_batches_total",
+        "Punctuation batches processed.",
+        total.batches,
+    );
+    counter(
+        &mut out,
+        "morphstream_connections_total",
+        "TCP event connections accepted.",
+        metrics.connections.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "morphstream_frames_total",
+        "Wire frames (binary) or lines (JSON) decoded.",
+        metrics.frames.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "morphstream_decode_errors_total",
+        "Connections closed by a protocol error.",
+        metrics.decode_errors.load(Ordering::Relaxed),
+    );
+
+    let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        &mut out,
+        "morphstream_processing_seconds",
+        "Engine-occupancy processing time summed over batches.",
+        total.processing_seconds,
+    );
+    gauge(
+        &mut out,
+        "morphstream_events_per_second",
+        "Throughput implied by the lifetime counters.",
+        total.events_per_second(),
+    );
+    gauge(
+        &mut out,
+        "morphstream_p50_latency_ms",
+        "Median end-to-end event latency of the current session window.",
+        total.p50_latency_ms,
+    );
+    gauge(
+        &mut out,
+        "morphstream_p95_latency_ms",
+        "95th-percentile end-to-end event latency of the current session window.",
+        total.p95_latency_ms,
+    );
+    gauge(
+        &mut out,
+        "morphstream_peak_bytes_retained",
+        "Largest state-store footprint observed.",
+        total.peak_bytes_retained as f64,
+    );
+
+    if !total.operators.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP morphstream_operator_events_total Events processed per operator instance."
+        );
+        let _ = writeln!(out, "# TYPE morphstream_operator_events_total counter");
+        for op in &total.operators {
+            let _ = writeln!(
+                out,
+                "morphstream_operator_events_total{{operator=\"{}\"}} {}",
+                escape_label(&op.name),
+                op.events
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP morphstream_operator_committed_total Committed transactions per operator instance."
+        );
+        let _ = writeln!(out, "# TYPE morphstream_operator_committed_total counter");
+        for op in &total.operators {
+            let _ = writeln!(
+                out,
+                "morphstream_operator_committed_total{{operator=\"{}\"}} {}",
+                escape_label(&op.name),
+                op.committed
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP morphstream_operator_aborted_total Aborted transactions per operator instance."
+        );
+        let _ = writeln!(out, "# TYPE morphstream_operator_aborted_total counter");
+        for op in &total.operators {
+            let _ = writeln!(
+                out,
+                "morphstream_operator_aborted_total{{operator=\"{}\"}} {}",
+                escape_label(&op.name),
+                op.aborted
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP morphstream_operator_batches_total Punctuation batches per operator instance."
+        );
+        let _ = writeln!(out, "# TYPE morphstream_operator_batches_total counter");
+        for op in &total.operators {
+            let _ = writeln!(
+                out,
+                "morphstream_operator_batches_total{{operator=\"{}\"}} {}",
+                escape_label(&op.name),
+                op.batches
+            );
+        }
+    }
+    if !total.edges.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP morphstream_edge_queue_full_waits_total Sender blocks on a full bounded channel, per dataflow edge."
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE morphstream_edge_queue_full_waits_total counter"
+        );
+        for edge in &total.edges {
+            let _ = writeln!(
+                out,
+                "morphstream_edge_queue_full_waits_total{{from=\"{}\",to=\"{}\"}} {}",
+                escape_label(&edge.from),
+                escape_label(&edge.to),
+                edge.queue_full_waits
+            );
+        }
+    }
+    out
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serve `/metrics` and `/healthz` on `listener` until `running` reports
+/// false. Requests are handled one at a time; `scrape` produces the metrics
+/// body on demand.
+pub(crate) fn serve_http(
+    listener: TcpListener,
+    running: impl Fn() -> bool,
+    scrape: impl Fn() -> String,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("metrics listener nonblocking");
+    while running() {
+        match listener.accept() {
+            Ok((stream, _)) => handle_http(stream, &scrape),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_http(mut stream: std::net::TcpStream, scrape: &impl Fn() -> String) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    // Read until the end of the request headers (or timeout); only the
+    // request line matters for routing.
+    let mut request = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => request.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = request
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let path = std::str::from_utf8(request_line)
+        .ok()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            scrape(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Bind the metrics listener, returning it with its resolved address
+/// (`addr` may use port 0 for an ephemeral port in tests).
+pub(crate) fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    Ok((listener, local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_is_well_formed_and_carries_the_counters() {
+        let metrics = ServerMetrics::new();
+        metrics.connections.store(2, Ordering::Relaxed);
+        metrics.frames.store(100, Ordering::Relaxed);
+        let mut total = ReportSnapshot {
+            events: 100,
+            committed: 95,
+            aborted: 5,
+            batches: 10,
+            processing_seconds: 0.5,
+            ..Default::default()
+        };
+        total.edges.push(morphstream::EdgeReport {
+            from: "ledger".into(),
+            to: "audit".into(),
+            queue_full_waits: 7,
+        });
+        let text = render_prometheus(&total, &metrics);
+        assert!(text.contains("morphstream_events_total 100\n"));
+        assert!(text.contains("morphstream_committed_total 95\n"));
+        assert!(text.contains("morphstream_connections_total 2\n"));
+        assert!(text
+            .contains("morphstream_edge_queue_full_waits_total{from=\"ledger\",to=\"audit\"} 7\n"));
+        // every exposed family carries HELP and TYPE headers
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "stray comment: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_escaping_covers_quotes_and_backslashes() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+}

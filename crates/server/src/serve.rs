@@ -1,0 +1,497 @@
+//! The long-running server: TCP event ingress over a two-operator dataflow.
+//!
+//! `morphstream serve` runs the Streaming Ledger workload as a
+//! `ledger → audit` [`Topology`]: the entry operator executes the
+//! deposits/transfers, and a downstream `audit` operator tallies commit
+//! outcomes into its own table (its per-event cost is the configurable
+//! "slow terminal operator" of the back-pressure story). Each accepted
+//! connection decodes events through a [`SocketEventSource`] and pushes them
+//! through [`Pipeline::push`](morphstream::Pipeline::push), so the PR 5
+//! back-pressure chain extends to the socket: a slow operator fills the
+//! bounded inter-operator channel, the blocked push holds the ingestion
+//! lock, the handler stops reading, the kernel socket buffer fills, and TCP
+//! flow control throttles the client. Memory stays bounded to one
+//! punctuation interval plus the channel capacity.
+//!
+//! Sessions rotate after a configurable number of events so the in-engine
+//! [`RunReport`](morphstream::RunReport) never grows without bound; each
+//! finished session's [`ReportSnapshot`] folds into the lifetime totals the
+//! `/metrics` endpoint serves (see [`crate::metrics`]).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use morphstream::storage::StateStore;
+use morphstream::{
+    udfs, EngineConfig, EventSource, FnSink, Pipeline, ReportSnapshot, StreamApp, Topology,
+    TopologyBuilder, TopologyConfig, TxnBuilder, TxnEngine, TxnOutcome, WorkloadConfig,
+};
+use morphstream_common::hash::Fnv1a;
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+use crate::codec::SocketEventSource;
+use crate::metrics::{render_prometheus, ServerMetrics};
+
+/// Events decoded per engine-lock acquisition; small enough to interleave
+/// connections fairly, large enough to amortise the lock.
+const INGEST_CHUNK: usize = 256;
+
+/// Poll interval of the accept loop and the idle tick of quiet connections.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Ingest chunks between scrape-cache refreshes (~4k events): under sustained
+/// back-pressure the engine lock is almost never free at scrape time, so the
+/// ingest path itself keeps the fallback totals fresh.
+const CACHE_REFRESH_CHUNKS: u64 = 16;
+
+/// Everything `morphstream serve` needs to come up. [`Default`] binds
+/// ephemeral ports (for tests); the CLI fills in real addresses and knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Event listener address (TCP; binary or JSON-lines per connection).
+    pub event_addr: String,
+    /// Metrics listener address (HTTP; `/metrics` and `/healthz`).
+    pub metrics_addr: String,
+    /// Workload shape of the served Streaming Ledger application
+    /// (key space, UDF cost, punctuation interval).
+    pub workload: WorkloadConfig,
+    /// Worker threads per operator.
+    pub threads: usize,
+    /// Per-edge bounded channel capacity, in punctuation batches.
+    pub channel_capacity: usize,
+    /// Run the concurrent (threaded) topology runtime instead of the serial
+    /// wave loop.
+    pub concurrent: bool,
+    /// Per-event cost of the downstream `audit` operator, in microseconds —
+    /// raise it to demonstrate back-pressure end to end.
+    pub audit_cost_us: u64,
+    /// Rotate the engine session after this many ingested events, folding
+    /// its report into the lifetime totals (0 = never rotate).
+    pub session_events: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            event_addr: "127.0.0.1:0".into(),
+            metrics_addr: "127.0.0.1:0".into(),
+            workload: WorkloadConfig::streaming_ledger(),
+            threads: 2,
+            channel_capacity: 2,
+            concurrent: false,
+            audit_cost_us: 0,
+            session_events: 0,
+        }
+    }
+}
+
+/// The downstream operator: tallies commit outcomes (key 0 = aborted,
+/// key 1 = committed) into its own `outcomes` table, at a configurable
+/// per-event cost. Deliberately trivial — its role is to be the *terminal*
+/// of the dataflow, slow on demand, so back-pressure has somewhere to start.
+pub struct AuditApp {
+    outcomes: morphstream_common::TableId,
+    cost_us: u64,
+}
+
+impl AuditApp {
+    /// Create the app and its `outcomes` table on `store`.
+    pub fn new(store: &StateStore, cost_us: u64) -> Self {
+        Self {
+            outcomes: store.create_table("outcomes", 0, true),
+            cost_us,
+        }
+    }
+}
+
+impl StreamApp for AuditApp {
+    type Event = u64;
+    type Output = u64;
+
+    fn state_access(&self, outcome: &u64, txn: &mut TxnBuilder) {
+        txn.set_cost_us(self.cost_us);
+        txn.write(self.outcomes, (*outcome != 0) as u64, udfs::add_delta(1));
+    }
+
+    fn post_process(&self, outcome: &u64, _result: &TxnOutcome) -> u64 {
+        *outcome
+    }
+}
+
+/// The engine `morphstream serve` runs.
+pub type ServeEngine = Topology<SlEvent, u64>;
+
+/// Build the served dataflow: `ledger → audit`, with the stores returned so
+/// callers can digest final state. Shared by the server and the reference
+/// (`push_iter`) runs the equivalence tests compare against.
+pub fn build_topology(opts: &ServeOptions) -> (ServeEngine, StateStore, StateStore) {
+    let ledger_store = StateStore::new();
+    let audit_store = StateStore::new();
+    let engine_config = EngineConfig::with_threads(opts.threads)
+        .with_punctuation_interval(opts.workload.txns_per_batch);
+    let mut builder = TopologyBuilder::new();
+    let ledger = builder.add_operator(
+        "ledger",
+        StreamingLedgerApp::new(&ledger_store, &opts.workload),
+        ledger_store.clone(),
+        engine_config,
+    );
+    let audit = builder.add_operator(
+        "audit",
+        AuditApp::new(&audit_store, opts.audit_cost_us),
+        audit_store.clone(),
+        engine_config,
+    );
+    builder.connect(
+        ledger,
+        audit,
+        morphstream::Route::map(|committed: &bool| *committed as u64),
+    );
+    let topology = builder
+        .build(
+            ledger,
+            audit,
+            TopologyConfig::default()
+                .with_channel_capacity(opts.channel_capacity)
+                .with_concurrent(opts.concurrent),
+        )
+        .expect("ledger -> audit is a valid dataflow");
+    (topology, ledger_store, audit_store)
+}
+
+/// Final accounting returned by [`Server::shutdown`] (and by
+/// [`reference_run`], so a TCP-fed run and a `push_iter` run are directly
+/// comparable).
+#[derive(Debug, Clone)]
+pub struct ServerSummary {
+    /// Lifetime totals: every rotated session plus the final one, folded.
+    pub snapshot: ReportSnapshot,
+    /// Digest of the ledger operator's final state (the accounts table).
+    pub ledger_digest: u64,
+    /// Digest of the audit operator's final state (the outcomes table).
+    pub audit_digest: u64,
+    /// Order-sensitive digest of every output the topology emitted.
+    pub output_digest: u64,
+    /// Connections accepted (0 for a reference run).
+    pub connections: u64,
+    /// Wire frames decoded (0 for a reference run).
+    pub frames: u64,
+    /// Connections closed by a protocol error.
+    pub decode_errors: u64,
+}
+
+/// Shared state between the accept loop, connection handlers, the metrics
+/// responder, and the shutdown path.
+struct Shared {
+    engine: Mutex<ServeEngine>,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+    session_events: u64,
+    ingested_since_rotate: AtomicU64,
+    /// Events pushed into the engine over the server's lifetime; incremented
+    /// after each chunk's pushes complete, so once it reaches a client's send
+    /// count a subsequent `flush`/`finish` is guaranteed to cover the stream.
+    pushed: AtomicU64,
+}
+
+/// A running server; shut it down with [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    event_addr: SocketAddr,
+    metrics_addr: SocketAddr,
+    accept_thread: JoinHandle<()>,
+    metrics_thread: JoinHandle<()>,
+    ledger_store: StateStore,
+    audit_store: StateStore,
+    output_digest: Arc<Mutex<Fnv1a>>,
+}
+
+impl Server {
+    /// Bind both listeners and start accepting. Events flow as soon as this
+    /// returns.
+    pub fn start(opts: ServeOptions) -> io::Result<Server> {
+        let (mut engine, ledger_store, audit_store) = build_topology(&opts);
+
+        // Outputs stream into a digesting sink instead of accumulating in
+        // the report, so a long-lived server retains no per-event data; the
+        // digest doubles as the equivalence witness in tests.
+        let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
+        let digest = Arc::clone(&output_digest);
+        engine.set_output_sink(Some(Box::new(FnSink(move |out: u64| {
+            digest
+                .lock()
+                .expect("digest lock")
+                .update(&out.to_le_bytes());
+        }))));
+
+        let event_listener = TcpListener::bind(&opts.event_addr)?;
+        let event_addr = event_listener.local_addr()?;
+        event_listener.set_nonblocking(true)?;
+        let (metrics_listener, metrics_addr) = crate::metrics::bind(&opts.metrics_addr)?;
+
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            metrics: ServerMetrics::new(),
+            stop: AtomicBool::new(false),
+            session_events: opts.session_events,
+            ingested_since_rotate: AtomicU64::new(0),
+            pushed: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("morphstream-accept".into())
+            .spawn(move || accept_loop(event_listener, accept_shared))
+            .expect("spawn accept loop");
+
+        let http_shared = Arc::clone(&shared);
+        let metrics_thread = thread::Builder::new()
+            .name("morphstream-metrics".into())
+            .spawn(move || {
+                let running = {
+                    let shared = Arc::clone(&http_shared);
+                    move || !shared.stop.load(Ordering::SeqCst)
+                };
+                let scrape_body = move || scrape(&http_shared);
+                crate::metrics::serve_http(metrics_listener, running, scrape_body);
+            })
+            .expect("spawn metrics responder");
+
+        Ok(Server {
+            shared,
+            event_addr,
+            metrics_addr,
+            accept_thread,
+            metrics_thread,
+            ledger_store,
+            audit_store,
+            output_digest,
+        })
+    }
+
+    /// Address the event listener actually bound (resolves port 0).
+    pub fn event_addr(&self) -> SocketAddr {
+        self.event_addr
+    }
+
+    /// Address the metrics listener actually bound.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// Ask the server to stop without waiting; [`Server::shutdown`] joins.
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once a stop was requested (by [`Server::request_stop`] or a
+    /// signal-driven caller flipping the same decision).
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Events pushed into the engine over the server's lifetime. A client
+    /// that sent `n` events and half-closed can poll this to `n` before
+    /// [`Server::shutdown`] to guarantee the summary accounts for all of
+    /// them (shutdown stops *accepting*, it does not wait for connections
+    /// that are still in the kernel's accept backlog).
+    pub fn events_ingested(&self) -> u64 {
+        self.shared.pushed.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection handler
+    /// finish its in-flight chunk, then drain buffered punctuations
+    /// (`flush` + `finish`) so nothing pushed before the stop is lost, and
+    /// return the lifetime summary.
+    pub fn shutdown(self) -> ServerSummary {
+        self.request_stop();
+        self.accept_thread.join().expect("accept loop panicked");
+        self.metrics_thread
+            .join()
+            .expect("metrics responder panicked");
+        let final_snapshot = {
+            let mut engine = self.shared.engine.lock().expect("engine lock");
+            engine.flush();
+            engine.finish().snapshot()
+        };
+        self.shared.metrics.fold_session(&final_snapshot);
+        let snapshot = self
+            .shared
+            .metrics
+            .total_with_live(&ReportSnapshot::default());
+        ServerSummary {
+            snapshot,
+            ledger_digest: self.ledger_store.state_digest(),
+            audit_digest: self.audit_store.state_digest(),
+            output_digest: self.output_digest.lock().expect("digest lock").finish(),
+            connections: self.shared.metrics.connections.load(Ordering::Relaxed),
+            frames: self.shared.metrics.frames.load(Ordering::Relaxed),
+            decode_errors: self.shared.metrics.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Live lifetime totals: the folded base plus the current session's report,
+/// with live operator/edge rows spliced in (the session report only carries
+/// rows at `finish`). Also refreshes the stale-scrape cache.
+fn live_total(shared: &Shared, engine: &ServeEngine) -> ReportSnapshot {
+    let mut live = engine.report().snapshot();
+    let (operators, edges) = engine.live_rows();
+    live.operators = operators;
+    live.edges = edges;
+    shared.metrics.total_with_live(&live)
+}
+
+/// Render the current lifetime metrics, preferring a live engine snapshot
+/// but falling back to the last coherent one when the engine lock is held by
+/// a push blocked in back-pressure (a scrape must never wait behind the
+/// dataflow; the ingest path refreshes the fallback every
+/// [`CACHE_REFRESH_CHUNKS`] chunks).
+fn scrape(shared: &Shared) -> String {
+    for _ in 0..25 {
+        if let Ok(engine) = shared.engine.try_lock() {
+            let total = live_total(shared, &engine);
+            drop(engine);
+            return render_prometheus(&total, &shared.metrics);
+        }
+        thread::sleep(Duration::from_millis(4));
+    }
+    render_prometheus(&shared.metrics.cached_total(), &shared.metrics)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handle = thread::Builder::new()
+                    .name(format!("morphstream-conn-{peer}"))
+                    .spawn(move || handle_connection(stream, conn_shared))
+                    .expect("spawn connection handler");
+                handlers.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("morphstream serve: accept failed: {e}");
+                thread::sleep(POLL);
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One connection: decode chunks of events and push them into the shared
+/// engine. The read timeout doubles as the idle tick (flush partial batches,
+/// poll the stop flag) and as the guarantee that shutdown never waits on a
+/// silent client.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut source: SocketEventSource<SlEvent> = SocketEventSource::new(stream);
+    let mut buf: Vec<SlEvent> = Vec::with_capacity(INGEST_CHUNK);
+    let mut chunks = 0u64;
+    loop {
+        let n = source.next_batch(INGEST_CHUNK, &mut buf);
+        if n == 0 {
+            if !source.is_open() || shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Quiet interval: process the trailing partial batch so a slow
+            // trickle of events still commits without waiting for a full
+            // punctuation. try_lock — another connection may be mid-push.
+            if let Ok(mut engine) = shared.engine.try_lock() {
+                engine.flush();
+            }
+            continue;
+        }
+        {
+            let mut engine = shared.engine.lock().expect("engine lock");
+            let mut pipeline = Pipeline::new(&mut *engine);
+            for event in buf.drain(..) {
+                pipeline.push(event);
+            }
+            drop(pipeline);
+            chunks += 1;
+            if chunks.is_multiple_of(CACHE_REFRESH_CHUNKS) {
+                live_total(&shared, &engine);
+            }
+        }
+        shared.pushed.fetch_add(n as u64, Ordering::SeqCst);
+        source.ack(n);
+        maybe_rotate_session(&shared, n as u64);
+    }
+    if !source.is_open() {
+        // The connection ended (EOF or protocol error): process its trailing
+        // partial batch now, so a closed stream is fully reflected in state
+        // and metrics without waiting for other traffic or shutdown.
+        shared.engine.lock().expect("engine lock").flush();
+    }
+    shared
+        .metrics
+        .frames
+        .fetch_add(source.frames(), Ordering::Relaxed);
+    if let Some(e) = source.error() {
+        shared.metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!("morphstream serve: connection closed by protocol error: {e}");
+    }
+}
+
+/// Fold the current session into the lifetime totals once enough events have
+/// flowed, bounding in-engine report memory on an unbounded stream.
+fn maybe_rotate_session(shared: &Shared, just_ingested: u64) {
+    if shared.session_events == 0 {
+        return;
+    }
+    let total = shared
+        .ingested_since_rotate
+        .fetch_add(just_ingested, Ordering::Relaxed)
+        + just_ingested;
+    if total < shared.session_events {
+        return;
+    }
+    let mut engine = shared.engine.lock().expect("engine lock");
+    // Re-check under the lock: another handler may have rotated already.
+    if shared.ingested_since_rotate.load(Ordering::Relaxed) < shared.session_events {
+        return;
+    }
+    shared.ingested_since_rotate.store(0, Ordering::Relaxed);
+    engine.flush();
+    let snapshot = engine.finish().snapshot();
+    shared.metrics.fold_session(&snapshot);
+}
+
+/// Feed `events` to the same dataflow [`Server::start`] runs, via
+/// [`Pipeline::push_iter`], and summarise identically — the reference side
+/// of the TCP-vs-local digest-equivalence guarantee.
+pub fn reference_run(opts: &ServeOptions, events: Vec<SlEvent>) -> ServerSummary {
+    let (mut engine, ledger_store, audit_store) = build_topology(opts);
+    let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
+    let digest = Arc::clone(&output_digest);
+    let mut pipeline = engine.pipeline().output_sink(FnSink(move |out: u64| {
+        digest
+            .lock()
+            .expect("digest lock")
+            .update(&out.to_le_bytes());
+    }));
+    pipeline.push_iter(events);
+    let snapshot = pipeline.finish().snapshot();
+    let output_digest = output_digest.lock().expect("digest lock").finish();
+    ServerSummary {
+        snapshot,
+        ledger_digest: ledger_store.state_digest(),
+        audit_digest: audit_store.state_digest(),
+        output_digest,
+        connections: 0,
+        frames: 0,
+        decode_errors: 0,
+    }
+}

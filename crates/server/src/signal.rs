@@ -1,0 +1,60 @@
+//! SIGINT/SIGTERM → an [`AtomicBool`], with no dependency on a signal crate.
+//!
+//! The handler does the only thing that is async-signal-safe here: store a
+//! relaxed flag. The serve loop polls the flag on its accept/read timeouts
+//! and runs the full graceful drain (`flush` + `finish`) from ordinary
+//! thread context, so a Ctrl-C mid-stream loses nothing.
+//!
+//! On non-Unix targets installation is a no-op and only programmatic
+//! shutdown ([`crate::Server::request_stop`]) applies.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM was received (or [`trigger_shutdown`] ran).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Flip the shutdown flag programmatically (tests, embedding).
+pub fn trigger_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGINT/SIGTERM handlers. Safe to call more than once.
+pub fn install_shutdown_handler() {
+    imp::install();
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // libc's classic `signal`; glibc gives BSD semantics (the handler
+        // stays installed). Declared directly to avoid a libc crate
+        // dependency for two constants and one call.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}

@@ -1,0 +1,294 @@
+//! End-to-end tests of `morphstream serve`: a real TCP server in-process,
+//! real sockets, and the three acceptance properties of the issue —
+//! TCP-fed runs are digest-identical to `push_iter` runs (serial and
+//! concurrent runtimes), a flooded slow consumer back-pressures with bounded
+//! memory and nonzero `queue_full_waits`, and `/metrics` serves Prometheus
+//! text whose counters sum to the final report.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use morphstream_common::protocol::WireFormat;
+use morphstream_common::WorkloadConfig;
+use morphstream_server::{encode_event, reference_run, write_preamble, ServeOptions, Server};
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+/// A compact but non-trivial stream: several punctuations, transfers that
+/// abort, and keys drawn Zipf-skewed from a small space.
+fn test_events(count: usize, config: &WorkloadConfig) -> Vec<SlEvent> {
+    StreamingLedgerApp::generate(config, count, 0.5)
+}
+
+fn test_options() -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    opts.workload = opts
+        .workload
+        .with_key_space(10_000)
+        .with_txns_per_batch(1_000);
+    // Keep the emulated UDF cost out of test wall-clock.
+    opts.workload.udf_complexity_us = 0;
+    opts
+}
+
+/// Send `events` over one TCP connection in `format`, then half-close.
+fn send_stream(addr: std::net::SocketAddr, events: &[SlEvent], format: WireFormat) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    write_preamble(format, &mut wire);
+    for event in events {
+        encode_event(event, format, &mut scratch, &mut wire).expect("encode event");
+    }
+    stream.write_all(&wire).expect("write stream");
+    stream.flush().unwrap();
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    // Hold the read side open until the server has had a chance to drain;
+    // dropping the socket entirely is also fine, the server reads EOF.
+}
+
+/// Block until the server has pushed `expected` events into the engine.
+/// `Server::shutdown` stops *accepting* — a connection still sitting in the
+/// kernel backlog would be dropped — so every test drains first.
+fn wait_for_ingest(server: &Server, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.events_ingested() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "server ingested {} of {expected} events before the deadline",
+            server.events_ingested()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// Parse the value of a non-comment sample line, e.g.
+/// `morphstream_events_total 500`.
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|line| !line.starts_with('#'))
+        .find_map(|line| {
+            let (sample, value) = line.rsplit_once(' ')?;
+            (sample == name).then(|| value.parse().expect("numeric sample"))
+        })
+}
+
+#[test]
+fn tcp_fed_run_matches_push_iter_on_both_runtimes_and_formats() {
+    for concurrent in [false, true] {
+        let mut opts = test_options();
+        opts.concurrent = concurrent;
+        let events = test_events(5_000, &opts.workload);
+        let expected = reference_run(&opts, events.clone());
+        assert_eq!(expected.snapshot.events, 5_000, "reference run sanity");
+        assert!(expected.snapshot.aborted > 0, "stream exercises aborts");
+
+        for format in [WireFormat::Binary, WireFormat::JsonLines] {
+            let server = Server::start(opts.clone()).expect("server starts");
+            send_stream(server.event_addr(), &events, format);
+            wait_for_ingest(&server, 5_000);
+            let summary = server.shutdown();
+
+            assert_eq!(
+                summary.ledger_digest, expected.ledger_digest,
+                "ledger state diverged (concurrent={concurrent}, {format:?})"
+            );
+            assert_eq!(
+                summary.audit_digest, expected.audit_digest,
+                "audit state diverged (concurrent={concurrent}, {format:?})"
+            );
+            assert_eq!(
+                summary.output_digest, expected.output_digest,
+                "output stream diverged (concurrent={concurrent}, {format:?})"
+            );
+            assert_eq!(summary.snapshot.events, expected.snapshot.events);
+            assert_eq!(summary.snapshot.committed, expected.snapshot.committed);
+            assert_eq!(summary.snapshot.aborted, expected.snapshot.aborted);
+            assert_eq!(summary.frames, 5_000);
+            assert_eq!(summary.decode_errors, 0);
+        }
+    }
+}
+
+#[test]
+fn slow_consumer_back_pressures_with_bounded_memory() {
+    let mut opts = test_options();
+    opts.workload = opts.workload.with_txns_per_batch(128);
+    // Concurrent runtime, minimal channel, and an audit operator that is
+    // deliberately slower than the ledger: the ledger→audit channel must
+    // fill and block.
+    opts.concurrent = true;
+    opts.channel_capacity = 1;
+    opts.audit_cost_us = 50;
+    opts.threads = 1;
+
+    let events = test_events(10_000, &opts.workload);
+    let server = Server::start(opts).expect("server starts");
+    send_stream(server.event_addr(), &events, WireFormat::Binary);
+    wait_for_ingest(&server, 10_000);
+    let summary = server.shutdown();
+
+    assert_eq!(summary.snapshot.events, 10_000, "nothing lost under load");
+    let waits: u64 = summary
+        .snapshot
+        .edges
+        .iter()
+        .map(|edge| edge.queue_full_waits)
+        .sum();
+    assert!(
+        waits > 0,
+        "a flooded slow consumer must block on the bounded channel, edges: {:?}",
+        summary.snapshot.edges
+    );
+    // Memory stays bounded: the retained footprint is on the order of the
+    // state tables plus punctuation-sized in-flight batches — far below the
+    // raw stream (10k events of versioned state would dwarf this if the
+    // channel were unbounded).
+    assert!(
+        summary.snapshot.peak_bytes_retained < 64 * 1024 * 1024,
+        "peak_bytes_retained {} exceeds the bounded-memory expectation",
+        summary.snapshot.peak_bytes_retained
+    );
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_that_sums_to_the_final_report() {
+    let mut opts = test_options();
+    // Exactly 4 punctuations, so everything is processed without a flush.
+    opts.workload = opts.workload.with_txns_per_batch(250);
+    let events = test_events(1_000, &opts.workload);
+    let server = Server::start(opts).expect("server starts");
+
+    let (head, body) = http_get(server.metrics_addr(), "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "healthz: {head}");
+    assert_eq!(body, "ok\n");
+
+    send_stream(server.event_addr(), &events, WireFormat::Binary);
+
+    // Poll until the stream is fully processed, then take one scrape.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let scrape = loop {
+        let (head, body) = http_get(server.metrics_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "metrics: {head}");
+        assert!(
+            head.contains("text/plain; version=0.0.4"),
+            "prometheus content type: {head}"
+        );
+        if metric_value(&body, "morphstream_events_total") == Some(1_000.0) {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never processed the stream; last scrape:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    let (head, _) = http_get(server.metrics_addr(), "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "unknown path: {head}");
+
+    let summary = server.shutdown();
+    assert_eq!(summary.snapshot.events, 1_000);
+
+    // The scrape taken while live must agree with the final report: same
+    // cumulative counters, per-operator rows summing to the totals.
+    for (name, expected) in [
+        ("morphstream_events_total", summary.snapshot.events),
+        ("morphstream_committed_total", summary.snapshot.committed),
+        ("morphstream_aborted_total", summary.snapshot.aborted),
+        ("morphstream_batches_total", summary.snapshot.batches),
+        ("morphstream_connections_total", 1),
+        ("morphstream_frames_total", 1_000),
+        ("morphstream_decode_errors_total", 0),
+    ] {
+        assert_eq!(
+            metric_value(&scrape, name),
+            Some(expected as f64),
+            "{name} diverged from the final report"
+        );
+    }
+    let per_operator: f64 = summary
+        .snapshot
+        .operators
+        .iter()
+        .map(|op| {
+            metric_value(
+                &scrape,
+                &format!(
+                    "morphstream_operator_committed_total{{operator=\"{}\"}}",
+                    op.name
+                ),
+            )
+            .unwrap_or_else(|| panic!("operator row {} missing from scrape", op.name))
+        })
+        .sum();
+    assert_eq!(
+        per_operator, summary.snapshot.committed as f64,
+        "operator rows must sum to the top-level committed counter"
+    );
+}
+
+#[test]
+fn malformed_connection_errors_without_taking_the_server_down() {
+    let opts = test_options();
+    let events = test_events(500, &opts.workload);
+    let server = Server::start(opts).expect("server starts");
+
+    // A garbage connection: neither `{` nor the MSB1 magic.
+    let mut bad = TcpStream::connect(server.event_addr()).expect("connect");
+    bad.write_all(b"GARBAGE STREAM").unwrap();
+    bad.shutdown(std::net::Shutdown::Write).unwrap();
+
+    // A valid connection right after must still be served in full.
+    send_stream(server.event_addr(), &events, WireFormat::JsonLines);
+    wait_for_ingest(&server, 500);
+    let summary = server.shutdown();
+    assert_eq!(summary.snapshot.events, 500);
+    assert_eq!(summary.decode_errors, 1);
+    assert_eq!(summary.connections, 2);
+}
+
+#[test]
+fn session_rotation_preserves_lifetime_totals() {
+    let mut opts = test_options();
+    opts.workload = opts.workload.with_txns_per_batch(100);
+    // Rotate every ~256 events: a 2_000-event stream crosses several
+    // sessions, and the folded totals must still account for every event.
+    opts.session_events = 256;
+    let events = test_events(2_000, &opts.workload);
+    let expected = reference_run(&test_options_like(&opts), events.clone());
+
+    let server = Server::start(opts).expect("server starts");
+    send_stream(server.event_addr(), &events, WireFormat::Binary);
+    wait_for_ingest(&server, 2_000);
+    let summary = server.shutdown();
+
+    assert_eq!(summary.snapshot.events, 2_000);
+    assert_eq!(summary.snapshot.committed, expected.snapshot.committed);
+    assert_eq!(summary.snapshot.aborted, expected.snapshot.aborted);
+    // State is carried across session rotations — digests still match a
+    // single uninterrupted run.
+    assert_eq!(summary.ledger_digest, expected.ledger_digest);
+    assert_eq!(summary.output_digest, expected.output_digest);
+}
+
+/// The same options without rotation, for the reference side.
+fn test_options_like(opts: &ServeOptions) -> ServeOptions {
+    let mut reference = opts.clone();
+    reference.session_events = 0;
+    reference
+}

@@ -22,6 +22,7 @@ pub mod sea;
 pub mod sl;
 pub mod source;
 pub mod tp;
+pub mod wire;
 
 pub use dynamic::{DynamicPhase, DynamicWorkload};
 pub use gs::{GrepSumApp, GsEvent, GsSource};
@@ -31,4 +32,9 @@ pub use sl::{SlEvent, SlSource, StreamingLedgerApp};
 pub use source::{from_iter, IterSource, MergeByTimestamp, Source};
 pub use tp::{RoadStatsApp, TollChargeApp, TollProcessingApp, TpCharged, TpEvent};
 
+// The conveyor-style source/sink traits live in the engine crate (the
+// Pipeline is generic over them); re-exported here because workload sources
+// are their canonical implementors.
+pub use morphstream::{EventSink, EventSource, FnSink, OutputSink};
+pub use morphstream_common::protocol::WireCodec;
 pub use morphstream_common::WorkloadConfig;

@@ -143,6 +143,28 @@ impl Iterator for SlSource {
 
 impl crate::Source for SlSource {}
 
+impl morphstream::EventSource for SlSource {
+    type Event = SlEvent;
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<SlEvent>) -> usize {
+        let mut pulled = 0;
+        while pulled < max {
+            match self.next() {
+                Some(event) => {
+                    out.push(event);
+                    pulled += 1;
+                }
+                None => break,
+            }
+        }
+        pulled
+    }
+
+    fn remaining_events(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
 impl StreamApp for StreamingLedgerApp {
     type Event = SlEvent;
     type Output = bool;

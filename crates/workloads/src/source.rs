@@ -32,7 +32,24 @@
 //! exactly the event sequence of the corresponding eager `generate` call,
 //! which is itself implemented as `source(..).collect()`.
 
+use morphstream::EventSource;
 use morphstream_common::Timestamp;
+
+/// Shared pull loop adapting an iterator-backed source to the conveyor-style
+/// [`EventSource`] batch contract.
+fn pull_batch<I: Iterator>(iter: &mut I, max: usize, out: &mut Vec<I::Item>) -> usize {
+    let mut pulled = 0;
+    while pulled < max {
+        match iter.next() {
+            Some(event) => {
+                out.push(event);
+                pulled += 1;
+            }
+            None => break,
+        }
+    }
+    pulled
+}
 
 /// A lazy, deterministic stream of workload events.
 ///
@@ -135,6 +152,23 @@ where
 {
 }
 
+impl<A, B, F> EventSource for MergeByTimestamp<A, B, F>
+where
+    A: Iterator,
+    B: Iterator<Item = A::Item>,
+    F: Fn(&A::Item) -> Timestamp,
+{
+    type Event = A::Item;
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<A::Item>) -> usize {
+        pull_batch(self, max, out)
+    }
+
+    fn remaining_events(&self) -> Option<usize> {
+        Source::expected_events(self)
+    }
+}
+
 /// Any iterator viewed as a [`Source`] (see [`from_iter`]). The size contract
 /// is inherited from the iterator's own [`Iterator::size_hint`].
 pub struct IterSource<I>(I);
@@ -152,6 +186,18 @@ impl<I: Iterator> Iterator for IterSource<I> {
 }
 
 impl<I: Iterator> Source for IterSource<I> {}
+
+impl<I: Iterator> EventSource for IterSource<I> {
+    type Event = I::Item;
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<I::Item>) -> usize {
+        pull_batch(self, max, out)
+    }
+
+    fn remaining_events(&self) -> Option<usize> {
+        Source::expected_events(self)
+    }
+}
 
 /// Adapt any iterator (or collection) into a [`Source`], so ad-hoc event
 /// feeds compose with the source combinators like
