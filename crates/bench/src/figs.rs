@@ -1054,6 +1054,11 @@ pub mod fig_topology {
         /// Total times a bounded edge channel was found full (back-pressure
         /// observability; 0 under the serial wave loop).
         pub queue_full_waits: u64,
+        /// Incremental checkpoints taken during the run (0 for renditions
+        /// that run without durability).
+        pub checkpoints: u64,
+        /// Bytes those checkpoints published.
+        pub checkpoint_bytes: u64,
     }
 
     impl TopologyRow {
@@ -1083,6 +1088,8 @@ pub mod fig_topology {
                 aborted: report.aborted,
                 wall_s,
                 queue_full_waits,
+                checkpoints: 0,
+                checkpoint_bytes: 0,
             }
         }
 
@@ -1099,6 +1106,8 @@ pub mod fig_topology {
                 aborted: op.aborted,
                 wall_s: 0.0,
                 queue_full_waits: 0,
+                checkpoints: 0,
+                checkpoint_bytes: 0,
             }
         }
 
@@ -1119,6 +1128,8 @@ pub mod fig_topology {
                 .unsigned("aborted", self.aborted as u64)
                 .fixed("wall_s", self.wall_s, 4)
                 .unsigned("queue_full_waits", self.queue_full_waits)
+                .unsigned("checkpoints", self.checkpoints)
+                .unsigned("checkpoint_bytes", self.checkpoint_bytes)
                 .build()
         }
     }
@@ -1164,6 +1175,64 @@ pub mod fig_topology {
             rows.push(TopologyRow::from_operator(label, op));
         }
         (rows, wall_s, store.state_digest())
+    }
+
+    /// Run the serial topology with incremental checkpoints every
+    /// `interval` events (into a throwaway directory) and return `(rows,
+    /// wall_s, digest, checkpoint_count, checkpoint_bytes)`. The wall-clock
+    /// delta against the plain serial row is the durability overhead.
+    fn measure_checkpointed(
+        label: &str,
+        config: &WorkloadConfig,
+        engine_config: morphstream::EngineConfig,
+        parallelism: usize,
+        events: &[TpEvent],
+        interval: usize,
+    ) -> (Vec<TopologyRow>, f64, u64) {
+        use morphstream_durability::{CheckpointBuilder, CheckpointStore};
+
+        let dir = std::env::temp_dir().join(format!("morph-bench-chk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut checkpoints = CheckpointStore::open(&dir).expect("open checkpoint store");
+        let store = StateStore::new();
+        let mut topology = TollProcessingApp::topology_with(
+            &store,
+            config,
+            engine_config,
+            morphstream::TopologyConfig::default(),
+            parallelism,
+        );
+        let mut applied = 0u64;
+        let mut checkpoint_bytes = 0u64;
+        let mut count = 0u64;
+        let started = std::time::Instant::now();
+        for chunk in events.chunks(interval) {
+            {
+                let mut pipeline = topology.pipeline();
+                for event in chunk {
+                    pipeline.push(event.clone());
+                }
+            }
+            applied += chunk.len() as u64;
+            let mut builder = CheckpointBuilder::new();
+            TxnEngine::checkpoint(&mut topology, &mut builder);
+            let checkpoint = builder.build(checkpoints.next_id(), applied, 0);
+            let saved = checkpoints.save(&checkpoint).expect("save checkpoint");
+            checkpoint_bytes += saved.bytes;
+            count += 1;
+        }
+        let mut report = topology.finish();
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut system_row = TopologyRow::from_report(label, &mut report, wall_s);
+        system_row.checkpoints = count;
+        system_row.checkpoint_bytes = checkpoint_bytes;
+        let mut rows = vec![system_row];
+        for op in &report.operators {
+            rows.push(TopologyRow::from_operator(label, op));
+        }
+        let digest = store.state_digest();
+        let _ = std::fs::remove_dir_all(&dir);
+        (rows, wall_s, digest)
     }
 
     /// Measure the fused TP app and the two-operator topology — serial wave
@@ -1212,6 +1281,26 @@ pub mod fig_topology {
             "the fused app and its topology split diverged"
         );
         rows.extend(serial_rows);
+
+        // The same serial topology with an incremental checkpoint every 4
+        // punctuation batches: the wall-clock delta against the plain serial
+        // row is the durability overhead, and the digest must not move.
+        let checkpoint_interval = config.txns_per_batch * 4;
+        let checkpointed_label = format!("{topology_label} (serial + checkpoints)");
+        let (checkpointed_rows, _, checkpointed_digest) = measure_checkpointed(
+            &checkpointed_label,
+            &config,
+            engine_config,
+            options.parallelism,
+            &events,
+            checkpoint_interval,
+        );
+        assert_eq!(
+            fused_store.state_digest(),
+            checkpointed_digest,
+            "taking checkpoints changed the computation"
+        );
+        rows.extend(checkpointed_rows);
 
         if options.concurrent {
             let concurrent_label =
@@ -1280,6 +1369,20 @@ pub mod fig_topology {
                 concurrent,
                 serial,
                 concurrent / serial.max(f64::EPSILON)
+            );
+        }
+        let checkpointed_row = rows
+            .iter()
+            .find(|r| r.operator.is_none() && r.system.contains("(serial + checkpoints)"));
+        if let (Some(serial), Some(row)) = (wall_of("(serial)"), checkpointed_row) {
+            println!(
+                "checkpoint overhead: {:.3}s vs {:.3}s = {:+.1}% wall-clock \
+                 ({} checkpoints, {} bytes)",
+                row.wall_s,
+                serial,
+                (row.wall_s / serial.max(f64::EPSILON) - 1.0) * 100.0,
+                row.checkpoints,
+                row.checkpoint_bytes
             );
         }
         rows

@@ -19,6 +19,13 @@ impl Fnv1a {
         }
     }
 
+    /// Hasher resumed from a previously [`finish`](Self::finish)ed state —
+    /// lets a running digest survive a process restart (the recovery path
+    /// checkpoints the state and keeps hashing where it left off).
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Mix `bytes` into the digest.
     pub fn update(&mut self, bytes: &[u8]) {
         for b in bytes {
@@ -58,5 +65,16 @@ mod tests {
         assert_ne!(a.finish(), c.finish());
         // empty hasher reports the offset basis
         assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn resumed_hasher_continues_the_same_stream() {
+        let mut whole = Fnv1a::new();
+        whole.update(b"helloworld");
+        let mut first = Fnv1a::new();
+        first.update(b"hello");
+        let mut resumed = Fnv1a::from_state(first.finish());
+        resumed.update(b"world");
+        assert_eq!(resumed.finish(), whole.finish());
     }
 }

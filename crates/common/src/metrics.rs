@@ -241,6 +241,17 @@ impl LatencyRecorder {
         Some(Duration::from_micros(sum / self.samples_us.len() as u64))
     }
 
+    /// Bucket the recorded samples into a [`LatencyHistogram`] — the fixed
+    /// cumulative-bucket form Prometheus scrapes want, computed on demand so
+    /// the hot recording path stays a plain `Vec` push.
+    pub fn histogram(&self) -> LatencyHistogram {
+        let mut hist = LatencyHistogram::new();
+        for &us in &self.samples_us {
+            hist.observe_micros(us);
+        }
+        hist
+    }
+
     /// CDF as `(latency, cumulative_percent)` pairs with `points` entries,
     /// matching the latency plots of Figures 12b and 13b.
     pub fn cdf(&mut self, points: usize) -> Vec<(Duration, f64)> {
@@ -256,6 +267,84 @@ impl LatencyRecorder {
                 (Duration::from_micros(self.samples_us[rank]), frac * 100.0)
             })
             .collect()
+    }
+}
+
+/// Upper bounds (milliseconds) of the latency histogram buckets, excluding
+/// the implicit `+Inf` bucket. Spans sub-millisecond in-process latencies up
+/// to seconds of queueing under back-pressure.
+pub const LATENCY_BUCKET_BOUNDS_MS: [f64; 12] = [
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+];
+
+/// A fixed-bucket latency histogram in the Prometheus `_bucket`/`_sum`/
+/// `_count` shape: per-bucket counts (non-cumulative internally), total
+/// observed milliseconds, and the sample count. Fold-able across sessions
+/// and delta-able between scrapes, like the counter fields it travels with.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHistogram {
+    /// Samples at or below each bound of [`LATENCY_BUCKET_BOUNDS_MS`], plus
+    /// a final overflow (`+Inf`) slot.
+    buckets: [u64; 13],
+    /// Sum of all observed latencies, in milliseconds.
+    pub sum_ms: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency expressed in microseconds.
+    pub fn observe_micros(&mut self, micros: u64) {
+        let ms = micros as f64 / 1000.0;
+        let slot = LATENCY_BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_MS.len());
+        self.buckets[slot] += 1;
+        self.sum_ms += ms;
+        self.count += 1;
+    }
+
+    /// Cumulative `(upper_bound_ms, count)` rows in exposition order; the
+    /// final row is the `+Inf` bucket and always equals `count`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut rows = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            running += n;
+            let bound = LATENCY_BUCKET_BOUNDS_MS
+                .get(i)
+                .copied()
+                .unwrap_or(f64::INFINITY);
+            rows.push((bound, running));
+        }
+        rows
+    }
+
+    /// Add another histogram's observations into this one.
+    pub fn fold(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum_ms += other.sum_ms;
+        self.count += other.count;
+    }
+
+    /// Per-bucket difference `self - earlier`, clamped at zero — the
+    /// observations of the interval between two cumulative snapshots.
+    pub fn saturating_delta(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut delta = LatencyHistogram::new();
+        for (i, slot) in delta.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        delta.sum_ms = (self.sum_ms - earlier.sum_ms).max(0.0);
+        delta.count = self.count.saturating_sub(earlier.count);
+        delta
     }
 }
 
@@ -412,6 +501,34 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.percentile(100.0).unwrap(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_fold() {
+        let mut rec = LatencyRecorder::new();
+        rec.record_micros(400); // 0.4ms → first bucket
+        rec.record_micros(3_000); // 3ms → ≤5 bucket
+        rec.record_micros(10_000_000); // 10s → +Inf
+        let hist = rec.histogram();
+        assert_eq!(hist.count, 3);
+        let rows = hist.cumulative_buckets();
+        assert_eq!(rows.first().unwrap(), &(0.5, 1));
+        // every row is non-decreasing and the +Inf row equals the count
+        for w in rows.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        let last = rows.last().unwrap();
+        assert!(last.0.is_infinite());
+        assert_eq!(last.1, 3);
+        assert!((hist.sum_ms - (0.4 + 3.0 + 10_000.0)).abs() < 1e-6);
+
+        let mut folded = LatencyHistogram::new();
+        folded.fold(&hist);
+        folded.fold(&hist);
+        assert_eq!(folded.count, 6);
+        let delta = folded.saturating_delta(&hist);
+        assert_eq!(delta, hist);
+        assert_eq!(hist.saturating_delta(&folded).count, 0);
     }
 
     #[test]

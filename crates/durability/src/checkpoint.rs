@@ -1,0 +1,787 @@
+//! Incremental, punctuation-aligned checkpoints of [`StateStore`] state.
+//!
+//! A checkpoint is a snapshot of every table that was *dirtied* since the
+//! previous checkpoint (see `MvTable::take_dirty`), captured at a flush
+//! barrier so no in-flight batch straddles the cut. Because the first
+//! checkpoint after a fresh start (or after a restore) sees every table
+//! dirty — `create_table`/`preallocate`/`seed` all mark — it is naturally a
+//! *full* checkpoint, and every full checkpoint supersedes the chain before
+//! it. Recovery therefore loads a chain that always begins with a full
+//! checkpoint and merges later sections over earlier ones (per-table,
+//! later wins), then replays the write-ahead log from `events_applied`.
+//!
+//! # The `MSC1` on-disk format
+//!
+//! Checkpoints serialize with the same total-decoder discipline as the
+//! `MSB1` wire codec: version-tagged magic, bounded counts, a trailing
+//! FNV-1a integrity word, and trailing-byte rejection. Layout (integers
+//! little-endian):
+//!
+//! ```text
+//! "MSC1"
+//! u64 id                      monotonically increasing checkpoint id
+//! u64 events_applied          input events covered by this checkpoint
+//! u64 output_digest           FNV-1a state of the output stream so far
+//! u8  full                    1 = supersedes all earlier checkpoints
+//! u32 store_count
+//!   u32 ordinal               store position in TxnEngine::checkpoint order
+//!   u32 table_count
+//!     u32 name_len, name bytes (UTF-8)
+//!     i64 default_value
+//!     u8  auto_create
+//!     u64 entry_count
+//!       (u64 key, i64 value) * entry_count      sorted by key
+//! u64 fnv                     FNV-1a over every preceding byte
+//! ```
+//!
+//! Decoding never panics: counts are bounded by the bytes that remain, the
+//! checksum is verified before the payload is trusted, and trailing bytes
+//! are rejected.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use morphstream::pipeline::{CheckpointSink, CheckpointSource};
+use morphstream_common::hash::Fnv1a;
+use morphstream_common::json::{self, JsonObject};
+use morphstream_common::protocol::ProtocolError;
+use morphstream_common::{Key, TableId, Value};
+use morphstream_storage::StateStore;
+
+use crate::error::DurabilityError;
+
+/// Version-tagged magic prefix of a checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"MSC1";
+
+/// Manifest file name inside the checkpoint directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Full latest-value snapshot of one table, as carried by a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSnapshot {
+    /// Table name (the restore key: ids are reassigned on restart).
+    pub name: String,
+    /// Default value for newly created keys.
+    pub default_value: Value,
+    /// Whether keys materialise on first access.
+    pub auto_create: bool,
+    /// Latest value per key, sorted by key for deterministic bytes.
+    pub entries: Vec<(Key, Value)>,
+}
+
+/// The dirty tables of one store, identified by its checkpoint ordinal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSection {
+    /// Position of the store in the engine's `checkpoint` enumeration. The
+    /// topology enumerates deduplicated stores in builder order, which is
+    /// deterministic across restarts of the same topology.
+    pub ordinal: u32,
+    /// Snapshots of the tables dirtied since the previous checkpoint.
+    pub tables: Vec<TableSnapshot>,
+}
+
+/// One checkpoint: a consistent cut of engine state at a flush barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonically increasing id (also orders the files on disk).
+    pub id: u64,
+    /// Number of input events the snapshot covers; WAL replay resumes here.
+    pub events_applied: u64,
+    /// FNV-1a state of the output digest at the cut (resumed on restore).
+    pub output_digest: u64,
+    /// True when every table of every store is included.
+    pub full: bool,
+    /// Per-store sections, in checkpoint-ordinal order.
+    pub stores: Vec<StoreSection>,
+}
+
+impl Checkpoint {
+    /// Serialize to the `MSC1` binary format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.events_applied.to_le_bytes());
+        out.extend_from_slice(&self.output_digest.to_le_bytes());
+        out.push(self.full as u8);
+        out.extend_from_slice(&(self.stores.len() as u32).to_le_bytes());
+        for store in &self.stores {
+            out.extend_from_slice(&store.ordinal.to_le_bytes());
+            out.extend_from_slice(&(store.tables.len() as u32).to_le_bytes());
+            for table in &store.tables {
+                out.extend_from_slice(&(table.name.len() as u32).to_le_bytes());
+                out.extend_from_slice(table.name.as_bytes());
+                out.extend_from_slice(&table.default_value.to_le_bytes());
+                out.push(table.auto_create as u8);
+                out.extend_from_slice(&(table.entries.len() as u64).to_le_bytes());
+                for (key, value) in &table.entries {
+                    out.extend_from_slice(&key.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        let mut fnv = Fnv1a::new();
+        fnv.update(&out);
+        out.extend_from_slice(&fnv.finish().to_le_bytes());
+        out
+    }
+
+    /// Decode an `MSC1` image. Total: corrupt or truncated input yields an
+    /// error, never a panic, and trailing bytes are rejected.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        if bytes.len() < CHECKPOINT_MAGIC.len() + 8 {
+            return Err(ProtocolError::Truncated);
+        }
+        if bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(ProtocolError::Malformed(
+                "bad checkpoint magic (expected MSC1)".into(),
+            ));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte split"));
+        let mut fnv = Fnv1a::new();
+        fnv.update(body);
+        if fnv.finish() != stored {
+            return Err(ProtocolError::Malformed(
+                "checkpoint checksum mismatch".into(),
+            ));
+        }
+        let mut r = ByteReader::new(&body[4..]);
+        let id = r.u64()?;
+        let events_applied = r.u64()?;
+        let output_digest = r.u64()?;
+        let full = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        let raw_stores = r.u32()? as usize;
+        let store_count = r.bounded_count(raw_stores, 8, "stores")?;
+        let mut stores = Vec::with_capacity(store_count);
+        for _ in 0..store_count {
+            let ordinal = r.u32()?;
+            let raw_tables = r.u32()? as usize;
+            let table_count = r.bounded_count(raw_tables, 21, "tables")?;
+            let mut tables = Vec::with_capacity(table_count);
+            for _ in 0..table_count {
+                let raw_name_len = r.u32()? as usize;
+                let name_len = r.bounded_count(raw_name_len, 1, "table name")?;
+                let name = String::from_utf8(r.bytes(name_len)?.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("table name is not UTF-8".into()))?;
+                let default_value = r.i64()?;
+                let auto_create = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(ProtocolError::UnknownTag(other)),
+                };
+                let raw_entries = r.u64()? as usize;
+                let entry_count = r.bounded_count(raw_entries, 16, "entries")?;
+                let mut entries = Vec::with_capacity(entry_count);
+                for _ in 0..entry_count {
+                    let key = r.u64()?;
+                    let value = r.i64()?;
+                    entries.push((key, value));
+                }
+                tables.push(TableSnapshot {
+                    name,
+                    default_value,
+                    auto_create,
+                    entries,
+                });
+            }
+            stores.push(StoreSection { ordinal, tables });
+        }
+        r.finish()?;
+        Ok(Self {
+            id,
+            events_applied,
+            output_digest,
+            full,
+            stores,
+        })
+    }
+}
+
+/// Cursor over checkpoint payload bytes with totality guarantees (bounds
+/// checks, bounded counts, trailing-byte rejection) — the same discipline
+/// as the wire codec's `PayloadReader`, plus raw-byte access for names.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or(ProtocolError::Truncated)?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+
+    /// Reject counts that could not possibly fit in the remaining bytes
+    /// (each element needs at least `min_element_bytes`), so corrupt counts
+    /// cannot trigger huge allocations.
+    fn bounded_count(
+        &self,
+        count: usize,
+        min_element_bytes: usize,
+        what: &str,
+    ) -> Result<usize, ProtocolError> {
+        let remaining = self.bytes.len() - self.pos;
+        if count.saturating_mul(min_element_bytes) > remaining {
+            return Err(ProtocolError::Malformed(format!(
+                "{what} count {count} exceeds remaining payload"
+            )));
+        }
+        Ok(count)
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after checkpoint payload",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// [`CheckpointSink`] that captures the dirty tables of every store an
+/// engine exposes, then builds a [`Checkpoint`] from them.
+///
+/// `full` starts true and survives only if every store reported all of its
+/// tables dirty — i.e. the snapshot covers the complete state.
+#[derive(Debug, Default)]
+pub struct CheckpointBuilder {
+    sections: Vec<StoreSection>,
+    full: bool,
+}
+
+impl CheckpointBuilder {
+    /// Empty builder; pass to `TxnEngine::checkpoint`.
+    pub fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+            full: true,
+        }
+    }
+
+    /// True when every table of every store seen so far was dirty.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Number of table snapshots captured.
+    pub fn table_count(&self) -> usize {
+        self.sections.iter().map(|s| s.tables.len()).sum()
+    }
+
+    /// Finish into a [`Checkpoint`] carrying the given cut metadata.
+    pub fn build(self, id: u64, events_applied: u64, output_digest: u64) -> Checkpoint {
+        Checkpoint {
+            id,
+            events_applied,
+            output_digest,
+            full: self.full,
+            stores: self.sections,
+        }
+    }
+}
+
+impl CheckpointSink for CheckpointBuilder {
+    fn store(&mut self, ordinal: usize, store: &StateStore, dirty: Vec<TableId>) {
+        self.full = self.full && dirty.len() == store.table_count();
+        let mut tables = Vec::with_capacity(dirty.len());
+        for id in dirty {
+            let Ok(table) = store.table(id) else { continue };
+            let mut entries: Vec<(Key, Value)> = table.snapshot_latest().into_iter().collect();
+            entries.sort_unstable_by_key(|(key, _)| *key);
+            tables.push(TableSnapshot {
+                name: table.name().to_string(),
+                default_value: table.default_value(),
+                auto_create: table.is_auto_create(),
+                entries,
+            });
+        }
+        self.sections.push(StoreSection {
+            ordinal: ordinal as u32,
+            tables,
+        });
+    }
+}
+
+/// [`CheckpointSource`] built by merging a checkpoint chain: per
+/// `(ordinal, table name)`, the section from the *latest* checkpoint wins
+/// (each section carries the table's complete contents at its cut).
+#[derive(Debug, Default)]
+pub struct ChainRestore {
+    stores: HashMap<u32, BTreeMap<String, TableSnapshot>>,
+}
+
+impl ChainRestore {
+    /// Empty restore source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge one checkpoint over the chain accumulated so far. Apply in
+    /// id order; later tables replace earlier ones wholesale.
+    pub fn apply(&mut self, checkpoint: Checkpoint) {
+        for section in checkpoint.stores {
+            let tables = self.stores.entry(section.ordinal).or_default();
+            for table in section.tables {
+                tables.insert(table.name.clone(), table);
+            }
+        }
+    }
+
+    /// Number of distinct tables the merged chain restores.
+    pub fn table_count(&self) -> usize {
+        self.stores.values().map(|t| t.len()).sum()
+    }
+}
+
+impl CheckpointSource for ChainRestore {
+    fn restore(&mut self, ordinal: usize, store: &StateStore) {
+        let Some(tables) = self.stores.get(&(ordinal as u32)) else {
+            return;
+        };
+        for snap in tables.values() {
+            // Idempotent: returns the existing id when the application
+            // already created the table during construction.
+            let id = store.create_table(&snap.name, snap.default_value, snap.auto_create);
+            for (key, value) in &snap.entries {
+                let _ = store.seed(id, *key, *value);
+            }
+        }
+    }
+}
+
+/// One line of the checkpoint manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Checkpoint id; equals the id inside the referenced file.
+    pub id: u64,
+    /// File name (relative to the checkpoint directory).
+    pub file: String,
+    /// Whether the checkpoint supersedes everything before it.
+    pub full: bool,
+    /// Input events the checkpoint covers.
+    pub events_applied: u64,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+}
+
+impl ManifestEntry {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .unsigned("id", self.id)
+            .string("file", &self.file)
+            .boolean("full", self.full)
+            .unsigned("events_applied", self.events_applied)
+            .unsigned("bytes", self.bytes)
+            .build()
+    }
+
+    fn from_json(line: &str) -> Result<Self, DurabilityError> {
+        let fields = json::parse_object(line)
+            .map_err(|e| DurabilityError::corrupt(format!("manifest line: {e}")))?;
+        let unsigned = |key: &str| -> Result<u64, DurabilityError> {
+            fields
+                .get(key)
+                .and_then(json::JsonValue::as_u64)
+                .ok_or_else(|| DurabilityError::corrupt(format!("manifest field {key}")))
+        };
+        let file = fields
+            .get("file")
+            .and_then(json::JsonValue::as_str)
+            .ok_or_else(|| DurabilityError::corrupt("manifest field file"))?
+            .to_string();
+        if file.contains(['/', '\\']) || file.contains("..") {
+            return Err(DurabilityError::corrupt("manifest file escapes directory"));
+        }
+        Ok(Self {
+            id: unsigned("id")?,
+            file,
+            full: fields.get("full") == Some(&json::JsonValue::Bool(true)),
+            events_applied: unsigned("events_applied")?,
+            bytes: unsigned("bytes")?,
+        })
+    }
+}
+
+/// Result of persisting one checkpoint.
+#[derive(Debug, Clone)]
+pub struct SavedCheckpoint {
+    /// Encoded size in bytes (what `checkpoint_bytes` counters report).
+    pub bytes: u64,
+    /// Path of the published file.
+    pub path: PathBuf,
+}
+
+/// State recovered from a checkpoint chain, ready to seed an engine.
+pub struct LoadedChain {
+    /// Merged restore source; pass to `TxnEngine::restore`.
+    pub restore: ChainRestore,
+    /// Resume WAL replay at this event index.
+    pub events_applied: u64,
+    /// Resume the output digest from this FNV-1a state.
+    pub output_digest: u64,
+    /// Id of the newest checkpoint in the chain.
+    pub last_id: u64,
+}
+
+/// Directory of checkpoint files plus the manifest that orders them.
+///
+/// Publication is atomic: the checkpoint is written to a temp file, fsynced,
+/// renamed into place, and the directory fsynced — only then is the manifest
+/// rewritten (also via temp + rename). A crash between the two leaves an
+/// orphan checkpoint file that recovery simply never references.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    entries: Vec<ManifestEntry>,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory and read the
+    /// manifest. A missing manifest means a fresh store.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST_NAME);
+        let mut entries = Vec::new();
+        match fs::read_to_string(&manifest) {
+            Ok(text) => {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    entries.push(ManifestEntry::from_json(line)?);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Self { dir, entries })
+    }
+
+    /// Id the next checkpoint should carry (one past the newest on disk).
+    pub fn next_id(&self) -> u64 {
+        self.entries.last().map(|e| e.id + 1).unwrap_or(0)
+    }
+
+    /// Number of checkpoints in the live chain.
+    pub fn chain_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Manifest entries of the live chain, oldest first.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Persist a checkpoint and publish it in the manifest. A *full*
+    /// checkpoint supersedes the chain: older checkpoint files are deleted
+    /// and the manifest collapses to the single new entry.
+    pub fn save(&mut self, checkpoint: &Checkpoint) -> Result<SavedCheckpoint, DurabilityError> {
+        let encoded = checkpoint.encode();
+        let file = format!("chk-{:08}.msc", checkpoint.id);
+        let path = self.dir.join(&file);
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&encoded)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        sync_dir(&self.dir)?;
+
+        let entry = ManifestEntry {
+            id: checkpoint.id,
+            file,
+            full: checkpoint.full,
+            events_applied: checkpoint.events_applied,
+            bytes: encoded.len() as u64,
+        };
+        if checkpoint.full {
+            for old in self.entries.drain(..) {
+                let _ = fs::remove_file(self.dir.join(&old.file));
+            }
+        }
+        self.entries.push(entry);
+        self.rewrite_manifest()?;
+        Ok(SavedCheckpoint {
+            bytes: encoded.len() as u64,
+            path,
+        })
+    }
+
+    fn rewrite_manifest(&self) -> Result<(), DurabilityError> {
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}.tmp"));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            for entry in &self.entries {
+                writeln!(f, "{}", entry.to_json())?;
+            }
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST_NAME))?;
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Load and merge the full checkpoint chain. Returns `None` when no
+    /// checkpoint exists. A manifest that references a missing or corrupt
+    /// file is a hard error: publication order guarantees referenced files
+    /// are complete, so damage here means the data is actually lost.
+    pub fn load_chain(&self) -> Result<Option<LoadedChain>, DurabilityError> {
+        let Some(last) = self.entries.last() else {
+            return Ok(None);
+        };
+        if !self.entries[0].full {
+            return Err(DurabilityError::corrupt(
+                "checkpoint chain does not begin with a full checkpoint",
+            ));
+        }
+        let mut restore = ChainRestore::new();
+        let mut output_digest = 0;
+        for entry in &self.entries {
+            let mut bytes = Vec::new();
+            File::open(self.dir.join(&entry.file))?.read_to_end(&mut bytes)?;
+            let checkpoint = Checkpoint::decode(&bytes)
+                .map_err(|e| DurabilityError::corrupt(format!("{}: {e}", entry.file)))?;
+            if checkpoint.id != entry.id {
+                return Err(DurabilityError::corrupt(format!(
+                    "{}: id {} does not match manifest id {}",
+                    entry.file, checkpoint.id, entry.id
+                )));
+            }
+            output_digest = checkpoint.output_digest;
+            restore.apply(checkpoint);
+        }
+        Ok(Some(LoadedChain {
+            restore,
+            events_applied: last.events_applied,
+            output_digest,
+            last_id: last.id,
+        }))
+    }
+}
+
+/// fsync a directory so a just-renamed file survives power loss.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use morphstream::udfs;
+    use morphstream::TxnEngine;
+    use morphstream::{EngineConfig, MorphStream, StreamApp, TxnBuilder};
+
+    struct Counter {
+        table: TableId,
+    }
+
+    impl StreamApp for Counter {
+        type Event = u64;
+        type Output = bool;
+
+        fn state_access(&self, key: &u64, txn: &mut TxnBuilder) {
+            txn.write(self.table, *key, udfs::add_delta(1));
+        }
+
+        fn post_process(&self, _key: &u64, outcome: &morphstream::TxnOutcome) -> bool {
+            outcome.committed
+        }
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            id: 7,
+            events_applied: 123,
+            output_digest: 0xdead_beef_cafe_f00d,
+            full: true,
+            stores: vec![StoreSection {
+                ordinal: 0,
+                tables: vec![TableSnapshot {
+                    name: "accounts".into(),
+                    default_value: 100,
+                    auto_create: false,
+                    entries: vec![(0, 17), (3, -2), (9, 100)],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_msc1() {
+        let chk = sample_checkpoint();
+        let bytes = chk.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), chk);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_without_panicking() {
+        let bytes = sample_checkpoint().encode();
+        // Truncation at every prefix length.
+        for len in 0..bytes.len() {
+            assert!(Checkpoint::decode(&bytes[..len]).is_err());
+        }
+        // Any single bit flip trips the checksum (or an earlier check).
+        for i in 0..bytes.len() {
+            let mut dented = bytes.clone();
+            dented[i] ^= 1;
+            assert!(Checkpoint::decode(&dented).is_err(), "bit flip at {i}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(Checkpoint::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn incremental_checkpoints_skip_clean_tables() {
+        let store = StateStore::new();
+        let hot = store.create_table("hot", 0, true);
+        let cold: Vec<TableId> = (0..7)
+            .map(|i| store.create_table(format!("cold{i}"), 0, true))
+            .collect();
+        for key in 0..64 {
+            store.seed(hot, key, 1).unwrap();
+            for table in &cold {
+                store.seed(*table, key, 1).unwrap();
+            }
+        }
+
+        // First checkpoint sees both tables dirty: full.
+        let mut first = CheckpointBuilder::new();
+        CheckpointSink::store(&mut first, 0, &store, store.take_dirty_tables());
+        assert!(first.is_full());
+        let full_bytes = first.build(0, 0, 0).encode().len();
+
+        // Touch only `hot`; the next checkpoint carries one table and is
+        // dramatically smaller than the full snapshot.
+        store.seed(hot, 5, 42).unwrap();
+        let mut second = CheckpointBuilder::new();
+        CheckpointSink::store(&mut second, 0, &store, store.take_dirty_tables());
+        assert!(!second.is_full());
+        let incr = second.build(1, 0, 0);
+        assert_eq!(incr.stores[0].tables.len(), 1);
+        assert_eq!(incr.stores[0].tables[0].name, "hot");
+        let incr_bytes = incr.encode().len();
+        assert!(
+            incr_bytes * 4 < full_bytes,
+            "incremental {incr_bytes}B should be well under full {full_bytes}B"
+        );
+    }
+
+    #[test]
+    fn chain_restore_merges_later_sections_over_earlier() {
+        let mut chain = ChainRestore::new();
+        chain.apply(sample_checkpoint());
+        let mut newer = sample_checkpoint();
+        newer.id = 8;
+        newer.full = false;
+        newer.stores[0].tables[0].entries = vec![(0, 99), (3, -2), (9, 100)];
+        chain.apply(newer);
+
+        let store = StateStore::new();
+        let source: &mut dyn CheckpointSource = &mut chain;
+        source.restore(0, &store);
+        let id = store.table_id("accounts").unwrap();
+        assert_eq!(store.read_latest(id, 0).unwrap(), 99);
+        assert_eq!(store.read_latest(id, 3).unwrap(), -2);
+    }
+
+    #[test]
+    fn store_publishes_atomically_and_supersedes_on_full() {
+        let dir = test_dir("chk-store");
+        let mut cs = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(cs.next_id(), 0);
+
+        let mut full = sample_checkpoint();
+        full.id = 0;
+        cs.save(&full).unwrap();
+        let mut incr = sample_checkpoint();
+        incr.id = 1;
+        incr.full = false;
+        incr.events_applied = 200;
+        cs.save(&incr).unwrap();
+        assert_eq!(cs.chain_len(), 2);
+
+        // Reopen: the chain survives and loads.
+        let cs2 = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(cs2.next_id(), 2);
+        let loaded = cs2.load_chain().unwrap().unwrap();
+        assert_eq!(loaded.events_applied, 200);
+        assert_eq!(loaded.last_id, 1);
+
+        // A new full checkpoint collapses the chain and deletes old files.
+        let mut supersede = sample_checkpoint();
+        supersede.id = 2;
+        supersede.events_applied = 300;
+        let mut cs3 = CheckpointStore::open(&dir).unwrap();
+        cs3.save(&supersede).unwrap();
+        assert_eq!(cs3.chain_len(), 1);
+        assert!(!dir.join("chk-00000000.msc").exists());
+        assert!(dir.join("chk-00000002.msc").exists());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_checkpoint_restore_round_trip_preserves_state_digest() {
+        let store = StateStore::new();
+        let table = store.create_table("counts", 0, true);
+        let app = Counter { table };
+        let mut engine = MorphStream::new(app, store.clone(), EngineConfig::with_threads(2));
+        engine.process(vec![1, 2, 1, 3, 1, 2]);
+
+        let mut builder = CheckpointBuilder::new();
+        TxnEngine::checkpoint(&mut engine, &mut builder);
+        let chk = builder.build(0, 6, 0);
+        let digest_before = store.state_digest();
+
+        // Fresh store + engine, restore, compare digests.
+        let store2 = StateStore::new();
+        let table2 = store2.create_table("counts", 0, true);
+        let app2 = Counter { table: table2 };
+        let mut engine2 = MorphStream::new(app2, store2.clone(), EngineConfig::with_threads(2));
+        let mut chain = ChainRestore::new();
+        chain.apply(chk);
+        TxnEngine::restore(&mut engine2, &mut chain);
+        assert_eq!(store2.state_digest(), digest_before);
+    }
+}

@@ -1,0 +1,46 @@
+//! Failure modes of the durability layer.
+
+use std::fmt;
+use std::io;
+
+/// Why a durability operation failed: either the disk said no, or the bytes
+/// on disk are not what we wrote (corruption, torn writes in sealed files,
+/// version mismatches).
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The persisted data is damaged or inconsistent.
+    Corrupt(String),
+}
+
+impl DurabilityError {
+    /// Shorthand for a corruption error.
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        Self::Corrupt(reason.into())
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "durability I/O error: {e}"),
+            Self::Corrupt(reason) => write!(f, "durable state is corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,578 @@
+//! Write-ahead input log: every event is appended (and optionally fsynced)
+//! *before* it reaches `Pipeline::push`, so the log is always a superset of
+//! what the engine has seen, in identical order. Recovery replays the tail
+//! of the log — events with index ≥ the latest checkpoint's
+//! `events_applied` — through the same pipeline.
+//!
+//! # The `MSW1` segment format
+//!
+//! The log is a directory of segment files named `seg-<first_index>.msw`.
+//! Each segment starts with a header and carries a sequence of records:
+//!
+//! ```text
+//! "MSW1"  u64 first_index          global index of the first event record
+//! record := u8 tag                 1 = event, 2 = punctuation marker
+//!           u32 len                payload length (bounded)
+//!           payload                tag 1: the event's MSB1 wire encoding
+//!                                  tag 2: u64 events appended so far
+//!           u64 fnv                FNV-1a over [tag, len bytes, payload]
+//! ```
+//!
+//! A crash can tear the record being written when power fails, so the
+//! *last* segment is decoded leniently: the valid prefix is kept and the
+//! torn tail dropped. Damage in any earlier segment (which was sealed by a
+//! later rotation) is a hard error — that data is really gone. Decoding is
+//! total either way: corrupt bytes produce errors or a clean torn-prefix,
+//! never a panic.
+//!
+//! Segments rotate at checkpoints; once a checkpoint covers index `n`,
+//! every segment whose successor starts at or below `n` is obsolete and
+//! [`WalLog::truncate_before`] deletes it.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use morphstream_common::hash::Fnv1a;
+use morphstream_common::protocol::{ProtocolError, WireCodec, MAX_FRAME_LEN};
+
+use crate::error::DurabilityError;
+
+/// Version-tagged magic prefix of a WAL segment.
+pub const WAL_MAGIC: [u8; 4] = *b"MSW1";
+
+const REC_EVENT: u8 = 1;
+const REC_PUNCTUATION: u8 = 2;
+
+/// When the log fsyncs, trading durability against append latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every record: no acknowledged event is ever lost, at the
+    /// cost of one disk round-trip per event.
+    Always,
+    /// fsync at punctuation markers and checkpoints: a crash can lose at
+    /// most the current punctuation interval of acknowledged events.
+    #[default]
+    Interval,
+    /// Never fsync explicitly (the OS flushes when it pleases): fastest,
+    /// loses whatever the page cache held. For benchmarks and tests.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a policy name as accepted by `--fsync`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "always" => Some(Self::Always),
+            "interval" => Some(Self::Interval),
+            "never" => Some(Self::Never),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (inverse of [`FsyncPolicy::from_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Interval => "interval",
+            Self::Never => "never",
+        }
+    }
+}
+
+/// Append half of the write-ahead log.
+pub struct WalLog {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    /// Open segment, if any; a new one is started lazily on first append
+    /// after open or rotation.
+    current: Option<File>,
+    /// Global index of the next event to append.
+    next_index: u64,
+    records_appended: u64,
+    bytes_appended: u64,
+    scratch: Vec<u8>,
+}
+
+impl WalLog {
+    /// Open the log directory (creating it if needed). `next_index` is the
+    /// global index the next appended event will carry — 0 on a fresh
+    /// start, or the recovered event count on restart.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        next_index: u64,
+    ) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            policy,
+            current: None,
+            next_index,
+            records_appended: 0,
+            bytes_appended: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Global index of the next event to append (= events covered so far).
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Records appended through this handle (events + punctuation markers).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Bytes appended through this handle, including framing.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn segment_count(&self) -> u64 {
+        list_segments(&self.dir)
+            .map(|s| s.len() as u64)
+            .unwrap_or(0)
+    }
+
+    fn ensure_segment(&mut self) -> Result<&mut File, DurabilityError> {
+        if self.current.is_none() {
+            let path = self.dir.join(segment_name(self.next_index));
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.write_all(&WAL_MAGIC)?;
+            file.write_all(&self.next_index.to_le_bytes())?;
+            self.bytes_appended += (WAL_MAGIC.len() + 8) as u64;
+            self.current = Some(file);
+        }
+        Ok(self.current.as_mut().expect("segment just ensured"))
+    }
+
+    fn append_record(&mut self, tag: u8, payload_len: usize) -> Result<(), DurabilityError> {
+        debug_assert_eq!(self.scratch.len(), payload_len);
+        if payload_len > MAX_FRAME_LEN {
+            return Err(DurabilityError::corrupt(format!(
+                "WAL record of {payload_len} bytes exceeds the frame limit"
+            )));
+        }
+        let len = (payload_len as u32).to_le_bytes();
+        let mut fnv = Fnv1a::new();
+        fnv.update(&[tag]);
+        fnv.update(&len);
+        fnv.update(&self.scratch);
+        let checksum = fnv.finish().to_le_bytes();
+
+        let payload = std::mem::take(&mut self.scratch);
+        let file = self.ensure_segment()?;
+        file.write_all(&[tag])?;
+        file.write_all(&len)?;
+        file.write_all(&payload)?;
+        file.write_all(&checksum)?;
+        self.scratch = payload;
+        self.records_appended += 1;
+        self.bytes_appended += (1 + 4 + payload_len + 8) as u64;
+        Ok(())
+    }
+
+    /// Append one event; returns the global index it was assigned. With
+    /// [`FsyncPolicy::Always`] the record is durable on return.
+    pub fn append_event<T: WireCodec>(&mut self, event: &T) -> Result<u64, DurabilityError> {
+        self.scratch.clear();
+        event.encode_binary(&mut self.scratch);
+        let len = self.scratch.len();
+        self.append_record(REC_EVENT, len)?;
+        let index = self.next_index;
+        self.next_index += 1;
+        if self.policy == FsyncPolicy::Always {
+            self.sync()?;
+        }
+        Ok(index)
+    }
+
+    /// Append a punctuation marker framing the events appended so far. With
+    /// [`FsyncPolicy::Interval`] this is also the fsync point.
+    pub fn mark_punctuation(&mut self) -> Result<(), DurabilityError> {
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&self.next_index.to_le_bytes());
+        self.append_record(REC_PUNCTUATION, 8)?;
+        if self.policy != FsyncPolicy::Never {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// fsync the open segment (no-op when nothing is open).
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        if let Some(file) = self.current.as_mut() {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the current segment; the next append starts a fresh one. Called
+    /// at checkpoints so [`WalLog::truncate_before`] can delete whole
+    /// segments that a checkpoint has made obsolete.
+    pub fn rotate(&mut self) -> Result<(), DurabilityError> {
+        self.sync()?;
+        self.current = None;
+        Ok(())
+    }
+
+    /// Delete segments fully covered by a checkpoint at `events_applied`: a
+    /// segment is obsolete when the *next* segment starts at or below that
+    /// index. The newest segment is never deleted.
+    pub fn truncate_before(&mut self, events_applied: u64) -> Result<u64, DurabilityError> {
+        let segments = list_segments(&self.dir)?;
+        let mut deleted = 0;
+        for pair in segments.windows(2) {
+            if pair[1].0 <= events_applied {
+                fs::remove_file(&pair[0].1)?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+/// One decoded segment: the valid record prefix plus whether a torn or
+/// corrupt tail was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedSegment<T> {
+    /// Global index of the first event record.
+    pub first_index: u64,
+    /// Events in append order.
+    pub events: Vec<T>,
+    /// Punctuation markers: the `next_index` value at each marker.
+    pub punctuations: Vec<u64>,
+    /// True when trailing bytes after the last valid record were dropped.
+    pub torn: bool,
+}
+
+/// Decode one segment image. Total: a malformed header is an error; any
+/// damage after it truncates to the valid record prefix with `torn` set
+/// (nothing after a bad record can be trusted). Never panics.
+pub fn decode_segment<T: WireCodec>(bytes: &[u8]) -> Result<DecodedSegment<T>, ProtocolError> {
+    if bytes.len() < WAL_MAGIC.len() + 8 {
+        return Err(ProtocolError::Truncated);
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(ProtocolError::Malformed(
+            "bad WAL segment magic (expected MSW1)".into(),
+        ));
+    }
+    let first_index = u64::from_le_bytes(bytes[4..12].try_into().expect("8-byte header"));
+    let mut out = DecodedSegment {
+        first_index,
+        events: Vec::new(),
+        punctuations: Vec::new(),
+        torn: false,
+    };
+    let mut pos = 12;
+    while pos < bytes.len() {
+        match decode_record(&bytes[pos..]) {
+            Some((tag, payload, consumed)) => {
+                match tag {
+                    REC_EVENT => match T::decode_binary(payload) {
+                        Ok(event) => out.events.push(event),
+                        Err(_) => {
+                            // Checksum passed but the payload does not
+                            // decode: written by a different/newer codec.
+                            // Same trust boundary as a torn record.
+                            out.torn = true;
+                            return Ok(out);
+                        }
+                    },
+                    REC_PUNCTUATION => {
+                        if payload.len() != 8 {
+                            out.torn = true;
+                            return Ok(out);
+                        }
+                        out.punctuations
+                            .push(u64::from_le_bytes(payload.try_into().expect("8")));
+                    }
+                    _ => {
+                        out.torn = true;
+                        return Ok(out);
+                    }
+                }
+                pos += consumed;
+            }
+            None => {
+                out.torn = true;
+                return Ok(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Try to decode one record at the head of `bytes`; `None` when the bytes
+/// are truncated, oversized, or fail the checksum.
+fn decode_record(bytes: &[u8]) -> Option<(u8, &[u8], usize)> {
+    if bytes.len() < 1 + 4 {
+        return None;
+    }
+    let tag = bytes[0];
+    let len = u32::from_le_bytes(bytes[1..5].try_into().expect("4")) as usize;
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let total = 1 + 4 + len + 8;
+    if bytes.len() < total {
+        return None;
+    }
+    let payload = &bytes[5..5 + len];
+    let stored = u64::from_le_bytes(bytes[5 + len..total].try_into().expect("8"));
+    let mut fnv = Fnv1a::new();
+    fnv.update(&bytes[..5 + len]);
+    if fnv.finish() != stored {
+        return None;
+    }
+    Some((tag, payload, total))
+}
+
+/// Everything recovered from a WAL directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalState<T> {
+    /// `(global index, event)` pairs in append order.
+    pub events: Vec<(u64, T)>,
+    /// Number of segment files read.
+    pub segments: u64,
+    /// True when the last segment had a torn tail (dropped).
+    pub torn_tail: bool,
+}
+
+impl<T> WalState<T> {
+    /// Events with index ≥ `events_applied` — the replay tail after a
+    /// checkpoint covering `events_applied` events.
+    pub fn replay_tail(self, events_applied: u64) -> Vec<(u64, T)> {
+        self.events
+            .into_iter()
+            .filter(|(index, _)| *index >= events_applied)
+            .collect()
+    }
+}
+
+/// Read every segment of a WAL directory, oldest first. Only the *last*
+/// segment may be torn; damage anywhere else is an error. A missing
+/// directory reads as empty.
+pub fn read_wal<T: WireCodec>(dir: impl AsRef<Path>) -> Result<WalState<T>, DurabilityError> {
+    let dir = dir.as_ref();
+    let segments = match list_segments(dir) {
+        Ok(s) => s,
+        Err(DurabilityError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut state = WalState {
+        events: Vec::new(),
+        segments: segments.len() as u64,
+        torn_tail: false,
+    };
+    let last = segments.len().saturating_sub(1);
+    for (i, (name_index, path)) in segments.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let decoded: DecodedSegment<T> = decode_segment(&bytes)
+            .map_err(|e| DurabilityError::corrupt(format!("{}: {e}", path.display())))?;
+        if decoded.first_index != *name_index {
+            return Err(DurabilityError::corrupt(format!(
+                "{}: header index {} does not match file name",
+                path.display(),
+                decoded.first_index
+            )));
+        }
+        if decoded.torn && i != last {
+            return Err(DurabilityError::corrupt(format!(
+                "{}: damaged record in a sealed segment",
+                path.display()
+            )));
+        }
+        state.torn_tail = decoded.torn;
+        let base = decoded.first_index;
+        state.events.extend(
+            decoded
+                .events
+                .into_iter()
+                .enumerate()
+                .map(|(off, event)| (base + off as u64, event)),
+        );
+    }
+    Ok(state)
+}
+
+fn segment_name(first_index: u64) -> String {
+    // Zero-padded so lexicographic file order is index order.
+    format!("seg-{first_index:020}.msw")
+}
+
+/// `(first_index, path)` for every segment file, sorted by index.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(index) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".msw"))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((index, entry.path()));
+    }
+    out.sort_unstable_by_key(|(index, _)| *index);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    /// Minimal event codec for tests: one u64, MSB1-style framing.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Probe(u64);
+
+    impl WireCodec for Probe {
+        fn encode_binary(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0.to_le_bytes());
+        }
+
+        fn decode_binary(payload: &[u8]) -> Result<Self, ProtocolError> {
+            let bytes: [u8; 8] = payload.try_into().map_err(|_| ProtocolError::Truncated)?;
+            Ok(Self(u64::from_le_bytes(bytes)))
+        }
+
+        fn encode_json(&self) -> String {
+            unimplemented!("not used by WAL tests")
+        }
+
+        fn decode_json(_line: &str) -> Result<Self, ProtocolError> {
+            unimplemented!("not used by WAL tests")
+        }
+    }
+
+    #[test]
+    fn wal_round_trips_events_and_punctuations() {
+        let dir = test_dir("wal-roundtrip");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Interval, 0).unwrap();
+        for i in 0..5u64 {
+            assert_eq!(log.append_event(&Probe(i)).unwrap(), i);
+        }
+        log.mark_punctuation().unwrap();
+        log.append_event(&Probe(5)).unwrap();
+        log.sync().unwrap();
+
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert!(!state.torn_tail);
+        assert_eq!(state.segments, 1);
+        assert_eq!(
+            state.events,
+            (0..6).map(|i| (i, Probe(i))).collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_in_last_segment_keeps_the_valid_prefix() {
+        let dir = test_dir("wal-torn");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..4u64 {
+            log.append_event(&Probe(i)).unwrap();
+        }
+        log.rotate().unwrap();
+        drop(log);
+
+        // Tear the (single) segment: chop bytes off its tail.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(
+            state.events,
+            (0..3).map(|i| (i, Probe(i))).collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_in_a_sealed_segment_is_a_hard_error() {
+        let dir = test_dir("wal-sealed");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        log.append_event(&Probe(1)).unwrap();
+        log.rotate().unwrap();
+        log.append_event(&Probe(2)).unwrap();
+        log.rotate().unwrap();
+        drop(log);
+
+        let (_, first) = list_segments(&dir).unwrap().remove(0);
+        let mut bytes = fs::read(&first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&first, &bytes).unwrap();
+
+        assert!(read_wal::<Probe>(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_and_truncation_drop_covered_segments() {
+        let dir = test_dir("wal-rotate");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        log.append_event(&Probe(0)).unwrap();
+        log.append_event(&Probe(1)).unwrap();
+        log.rotate().unwrap();
+        log.append_event(&Probe(2)).unwrap();
+        log.rotate().unwrap();
+        log.append_event(&Probe(3)).unwrap();
+        log.sync().unwrap();
+        assert_eq!(log.segment_count(), 3);
+
+        // Checkpoint covering 3 events: the first two segments (indices 0-1
+        // and 2) are fully covered because their successors start at ≤ 3.
+        assert_eq!(log.truncate_before(3).unwrap(), 2);
+        assert_eq!(log.segment_count(), 1);
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert_eq!(state.events, vec![(3, Probe(3))]);
+        assert!(state.replay_tail(3).len() == 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_the_index_space() {
+        let dir = test_dir("wal-reopen");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        log.append_event(&Probe(0)).unwrap();
+        log.rotate().unwrap();
+        drop(log);
+
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        assert_eq!(log.append_event(&Probe(1)).unwrap(), 1);
+        log.sync().unwrap();
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert_eq!(state.events, vec![(0, Probe(0)), (1, Probe(1))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_names_round_trip() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::Interval,
+            FsyncPolicy::Never,
+        ] {
+            assert_eq!(FsyncPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(FsyncPolicy::from_name("sometimes"), None);
+    }
+}

@@ -1,0 +1,293 @@
+//! The crash-recovery matrix: kill-and-restart is digest-identical to an
+//! uninterrupted run across every runtime shape — {serial, concurrent} ×
+//! downstream parallelism {1, 4} × worker threads {1, 4} × pipelined
+//! construction on/off — with the kill landing both on a punctuation
+//! boundary and mid-batch, and the checkpoint cut itself mid-batch.
+//!
+//! Each cell simulates the crash in-process: lifetime A WAL-appends and
+//! pushes a prefix of the stream (taking one checkpoint part-way), then is
+//! abandoned without `finish` — exactly what `kill -9` leaves on disk.
+//! Lifetime B restores the checkpoint, replays the WAL tail, pushes the rest
+//! of the stream, and must land on the same ledger/tally state digests and
+//! the same order-sensitive output digest as a reference run that never
+//! crashed.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use morphstream::storage::StateStore;
+use morphstream::{
+    udfs, EngineConfig, FnSink, Pipeline, Route, StreamApp, Topology, TopologyBuilder,
+    TopologyConfig, TxnBuilder, TxnEngine, TxnOutcome,
+};
+use morphstream_common::hash::Fnv1a;
+use morphstream_common::{StateRef, TableId, WorkloadConfig};
+use morphstream_durability::{read_wal, CheckpointBuilder, CheckpointStore, FsyncPolicy, WalLog};
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+const PUNCTUATION: usize = 50;
+const EVENTS: usize = 600;
+/// Mid-batch: 230 is not a multiple of the punctuation interval, so the
+/// checkpoint's flush cuts a partial batch.
+const CHECKPOINT_AT: usize = 230;
+
+/// The entry operator: Streaming Ledger semantics, but the output carries
+/// the primary account key so the downstream edge can partition by it.
+struct LedgerApp {
+    accounts: TableId,
+}
+
+impl LedgerApp {
+    fn new(store: &StateStore) -> Self {
+        Self {
+            accounts: store.create_table("accounts", 0, true),
+        }
+    }
+}
+
+impl StreamApp for LedgerApp {
+    type Event = SlEvent;
+    /// `account << 1 | committed`.
+    type Output = u64;
+
+    fn state_access(&self, event: &SlEvent, txn: &mut TxnBuilder) {
+        match event {
+            SlEvent::Deposit { account, amount } => {
+                txn.write(self.accounts, *account, udfs::add_delta(*amount));
+            }
+            SlEvent::Transfer { from, to, amount } => {
+                txn.write(self.accounts, *from, udfs::withdraw(*amount));
+                txn.write_with_params(
+                    self.accounts,
+                    *to,
+                    vec![StateRef::new(self.accounts, *from)],
+                    udfs::credit_if_param_at_least(*amount, *amount),
+                );
+            }
+        }
+    }
+
+    fn post_process(&self, event: &SlEvent, outcome: &TxnOutcome) -> u64 {
+        let account = match event {
+            SlEvent::Deposit { account, .. } => *account,
+            SlEvent::Transfer { from, .. } => *from,
+        };
+        (account << 1) | outcome.committed as u64
+    }
+}
+
+/// The downstream operator: per-account event tally, keyed by the same
+/// account the route partitions on, so parallel instances own disjoint keys.
+struct TallyApp {
+    tallies: TableId,
+}
+
+impl StreamApp for TallyApp {
+    type Event = u64;
+    type Output = u64;
+
+    fn state_access(&self, event: &u64, txn: &mut TxnBuilder) {
+        txn.write(self.tallies, event >> 1, udfs::add_delta(1));
+    }
+
+    fn post_process(&self, event: &u64, _outcome: &TxnOutcome) -> u64 {
+        *event
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Shape {
+    concurrent: bool,
+    parallelism: usize,
+    threads: usize,
+    pipelined: bool,
+}
+
+struct Run {
+    topology: Topology<SlEvent, u64>,
+    ledger_store: StateStore,
+    tally_store: StateStore,
+    output_digest: Arc<Mutex<Fnv1a>>,
+}
+
+fn build(shape: Shape) -> Run {
+    let ledger_store = StateStore::new();
+    let tally_store = StateStore::new();
+    let config = EngineConfig::with_threads(shape.threads)
+        .with_punctuation_interval(PUNCTUATION)
+        .with_pipelined_construction(shape.pipelined);
+    let mut builder = TopologyBuilder::new();
+    let ledger = builder.add_operator(
+        "ledger",
+        LedgerApp::new(&ledger_store),
+        ledger_store.clone(),
+        config,
+    );
+    let tally = builder
+        .add_operator(
+            "tally",
+            TallyApp {
+                tallies: tally_store.create_table("tallies", 0, true),
+            },
+            tally_store.clone(),
+            config,
+        )
+        .with_parallelism(shape.parallelism);
+    builder.connect(
+        ledger,
+        tally,
+        Route::keyed(|routed: &u64| routed >> 1, |out: &u64| Some(*out)),
+    );
+    let mut topology = builder
+        .build(
+            ledger,
+            tally,
+            TopologyConfig::default().with_concurrent(shape.concurrent),
+        )
+        .expect("ledger -> tally is a valid dataflow");
+    let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
+    let digest = Arc::clone(&output_digest);
+    topology.set_output_sink(Some(Box::new(FnSink(move |out: u64| {
+        digest.lock().unwrap().update(&out.to_le_bytes());
+    }))));
+    Run {
+        topology,
+        ledger_store,
+        tally_store,
+        output_digest,
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Digests {
+    ledger: u64,
+    tally: u64,
+    outputs: u64,
+}
+
+impl Run {
+    fn finish(mut self) -> Digests {
+        self.topology.flush();
+        self.topology.finish();
+        Digests {
+            ledger: self.ledger_store.state_digest(),
+            tally: self.tally_store.state_digest(),
+            outputs: self.output_digest.lock().unwrap().finish(),
+        }
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("morph-matrix-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The reference: one uninterrupted run of the whole stream.
+fn reference(shape: Shape, events: &[SlEvent]) -> Digests {
+    let mut run = build(shape);
+    {
+        let mut pipeline = Pipeline::new(&mut run.topology);
+        for event in events {
+            pipeline.push(event.clone());
+        }
+    }
+    run.finish()
+}
+
+/// Crash at `kill_at`, recover, finish the stream; return the digests.
+fn crashed_and_recovered(shape: Shape, events: &[SlEvent], kill_at: usize, dir: &Path) -> Digests {
+    // Lifetime A: WAL-append + push the prefix, checkpoint mid-way, then
+    // vanish without flush/finish (the in-flight suffix past the last
+    // punctuation dies with the process — but it is in the WAL).
+    {
+        let mut run = build(shape);
+        let mut wal = WalLog::open(dir.join("wal"), FsyncPolicy::Never, 0).expect("open WAL");
+        let mut checkpoints = CheckpointStore::open(dir.join("checkpoints")).expect("open store");
+        let push = |run: &mut Run, wal: &mut WalLog, slice: &[SlEvent]| {
+            let mut pipeline = Pipeline::new(&mut run.topology);
+            for event in slice {
+                wal.append_event(event).expect("append");
+                pipeline.push(event.clone());
+            }
+        };
+        push(&mut run, &mut wal, &events[..CHECKPOINT_AT]);
+        let mut builder = CheckpointBuilder::new();
+        TxnEngine::checkpoint(&mut run.topology, &mut builder);
+        let checkpoint = builder.build(
+            checkpoints.next_id(),
+            wal.next_index(),
+            run.output_digest.lock().unwrap().finish(),
+        );
+        checkpoints.save(&checkpoint).expect("save checkpoint");
+        push(&mut run, &mut wal, &events[CHECKPOINT_AT..kill_at]);
+        // No flush, no finish: lifetime A is gone.
+    }
+
+    // Lifetime B: restore, replay the WAL tail, continue, finish.
+    let mut run = build(shape);
+    let checkpoints = CheckpointStore::open(dir.join("checkpoints")).expect("reopen store");
+    let mut loaded = checkpoints
+        .load_chain()
+        .expect("chain loads")
+        .expect("a checkpoint exists");
+    TxnEngine::restore(&mut run.topology, &mut loaded.restore);
+    *run.output_digest.lock().unwrap() = Fnv1a::from_state(loaded.output_digest);
+    assert_eq!(loaded.events_applied, CHECKPOINT_AT as u64);
+    let wal_state = read_wal::<SlEvent>(dir.join("wal")).expect("WAL reads");
+    let tail = wal_state.replay_tail(loaded.events_applied);
+    assert_eq!(
+        tail.len(),
+        kill_at - CHECKPOINT_AT,
+        "tail covers checkpoint..kill"
+    );
+    {
+        let mut pipeline = Pipeline::new(&mut run.topology);
+        for (_, event) in tail {
+            pipeline.push(event);
+        }
+        for event in &events[kill_at..] {
+            pipeline.push(event.clone());
+        }
+    }
+    run.finish()
+}
+
+#[test]
+fn kill_and_restart_is_digest_identical_across_the_runtime_matrix() {
+    let workload = WorkloadConfig::streaming_ledger()
+        .with_key_space(64)
+        .with_txns_per_batch(PUNCTUATION);
+    let events = StreamingLedgerApp::generate(&workload, EVENTS, 0.5);
+
+    for concurrent in [false, true] {
+        for parallelism in [1, 4] {
+            for threads in [1, 4] {
+                for pipelined in [false, true] {
+                    let shape = Shape {
+                        concurrent,
+                        parallelism,
+                        threads,
+                        pipelined,
+                    };
+                    let expected = reference(shape, &events);
+                    // 300 = a punctuation boundary; 323 = mid-batch.
+                    for kill_at in [300, 323] {
+                        let dir = test_dir("kill");
+                        let recovered = crashed_and_recovered(shape, &events, kill_at, &dir);
+                        assert_eq!(
+                            recovered, expected,
+                            "digests diverged: concurrent={concurrent} \
+                             parallelism={parallelism} threads={threads} \
+                             pipelined={pipelined} kill_at={kill_at}"
+                        );
+                        let _ = std::fs::remove_dir_all(&dir);
+                    }
+                }
+            }
+        }
+    }
+}

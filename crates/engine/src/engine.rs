@@ -580,6 +580,10 @@ impl<A: StreamApp> MorphStream<A> {
         for table in &windowed_tables {
             let _ = self.store.pin_table(*table);
         }
+        // Checkpoint cue: the construction stage already knows which tables
+        // this batch touched, so dirty-marking rides on that set instead of
+        // relying solely on the per-write flag inside the store.
+        self.store.mark_tables_dirty(&written_tables);
         if self.config.reclaim_after_batch {
             // Per-table scope: reclaim only the tables this batch wrote. The
             // watermark lives in this engine's timestamp domain, so on a
@@ -663,6 +667,17 @@ impl<A: StreamApp> TxnEngine for MorphStream<A> {
     fn finish(&mut self) -> RunReport<A::Output> {
         TxnEngine::flush(self);
         self.session.finish()
+    }
+
+    fn checkpoint(&mut self, sink: &mut dyn crate::pipeline::CheckpointSink) {
+        // The flush is the checkpoint barrier: both pipeline stages drain,
+        // so the store reflects every pushed event before it is offered.
+        TxnEngine::flush(self);
+        sink.store(0, &self.store, self.store.take_dirty_tables());
+    }
+
+    fn restore(&mut self, source: &mut dyn crate::pipeline::CheckpointSource) {
+        source.restore(0, &self.store);
     }
 
     fn report(&self) -> &RunReport<A::Output> {

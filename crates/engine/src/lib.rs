@@ -59,11 +59,12 @@ pub mod topology;
 pub use app::{StreamApp, TxnBuilder};
 pub use engine::{MorphStream, SchedulingMode};
 pub use pipeline::{
-    BatchHook, EventSink, EventSource, FnSink, OutputSink, PendingBatch, Pipeline, SessionState,
-    TxnEngine,
+    BatchHook, CheckpointSink, CheckpointSource, EventSink, EventSource, FnSink, OutputSink,
+    PendingBatch, Pipeline, SessionState, TxnEngine,
 };
 pub use report::{
-    BatchSummary, EdgeReport, OperatorCounters, OperatorReport, ReportSnapshot, RunReport,
+    BatchSummary, DurabilityCounters, EdgeReport, OperatorCounters, OperatorReport, ReportSnapshot,
+    RunReport,
 };
 pub use topology::{OperatorHandle, Route, Topology, TopologyBuilder, TopologyError};
 

@@ -60,6 +60,8 @@
 use std::time::Instant;
 
 use morphstream_common::metrics::Breakdown;
+use morphstream_common::TableId;
+use morphstream_storage::StateStore;
 
 use crate::report::{BatchSummary, RunReport};
 
@@ -280,6 +282,27 @@ impl<E, O> Default for SessionState<E, O> {
     }
 }
 
+/// Receives the state of an engine at a checkpoint barrier: one call per
+/// distinct [`StateStore`] the engine operates on, in a stable ordinal order
+/// (single-store engines call with ordinal 0; a topology enumerates its
+/// deduplicated stores). `dirty` lists the tables whose visible state may
+/// have changed since the flags were last taken — the incremental-snapshot
+/// set. The sink decides how to serialize; the engine only guarantees it is
+/// quiescent (flushed) for the duration of the call.
+pub trait CheckpointSink {
+    /// Offer one store for snapshotting.
+    fn store(&mut self, ordinal: usize, store: &StateStore, dirty: Vec<TableId>);
+}
+
+/// Supplies checkpointed state back to an engine at restore time: the mirror
+/// of [`CheckpointSink`], called once per store with the same ordinals the
+/// checkpoint used. The source seeds the store's tables to their
+/// checkpointed visible state.
+pub trait CheckpointSource {
+    /// Restore one store from the checkpoint.
+    fn restore(&mut self, ordinal: usize, store: &StateStore);
+}
+
 /// A transactional stream engine driven by pushed events.
 ///
 /// Implemented by [`MorphStream`](crate::MorphStream) and by the three
@@ -328,6 +351,25 @@ pub trait TxnEngine {
     /// server periodically finishes sessions to bound report memory while
     /// the sink keeps streaming outputs.
     fn set_output_sink(&mut self, sink: Option<OutputSink<Self::Output>>);
+
+    /// Pause at a checkpoint barrier and offer every distinct state store to
+    /// `sink`. The default implementation flushes (so the checkpoint lands on
+    /// a punctuation-aligned, fully quiescent state) and offers nothing —
+    /// engines with checkpointable state override this to enumerate their
+    /// stores. Callers serialize whatever the sink captured; the engine
+    /// resumes streaming afterwards as if the barrier were a plain flush.
+    fn checkpoint(&mut self, sink: &mut dyn CheckpointSink) {
+        let _ = sink;
+        self.flush();
+    }
+
+    /// Restore engine state from a checkpoint before any events are pushed:
+    /// the inverse of [`TxnEngine::checkpoint`], calling `source` once per
+    /// store with the same ordinals. Engines without checkpointable state
+    /// ignore it. Must be called on a fresh session (nothing buffered).
+    fn restore(&mut self, source: &mut dyn CheckpointSource) {
+        let _ = source;
+    }
 
     /// Push every event of `events` in order.
     fn ingest_iter<I>(&mut self, events: I)

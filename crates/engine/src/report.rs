@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use morphstream_common::json::JsonObject;
 use morphstream_common::metrics::{
-    Breakdown, LatencyRecorder, MemoryTimeline, StageTimings, Throughput,
+    Breakdown, LatencyHistogram, LatencyRecorder, MemoryTimeline, StageTimings, Throughput,
 };
 use morphstream_scheduler::SchedulingDecision;
 
@@ -289,6 +289,8 @@ impl<O> RunReport<O> {
             p50_latency_ms: pct(&mut latency, 50.0),
             p95_latency_ms: pct(&mut latency, 95.0),
             peak_bytes_retained: self.memory.peak_bytes(),
+            latency: self.latency.histogram(),
+            durability: DurabilityCounters::default(),
             operators: self
                 .operators
                 .iter()
@@ -369,10 +371,68 @@ pub struct ReportSnapshot {
     pub p95_latency_ms: f64,
     /// Largest state-store footprint observed (gauge, bytes).
     pub peak_bytes_retained: u64,
+    /// End-to-end latency distribution as a fixed-bucket histogram — the
+    /// fold-able form `/metrics` renders as `_bucket`/`_sum`/`_count` rows.
+    pub latency: LatencyHistogram,
+    /// Checkpoint/WAL counters (all zero unless the process runs durably).
+    pub durability: DurabilityCounters,
     /// Per-operator counters (empty for a single-operator engine).
     pub operators: Vec<OperatorCounters>,
     /// Per-edge back-pressure counters (empty for a single-operator engine).
     pub edges: Vec<EdgeReport>,
+}
+
+/// Checkpoint and write-ahead-log counters of a durable process, carried
+/// inside [`ReportSnapshot`] so `/metrics` and `fig_topology --json` expose
+/// them through the same path as the engine counters. Counter fields are
+/// cumulative; the `last_checkpoint_*`/`wal_segments` fields are gauges.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DurabilityCounters {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Bytes of checkpoint files written (incremental sections only).
+    pub checkpoint_bytes: u64,
+    /// Events appended to the write-ahead input log.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead input log.
+    pub wal_bytes: u64,
+    /// Recoveries performed at startup (0 or 1 per process).
+    pub recoveries: u64,
+    /// Events replayed from the log during recovery.
+    pub recovered_events: u64,
+    /// Live WAL segment files (gauge).
+    pub wal_segments: u64,
+    /// Duration of the most recent checkpoint, in seconds (gauge).
+    pub last_checkpoint_seconds: f64,
+    /// Time since the most recent checkpoint finished, in seconds (gauge;
+    /// negative when no checkpoint was taken yet).
+    pub last_checkpoint_age_seconds: f64,
+}
+
+impl DurabilityCounters {
+    /// Whether any durability activity was recorded.
+    pub fn is_active(&self) -> bool {
+        self.checkpoints > 0 || self.wal_records > 0 || self.recoveries > 0
+    }
+
+    /// Render as one JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .unsigned("checkpoints", self.checkpoints)
+            .unsigned("checkpoint_bytes", self.checkpoint_bytes)
+            .unsigned("wal_records", self.wal_records)
+            .unsigned("wal_bytes", self.wal_bytes)
+            .unsigned("recoveries", self.recoveries)
+            .unsigned("recovered_events", self.recovered_events)
+            .unsigned("wal_segments", self.wal_segments)
+            .fixed("last_checkpoint_seconds", self.last_checkpoint_seconds, 6)
+            .fixed(
+                "last_checkpoint_age_seconds",
+                self.last_checkpoint_age_seconds,
+                3,
+            )
+            .build()
+    }
 }
 
 impl ReportSnapshot {
@@ -397,6 +457,32 @@ impl ReportSnapshot {
         delta.redone_ops = self.redone_ops.saturating_sub(prev.redone_ops);
         delta.batches = self.batches.saturating_sub(prev.batches);
         delta.processing_seconds = (self.processing_seconds - prev.processing_seconds).max(0.0);
+        delta.latency = self.latency.saturating_delta(&prev.latency);
+        let d = &mut delta.durability;
+        d.checkpoints = self
+            .durability
+            .checkpoints
+            .saturating_sub(prev.durability.checkpoints);
+        d.checkpoint_bytes = self
+            .durability
+            .checkpoint_bytes
+            .saturating_sub(prev.durability.checkpoint_bytes);
+        d.wal_records = self
+            .durability
+            .wal_records
+            .saturating_sub(prev.durability.wal_records);
+        d.wal_bytes = self
+            .durability
+            .wal_bytes
+            .saturating_sub(prev.durability.wal_bytes);
+        d.recoveries = self
+            .durability
+            .recoveries
+            .saturating_sub(prev.durability.recoveries);
+        d.recovered_events = self
+            .durability
+            .recovered_events
+            .saturating_sub(prev.durability.recovered_events);
         for op in &mut delta.operators {
             if let Some(p) = prev.operators.iter().find(|p| p.name == op.name) {
                 op.events = op.events.saturating_sub(p.events);
@@ -433,6 +519,19 @@ impl ReportSnapshot {
             self.p95_latency_ms = other.p95_latency_ms;
         }
         self.peak_bytes_retained = self.peak_bytes_retained.max(other.peak_bytes_retained);
+        self.latency.fold(&other.latency);
+        self.durability.checkpoints += other.durability.checkpoints;
+        self.durability.checkpoint_bytes += other.durability.checkpoint_bytes;
+        self.durability.wal_records += other.durability.wal_records;
+        self.durability.wal_bytes += other.durability.wal_bytes;
+        self.durability.recoveries += other.durability.recoveries;
+        self.durability.recovered_events += other.durability.recovered_events;
+        if other.durability.is_active() {
+            self.durability.wal_segments = other.durability.wal_segments;
+            self.durability.last_checkpoint_seconds = other.durability.last_checkpoint_seconds;
+            self.durability.last_checkpoint_age_seconds =
+                other.durability.last_checkpoint_age_seconds;
+        }
         for op in &other.operators {
             match self.operators.iter_mut().find(|s| s.name == op.name) {
                 Some(s) => {
@@ -470,6 +569,7 @@ impl ReportSnapshot {
             .fixed("p50_latency_ms", self.p50_latency_ms, 3)
             .fixed("p95_latency_ms", self.p95_latency_ms, 3)
             .unsigned("peak_bytes_retained", self.peak_bytes_retained)
+            .raw("durability", self.durability.to_json())
             .array("operators", self.operators.iter().map(|o| o.to_json()))
             .array("edges", self.edges.iter().map(|e| e.to_json()))
             .build()
@@ -620,15 +720,62 @@ mod tests {
     }
 
     #[test]
+    fn durability_counters_fold_and_delta_like_the_engine_counters() {
+        let mut total = ReportSnapshot::default();
+        let live = ReportSnapshot {
+            durability: DurabilityCounters {
+                checkpoints: 2,
+                checkpoint_bytes: 4096,
+                wal_records: 100,
+                wal_bytes: 2000,
+                recoveries: 1,
+                recovered_events: 40,
+                wal_segments: 3,
+                last_checkpoint_seconds: 0.01,
+                last_checkpoint_age_seconds: 5.0,
+            },
+            ..Default::default()
+        };
+        total.fold(&live);
+        total.fold(&live);
+        assert_eq!(total.durability.checkpoints, 4);
+        assert_eq!(total.durability.wal_records, 200);
+        // gauges track the live session, not a sum
+        assert_eq!(total.durability.wal_segments, 3);
+        assert!((total.durability.last_checkpoint_age_seconds - 5.0).abs() < 1e-9);
+
+        let delta = total.delta_since(&live);
+        assert_eq!(delta.durability.checkpoints, 2);
+        assert_eq!(delta.durability.recovered_events, 40);
+        assert!(delta.durability.is_active());
+        assert!(!ReportSnapshot::default().durability.is_active());
+        // rendered JSON carries the nested durability object
+        let json = live.to_json();
+        assert!(json.contains("\"durability\":{\"checkpoints\":2"));
+    }
+
+    #[test]
+    fn snapshot_latency_histogram_follows_the_recorded_samples() {
+        let mut report: RunReport<u64> = RunReport::new();
+        report.outputs.extend([1, 2]);
+        report.record_batch(summary(2, 2), &Breakdown::new(), Duration::from_millis(5));
+        let snap = report.snapshot();
+        assert_eq!(snap.latency.count, 2);
+        let rows = snap.latency.cumulative_buckets();
+        assert_eq!(rows.last().unwrap().1, 2);
+    }
+
+    #[test]
     fn snapshot_json_round_trips_top_level_counters() {
         let mut report: RunReport<u64> = RunReport::new();
         report.outputs.extend([7, 8]);
         report.record_batch(summary(2, 2), &Breakdown::new(), Duration::from_millis(5));
         let rendered = report.snapshot().to_json();
-        // operators/edges are nested arrays, which the flat parser rejects —
-        // strip them for the round-trip check of the scalar counters.
+        // durability/operators/edges are nested, which the flat parser
+        // rejects — strip them for the round-trip check of the scalar
+        // counters.
         let scalars = rendered
-            .split(",\"operators\":")
+            .split(",\"durability\":")
             .next()
             .map(|s| format!("{s}}}"))
             .unwrap();

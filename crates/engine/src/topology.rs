@@ -1324,6 +1324,14 @@ enum ToTopology {
         delta: InstanceStats,
         decision: Option<SchedulingDecision>,
     },
+    /// One instance's cumulative counters after a round — the live
+    /// observability feed that lets [`Topology::live_rows`] report
+    /// per-operator rows while the instances run on worker threads.
+    Live {
+        node: usize,
+        instance: usize,
+        counters: OperatorCounters,
+    },
     /// One instance closed its session (a `Finish` round).
     Operator {
         node: usize,
@@ -1484,6 +1492,17 @@ impl InstanceWorker {
                     delta,
                     decision,
                 });
+                let _ = self.collector.send(ToTopology::Live {
+                    node: self.node,
+                    instance: self.instance,
+                    counters: OperatorCounters {
+                        name: self.label.clone(),
+                        events: baseline.events as u64,
+                        committed: baseline.committed as u64,
+                        aborted: baseline.aborted as u64,
+                        batches: self.inst.completed_batches() as u64,
+                    },
+                });
                 if kind == RoundKind::Finish {
                     let report = self.inst.finish_instance(&self.label);
                     baseline = InstanceStats::default();
@@ -1617,6 +1636,10 @@ struct ConcurrentRuntime {
     outputs_seq: Option<usize>,
     /// Per-instance reports collected from `Finish` rounds.
     operator_rows: Vec<(usize, usize, OperatorReport)>,
+    /// Latest cumulative counters per instance (keyed `(node, instance)` so
+    /// iteration yields the serial runtime's row order), refreshed by the
+    /// `Live` messages every processed round emits.
+    live_counters: BTreeMap<(usize, usize), OperatorCounters>,
 }
 
 impl ConcurrentRuntime {
@@ -1773,6 +1796,7 @@ impl ConcurrentRuntime {
             finalized: None,
             outputs_seq: None,
             operator_rows: Vec::new(),
+            live_counters: BTreeMap::new(),
         }
     }
 
@@ -1856,16 +1880,19 @@ where
     /// Live per-operator counters and per-edge wait totals of the current
     /// session, for observers that cannot wait for `finish` (e.g. a metrics
     /// scrape). Under the serial runtime the operator rows read the instance
-    /// counters directly, with the same labels [`TxnEngine::finish`] reports;
-    /// under the concurrent runtime instance counters live on the worker
-    /// threads, so the operator list is empty and only the edge rows (shared
-    /// atomics) are live.
+    /// counters directly, with the same labels [`TxnEngine::finish`] reports.
+    /// Under the concurrent runtime the rows come from the per-round `Live`
+    /// messages the worker threads feed through the collector channel, so
+    /// they trail the stream by at most the rounds still in flight and catch
+    /// up at every flush.
     pub fn live_rows(&self) -> (Vec<OperatorCounters>, Vec<EdgeReport>) {
         let mut operators = Vec::new();
         if let Some(rt) = self.serial.as_ref() {
             for node in &rt.nodes {
                 node.live_counters(&mut operators);
             }
+        } else if let Some(rt) = self.concurrent.as_ref() {
+            operators.extend(rt.live_counters.values().cloned());
         }
         (operators, self.shared.edge_report())
     }
@@ -2055,6 +2082,13 @@ where
                     shared.record_round(summary, &acc.totals.breakdown);
                 }
             }
+            ToTopology::Live {
+                node,
+                instance,
+                counters,
+            } => {
+                rt.live_counters.insert((node, instance), counters);
+            }
             ToTopology::Operator {
                 node,
                 instance,
@@ -2199,6 +2233,7 @@ where
             rt.operator_rows
                 .sort_by_key(|(node, instance, _)| (*node, *instance));
             rt.rounds.clear();
+            rt.live_counters.clear();
             rt.operator_rows
                 .drain(..)
                 .map(|(_, _, report)| report)
@@ -2220,6 +2255,23 @@ where
         }
         self.shared.reset_session();
         report
+    }
+
+    fn checkpoint(&mut self, sink: &mut dyn crate::pipeline::CheckpointSink) {
+        // Flush is the checkpoint barrier for both runtimes: the serial wave
+        // loop drains every operator inline, and the concurrent path blocks
+        // until the Flush round completed on every worker thread — so each
+        // store is quiescent while the sink walks it.
+        TxnEngine::flush(self);
+        for (ordinal, store) in self.shared.stores.iter().enumerate() {
+            sink.store(ordinal, store, store.take_dirty_tables());
+        }
+    }
+
+    fn restore(&mut self, source: &mut dyn crate::pipeline::CheckpointSource) {
+        for (ordinal, store) in self.shared.stores.iter().enumerate() {
+            source.restore(ordinal, store);
+        }
     }
 
     fn report(&self) -> &RunReport<Out> {

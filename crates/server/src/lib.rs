@@ -32,5 +32,7 @@ pub mod signal;
 pub use codec::{encode_event, write_preamble, SocketEventSource};
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
 pub use metrics::{render_prometheus, ServerMetrics};
-pub use serve::{build_topology, reference_run, AuditApp, ServeOptions, Server, ServerSummary};
+pub use serve::{
+    build_topology, reference_run, AuditApp, RecoveryReport, ServeOptions, Server, ServerSummary,
+};
 pub use signal::{install_shutdown_handler, shutdown_requested, trigger_shutdown};

@@ -27,6 +27,9 @@ pub struct LoadgenOptions {
     pub addr: String,
     /// Total events to send.
     pub events: usize,
+    /// Generate but do not send the first N events of the deterministic
+    /// stream — resume past what a recovered server already ingested.
+    pub skip: usize,
     /// Distinct account keys the stream draws from.
     pub key_space: u64,
     /// Zipf skew of key popularity (0.0 = uniform).
@@ -48,6 +51,7 @@ impl Default for LoadgenOptions {
         Self {
             addr: "127.0.0.1:7878".into(),
             events: 100_000,
+            skip: 0,
             key_space: 2_000_000,
             zipf_theta: 0.6,
             transfer_ratio: 0.5,
@@ -118,6 +122,20 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
         .with_key_space(opts.key_space)
         .with_seed(opts.seed);
     let mut source = StreamingLedgerApp::source(&config, opts.events, opts.transfer_ratio);
+
+    // Skip by generating and discarding: the generator is deterministic per
+    // seed, so event `skip` here is byte-identical to event `skip` of a
+    // run that sent the whole stream.
+    let mut discard: Vec<SlEvent> = Vec::new();
+    let mut to_skip = opts.skip.min(opts.events);
+    while to_skip > 0 {
+        discard.clear();
+        let n = source.next_batch(to_skip.min(4096), &mut discard);
+        if n == 0 {
+            break;
+        }
+        to_skip -= n;
+    }
 
     let mut stream = TcpStream::connect(&opts.addr)?;
     stream.set_nodelay(true)?;

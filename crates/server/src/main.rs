@@ -7,6 +7,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use morphstream_common::protocol::WireFormat;
+use morphstream_durability::FsyncPolicy;
 use morphstream_server::{
     install_shutdown_handler, run_loadgen, shutdown_requested, LoadgenOptions, ServeOptions, Server,
 };
@@ -19,20 +20,29 @@ USAGE:
                         [--threads N] [--punctuation N] [--key-space N]
                         [--channel-capacity N] [--concurrent]
                         [--audit-cost-us N] [--session-events N]
-    morphstream loadgen [--addr HOST:PORT] [--events N] [--key-space N]
-                        [--zipf-theta F] [--transfer-ratio F]
-                        [--format binary|json] [--burst N]
-                        [--burst-pause-ms N] [--seed N] [--json]
+                        [--data-dir PATH] [--checkpoint-interval N]
+                        [--fsync always|interval|never]
+                        [--legacy-latency-gauges]
+    morphstream loadgen [--addr HOST:PORT] [--events N] [--skip N]
+                        [--key-space N] [--zipf-theta F]
+                        [--transfer-ratio F] [--format binary|json]
+                        [--burst N] [--burst-pause-ms N] [--seed N] [--json]
 
 serve accepts events on --addr (length-prefixed binary after an MSB1 magic,
 or JSON lines; auto-detected per connection), serves Prometheus metrics on
 http://<metrics-addr>/metrics and liveness on /healthz, and drains in-flight
-punctuations on SIGINT/SIGTERM before exiting.
+punctuations on SIGINT/SIGTERM before exiting. With --data-dir, every event
+is written ahead to a WAL and state is checkpointed incrementally every
+--checkpoint-interval events (0 = only at startup recovery and shutdown);
+after a crash, restarting with the same --data-dir restores the latest
+checkpoint chain and replays the WAL tail to digest-identical state.
 
 loadgen connects to a running server and sends a deterministic Zipf-skewed
 Streaming Ledger stream in bursts, reporting the achieved rate and the
 socket write-latency tail (which rises when server back-pressure reaches the
-client through TCP flow control).
+client through TCP flow control). --skip N generates but does not send the
+first N events — resume a deterministic stream past what a recovered server
+already ingested (its morphstream_durable_events gauge).
 ";
 
 fn main() -> ExitCode {
@@ -103,6 +113,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 ("--concurrent", false),
                 ("--audit-cost-us", true),
                 ("--session-events", true),
+                ("--data-dir", true),
+                ("--checkpoint-interval", true),
+                ("--fsync", true),
+                ("--legacy-latency-gauges", false),
             ],
         )?;
         let mut opts = ServeOptions {
@@ -138,6 +152,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         if let Some(n) = flag_value(args, "--session-events", |s| s.parse::<u64>().ok())? {
             opts.session_events = n;
         }
+        if let Some(dir) = flag_value(args, "--data-dir", |s| Some(std::path::PathBuf::from(s)))? {
+            opts.data_dir = Some(dir);
+        }
+        if let Some(n) = flag_value(args, "--checkpoint-interval", |s| s.parse::<u64>().ok())? {
+            opts.checkpoint_interval = n;
+        }
+        if let Some(policy) = flag_value(args, "--fsync", FsyncPolicy::from_name)? {
+            opts.fsync = policy;
+        }
+        opts.legacy_latency_gauges = has_flag(args, "--legacy-latency-gauges");
         Ok(opts)
     })();
     let opts = match parsed {
@@ -156,6 +180,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(recovery) = server.recovery() {
+        println!("morphstream serve: recovered {}", recovery.to_json());
+    }
     println!(
         "morphstream serve: events on {}  metrics on http://{}/metrics",
         server.event_addr(),
@@ -175,6 +202,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         summary.frames,
         summary.decode_errors,
     );
+    // Machine-checkable equivalence witness: the crash-recovery smoke test
+    // compares this line between a killed-and-recovered run and an
+    // uninterrupted reference run of the same stream.
+    println!(
+        "morphstream serve: digests ledger={:016x} audit={:016x} outputs={:016x}",
+        summary.ledger_digest, summary.audit_digest, summary.output_digest,
+    );
     ExitCode::SUCCESS
 }
 
@@ -185,6 +219,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             &[
                 ("--addr", true),
                 ("--events", true),
+                ("--skip", true),
                 ("--key-space", true),
                 ("--zipf-theta", true),
                 ("--transfer-ratio", true),
@@ -201,6 +236,9 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
         }
         if let Some(n) = flag_value(args, "--events", |s| s.parse::<usize>().ok())? {
             opts.events = n;
+        }
+        if let Some(n) = flag_value(args, "--skip", |s| s.parse::<usize>().ok())? {
+            opts.skip = n;
         }
         if let Some(n) = flag_value(args, "--key-space", |s| s.parse::<u64>().ok())? {
             opts.key_space = n.max(1);

@@ -16,14 +16,115 @@
 use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use morphstream::ReportSnapshot;
+use morphstream::{DurabilityCounters, ReportSnapshot};
+
+/// Lock-free durability counters, updated by the ingest path while holding
+/// the engine lock and read by scrapes that must never block behind it.
+/// Gauges for "when" are stored as nanoseconds since the metrics clock
+/// started ([`u64::MAX`] = never), so rendering needs no extra lock.
+#[derive(Default)]
+pub struct DurabilityStats {
+    enabled: AtomicBool,
+    checkpoints: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    recoveries: AtomicU64,
+    recovered_events: AtomicU64,
+    wal_segments: AtomicU64,
+    durable_events: AtomicU64,
+    /// Duration of the most recent checkpoint, in nanoseconds.
+    last_checkpoint_nanos: AtomicU64,
+    /// When the most recent checkpoint finished, as nanoseconds on the
+    /// metrics clock; `u64::MAX` = no checkpoint yet.
+    last_checkpoint_at_nanos: AtomicU64,
+}
+
+impl DurabilityStats {
+    fn new() -> Self {
+        let stats = Self::default();
+        stats
+            .last_checkpoint_at_nanos
+            .store(u64::MAX, Ordering::Relaxed);
+        stats
+    }
+
+    /// Mark durability as configured: scrapes expose the family even while
+    /// all counters are still zero.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether durability is configured on this server.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record a crash recovery that replayed `replayed` WAL events.
+    pub fn record_recovery(&self, replayed: u64) {
+        self.enable();
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.recovered_events.fetch_add(replayed, Ordering::Relaxed);
+    }
+
+    /// Record one published checkpoint. `at` is the current reading of the
+    /// metrics clock (see [`ServerMetrics::clock`]).
+    pub fn record_checkpoint(&self, bytes: u64, took: Duration, at: Duration) {
+        self.enable();
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.last_checkpoint_nanos
+            .store(took.as_nanos() as u64, Ordering::Relaxed);
+        self.last_checkpoint_at_nanos
+            .store(at.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Publish the WAL's cumulative totals (the log handle owns the real
+    /// counters; this mirrors them for scrapes).
+    pub fn set_wal(&self, records: u64, bytes: u64, segments: u64, durable_events: u64) {
+        self.wal_records.store(records, Ordering::Relaxed);
+        self.wal_bytes.store(bytes, Ordering::Relaxed);
+        self.wal_segments.store(segments, Ordering::Relaxed);
+        self.durable_events.store(durable_events, Ordering::Relaxed);
+    }
+
+    /// Events durably logged (the WAL's next index) — what a resuming
+    /// client needs to know to skip already-ingested events.
+    pub fn durable_events(&self) -> u64 {
+        self.durable_events.load(Ordering::Relaxed)
+    }
+
+    /// Render into the snapshot-level counter struct. `now` is the current
+    /// reading of the metrics clock, for the last-checkpoint age.
+    pub fn counters(&self, now: Duration) -> DurabilityCounters {
+        let at = self.last_checkpoint_at_nanos.load(Ordering::Relaxed);
+        let age = if at == u64::MAX {
+            -1.0
+        } else {
+            (now.as_nanos() as f64 - at as f64) / 1e9
+        };
+        DurabilityCounters {
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            wal_records: self.wal_records.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            recovered_events: self.recovered_events.load(Ordering::Relaxed),
+            wal_segments: self.wal_segments.load(Ordering::Relaxed),
+            last_checkpoint_seconds: {
+                let nanos = self.last_checkpoint_nanos.load(Ordering::Relaxed);
+                nanos as f64 / 1e9
+            },
+            last_checkpoint_age_seconds: age,
+        }
+    }
+}
 
 /// Shared metric state: folded lifetime totals plus socket-layer counters.
-#[derive(Default)]
 pub struct ServerMetrics {
     /// Totals of every *finished* session, folded.
     base: Mutex<ReportSnapshot>,
@@ -36,12 +137,36 @@ pub struct ServerMetrics {
     pub frames: AtomicU64,
     /// Connections closed by a protocol error.
     pub decode_errors: AtomicU64,
+    /// Checkpoint/WAL counters (zero and hidden unless durability is on).
+    pub durability: DurabilityStats,
+    /// Epoch of the gauges' time axis (checkpoint age).
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServerMetrics {
     /// Fresh, all-zero metric state.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            base: Mutex::new(ReportSnapshot::default()),
+            cached: Mutex::new(ReportSnapshot::default()),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            durability: DurabilityStats::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Current reading of the metrics clock (feeds
+    /// [`DurabilityStats::record_checkpoint`] and the age gauge).
+    pub fn clock(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Fold a finished session's snapshot into the lifetime base.
@@ -50,25 +175,38 @@ impl ServerMetrics {
     }
 
     /// Lifetime totals given a live snapshot of the current session; also
-    /// refreshes the stale-scrape cache.
+    /// refreshes the stale-scrape cache. The durability counters come from
+    /// this struct's atomics — the single source of truth — not from the
+    /// folded snapshots.
     pub fn total_with_live(&self, live: &ReportSnapshot) -> ReportSnapshot {
         let mut total = self.base.lock().expect("metrics lock").clone();
         total.fold(live);
+        total.durability = self.durability.counters(self.clock());
         *self.cached.lock().expect("metrics lock") = total.clone();
         total
     }
 
     /// The last coherent lifetime total, for scrapes that cannot take the
-    /// engine lock without blocking behind back-pressure.
+    /// engine lock without blocking behind back-pressure. Durability
+    /// counters and the checkpoint age are still live (they are atomics).
     pub fn cached_total(&self) -> ReportSnapshot {
-        self.cached.lock().expect("metrics lock").clone()
+        let mut total = self.cached.lock().expect("metrics lock").clone();
+        total.durability = self.durability.counters(self.clock());
+        total
     }
 }
 
 /// Render a lifetime snapshot as Prometheus text exposition format
 /// (version 0.0.4): `# HELP`/`# TYPE` headers, counters suffixed `_total`,
-/// label values escaped per the spec.
-pub fn render_prometheus(total: &ReportSnapshot, metrics: &ServerMetrics) -> String {
+/// label values escaped per the spec. Latency is exposed as a proper
+/// histogram (`_bucket`/`_sum`/`_count`); `legacy_latency_gauges`
+/// additionally emits the pre-histogram p50/p95 gauges for dashboards that
+/// still chart them.
+pub fn render_prometheus(
+    total: &ReportSnapshot,
+    metrics: &ServerMetrics,
+    legacy_latency_gauges: bool,
+) -> String {
     let mut out = String::with_capacity(2048);
     let counter = |out: &mut String, name: &str, help: &str, value: u64| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -141,24 +279,113 @@ pub fn render_prometheus(total: &ReportSnapshot, metrics: &ServerMetrics) -> Str
         "Throughput implied by the lifetime counters.",
         total.events_per_second(),
     );
-    gauge(
-        &mut out,
-        "morphstream_p50_latency_ms",
-        "Median end-to-end event latency of the current session window.",
-        total.p50_latency_ms,
-    );
-    gauge(
-        &mut out,
-        "morphstream_p95_latency_ms",
-        "95th-percentile end-to-end event latency of the current session window.",
-        total.p95_latency_ms,
-    );
+    if legacy_latency_gauges {
+        gauge(
+            &mut out,
+            "morphstream_p50_latency_ms",
+            "Median end-to-end event latency of the current session window (legacy; prefer morphstream_latency_ms).",
+            total.p50_latency_ms,
+        );
+        gauge(
+            &mut out,
+            "morphstream_p95_latency_ms",
+            "95th-percentile end-to-end event latency of the current session window (legacy; prefer morphstream_latency_ms).",
+            total.p95_latency_ms,
+        );
+    }
     gauge(
         &mut out,
         "morphstream_peak_bytes_retained",
         "Largest state-store footprint observed.",
         total.peak_bytes_retained as f64,
     );
+
+    // End-to-end latency as a real histogram: cumulative buckets, quantiles
+    // computable server-side with histogram_quantile().
+    let _ = writeln!(
+        out,
+        "# HELP morphstream_latency_ms End-to-end event latency in milliseconds."
+    );
+    let _ = writeln!(out, "# TYPE morphstream_latency_ms histogram");
+    for (bound, cumulative) in total.latency.cumulative_buckets() {
+        if bound.is_finite() {
+            let _ = writeln!(
+                out,
+                "morphstream_latency_ms_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "morphstream_latency_ms_bucket{{le=\"+Inf\"}} {cumulative}"
+            );
+        }
+    }
+    let _ = writeln!(out, "morphstream_latency_ms_sum {}", total.latency.sum_ms);
+    let _ = writeln!(out, "morphstream_latency_ms_count {}", total.latency.count);
+
+    if metrics.durability.enabled() || total.durability.is_active() {
+        let d = &total.durability;
+        counter(
+            &mut out,
+            "morphstream_checkpoints_total",
+            "Checkpoints published.",
+            d.checkpoints,
+        );
+        counter(
+            &mut out,
+            "morphstream_checkpoint_bytes_total",
+            "Bytes written by published checkpoints.",
+            d.checkpoint_bytes,
+        );
+        counter(
+            &mut out,
+            "morphstream_wal_records_total",
+            "Records appended to the write-ahead log (events + punctuation markers).",
+            d.wal_records,
+        );
+        counter(
+            &mut out,
+            "morphstream_wal_bytes_total",
+            "Bytes appended to the write-ahead log, including framing.",
+            d.wal_bytes,
+        );
+        counter(
+            &mut out,
+            "morphstream_recoveries_total",
+            "Crash recoveries performed at startup.",
+            d.recoveries,
+        );
+        counter(
+            &mut out,
+            "morphstream_recovered_events_total",
+            "Events replayed from the write-ahead log during recovery.",
+            d.recovered_events,
+        );
+        gauge(
+            &mut out,
+            "morphstream_wal_segments",
+            "Write-ahead log segment files currently on disk.",
+            d.wal_segments as f64,
+        );
+        gauge(
+            &mut out,
+            "morphstream_durable_events",
+            "Events durably logged (the WAL's next index); a resuming client skips this many.",
+            metrics.durability.durable_events() as f64,
+        );
+        gauge(
+            &mut out,
+            "morphstream_last_checkpoint_seconds",
+            "Duration of the most recent checkpoint.",
+            d.last_checkpoint_seconds,
+        );
+        gauge(
+            &mut out,
+            "morphstream_last_checkpoint_age_seconds",
+            "Seconds since the most recent checkpoint (-1 = none yet).",
+            d.last_checkpoint_age_seconds,
+        );
+    }
 
     if !total.operators.is_empty() {
         let _ = writeln!(
@@ -345,7 +572,7 @@ mod tests {
             to: "audit".into(),
             queue_full_waits: 7,
         });
-        let text = render_prometheus(&total, &metrics);
+        let text = render_prometheus(&total, &metrics, false);
         assert!(text.contains("morphstream_events_total 100\n"));
         assert!(text.contains("morphstream_committed_total 95\n"));
         assert!(text.contains("morphstream_connections_total 2\n"));
@@ -360,6 +587,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn latency_is_a_histogram_and_p50_gauges_are_legacy_gated() {
+        let metrics = ServerMetrics::new();
+        let mut total = ReportSnapshot::default();
+        total.latency.observe_micros(700); // 0.7ms → le="1" bucket
+        total.latency.observe_micros(30_000); // 30ms → le="50" bucket
+
+        let text = render_prometheus(&total, &metrics, false);
+        assert!(text.contains("# TYPE morphstream_latency_ms histogram\n"));
+        assert!(text.contains("morphstream_latency_ms_bucket{le=\"0.5\"} 0\n"));
+        assert!(text.contains("morphstream_latency_ms_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("morphstream_latency_ms_bucket{le=\"50\"} 2\n"));
+        assert!(text.contains("morphstream_latency_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("morphstream_latency_ms_count 2\n"));
+        assert!(!text.contains("morphstream_p50_latency_ms"));
+        // the bucket sequence is monotonically non-decreasing
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("morphstream_latency_ms_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+
+        let legacy = render_prometheus(&total, &metrics, true);
+        assert!(legacy.contains("morphstream_p50_latency_ms"));
+        assert!(legacy.contains("morphstream_p95_latency_ms"));
+    }
+
+    #[test]
+    fn durability_family_appears_once_enabled() {
+        let metrics = ServerMetrics::new();
+        let total = ReportSnapshot::default();
+        let silent = render_prometheus(&total, &metrics, false);
+        assert!(!silent.contains("morphstream_checkpoints_total"));
+
+        metrics.durability.record_recovery(17);
+        metrics.durability.record_checkpoint(
+            4096,
+            Duration::from_millis(3),
+            Duration::from_secs(1),
+        );
+        metrics.durability.set_wal(40, 2048, 2, 38);
+        let total = metrics.total_with_live(&ReportSnapshot::default());
+        assert_eq!(total.durability.checkpoints, 1);
+        let text = render_prometheus(&total, &metrics, false);
+        assert!(text.contains("morphstream_checkpoints_total 1\n"));
+        assert!(text.contains("morphstream_checkpoint_bytes_total 4096\n"));
+        assert!(text.contains("morphstream_wal_records_total 40\n"));
+        assert!(text.contains("morphstream_recovered_events_total 17\n"));
+        assert!(text.contains("morphstream_durable_events 38\n"));
+        assert!(text.contains("morphstream_wal_segments 2\n"));
+        assert!(text.contains("morphstream_last_checkpoint_seconds 0.003"));
     }
 
     #[test]

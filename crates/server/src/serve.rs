@@ -20,10 +20,11 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use morphstream::storage::StateStore;
 use morphstream::{
@@ -31,6 +32,10 @@ use morphstream::{
     TopologyBuilder, TopologyConfig, TxnBuilder, TxnEngine, TxnOutcome, WorkloadConfig,
 };
 use morphstream_common::hash::Fnv1a;
+use morphstream_common::json::JsonObject;
+use morphstream_durability::{
+    read_wal, CheckpointBuilder, CheckpointStore, DurabilityError, FsyncPolicy, WalLog, WalState,
+};
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
 use crate::codec::SocketEventSource;
@@ -72,6 +77,16 @@ pub struct ServeOptions {
     /// Rotate the engine session after this many ingested events, folding
     /// its report into the lifetime totals (0 = never rotate).
     pub session_events: u64,
+    /// Durable data directory (checkpoints + write-ahead log). `None`
+    /// disables durability entirely.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Events between incremental checkpoints when durability is on
+    /// (0 = checkpoint only at recovery and shutdown).
+    pub checkpoint_interval: u64,
+    /// When the write-ahead log fsyncs.
+    pub fsync: FsyncPolicy,
+    /// Also emit the pre-histogram p50/p95 latency gauges on `/metrics`.
+    pub legacy_latency_gauges: bool,
 }
 
 impl Default for ServeOptions {
@@ -85,6 +100,10 @@ impl Default for ServeOptions {
             concurrent: false,
             audit_cost_us: 0,
             session_events: 0,
+            data_dir: None,
+            checkpoint_interval: 100_000,
+            fsync: FsyncPolicy::Interval,
+            legacy_latency_gauges: false,
         }
     }
 }
@@ -184,10 +203,135 @@ pub struct ServerSummary {
     pub decode_errors: u64,
 }
 
+/// The engine plus its durability companion, guarded by one lock: WAL
+/// appends and pipeline pushes must interleave in the same order, and a
+/// checkpoint is a consistent cut only while no push is in flight.
+struct EngineAndLog {
+    engine: ServeEngine,
+    durable: Option<Durable>,
+}
+
+/// The durable half of a serving engine: the write-ahead log events pass
+/// through on their way in, and the checkpoint store that periodically
+/// absorbs the log.
+struct Durable {
+    wal: WalLog,
+    checkpoints: CheckpointStore,
+    /// Events between incremental checkpoints (0 = never on interval).
+    interval: u64,
+    events_since_checkpoint: u64,
+    /// Punctuation interval: WAL markers (and `Interval`-policy fsyncs)
+    /// align with the engine's batch boundaries.
+    punctuation: u64,
+    events_since_marker: u64,
+}
+
+impl Durable {
+    /// Per-chunk bookkeeping after `logged` events were appended + pushed:
+    /// punctuation markers, interval checkpoints, scrape-visible counters.
+    fn after_chunk(
+        &mut self,
+        logged: u64,
+        engine: &mut ServeEngine,
+        output_digest: &Mutex<Fnv1a>,
+        metrics: &ServerMetrics,
+    ) {
+        self.events_since_marker += logged;
+        if self.punctuation > 0 && self.events_since_marker >= self.punctuation {
+            self.events_since_marker %= self.punctuation;
+            if let Err(e) = self.wal.mark_punctuation() {
+                eprintln!("morphstream serve: WAL punctuation marker failed: {e}");
+            }
+        }
+        self.events_since_checkpoint += logged;
+        if self.interval > 0 && self.events_since_checkpoint >= self.interval {
+            self.checkpoint_now(engine, output_digest, metrics);
+        }
+        self.publish_wal_stats(metrics);
+    }
+
+    /// Take a checkpoint right now: flush the engine to a barrier, snapshot
+    /// every table dirtied since the last checkpoint, publish atomically,
+    /// then rotate the WAL and drop segments the checkpoint made obsolete.
+    fn checkpoint_now(
+        &mut self,
+        engine: &mut ServeEngine,
+        output_digest: &Mutex<Fnv1a>,
+        metrics: &ServerMetrics,
+    ) {
+        self.events_since_checkpoint = 0;
+        let started = Instant::now();
+        let mut builder = CheckpointBuilder::new();
+        TxnEngine::checkpoint(engine, &mut builder);
+        // The flush above pushed every appended event through the topology,
+        // so the digest state and the WAL index describe the same cut.
+        let digest_state = output_digest.lock().expect("digest lock").finish();
+        let events_applied = self.wal.next_index();
+        let checkpoint = builder.build(self.checkpoints.next_id(), events_applied, digest_state);
+        match self.checkpoints.save(&checkpoint) {
+            Ok(saved) => {
+                if let Err(e) = self
+                    .wal
+                    .rotate()
+                    .and_then(|()| self.wal.truncate_before(events_applied).map(|_| ()))
+                {
+                    eprintln!("morphstream serve: WAL rotation failed: {e}");
+                }
+                metrics.durability.record_checkpoint(
+                    saved.bytes,
+                    started.elapsed(),
+                    metrics.clock(),
+                );
+            }
+            Err(e) => eprintln!("morphstream serve: checkpoint failed: {e}"),
+        }
+        self.publish_wal_stats(metrics);
+    }
+
+    /// Mirror the WAL's cumulative totals into the scrape-visible atomics.
+    fn publish_wal_stats(&self, metrics: &ServerMetrics) {
+        metrics.durability.set_wal(
+            self.wal.records_appended(),
+            self.wal.bytes_appended(),
+            self.wal.segment_count(),
+            self.wal.next_index(),
+        );
+    }
+}
+
+/// What startup recovery found and did (present on [`Server`] when
+/// `--data-dir` held prior state).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Id of the newest checkpoint restored, if any existed.
+    pub checkpoint_id: Option<u64>,
+    /// Events the restored checkpoint chain covered.
+    pub events_applied: u64,
+    /// WAL events replayed through the topology on top of the checkpoint.
+    pub replayed_events: u64,
+    /// Whether the last WAL segment ended in a torn record (dropped).
+    pub torn_tail: bool,
+}
+
+impl RecoveryReport {
+    /// One JSON object, for startup log lines and smoke-test artifacts.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj = match self.checkpoint_id {
+            Some(id) => obj.unsigned("checkpoint_id", id),
+            None => obj.raw("checkpoint_id", "null"),
+        };
+        obj.unsigned("events_applied", self.events_applied)
+            .unsigned("replayed_events", self.replayed_events)
+            .boolean("torn_tail", self.torn_tail)
+            .build()
+    }
+}
+
 /// Shared state between the accept loop, connection handlers, the metrics
 /// responder, and the shutdown path.
 struct Shared {
-    engine: Mutex<ServeEngine>,
+    engine: Mutex<EngineAndLog>,
     metrics: ServerMetrics,
     stop: AtomicBool,
     session_events: u64,
@@ -196,6 +340,11 @@ struct Shared {
     /// after each chunk's pushes complete, so once it reaches a client's send
     /// count a subsequent `flush`/`finish` is guaranteed to cover the stream.
     pushed: AtomicU64,
+    /// Order-sensitive digest of every output the topology emitted; also
+    /// the state checkpoints persist and restarts resume. Shared with the
+    /// engine's output sink closure, hence the `Arc`.
+    output_digest: Arc<Mutex<Fnv1a>>,
+    legacy_gauges: bool,
 }
 
 /// A running server; shut it down with [`Server::shutdown`].
@@ -207,18 +356,21 @@ pub struct Server {
     metrics_thread: JoinHandle<()>,
     ledger_store: StateStore,
     audit_store: StateStore,
-    output_digest: Arc<Mutex<Fnv1a>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
     /// Bind both listeners and start accepting. Events flow as soon as this
-    /// returns.
+    /// returns. With a `data_dir`, prior state is recovered first — restore
+    /// the latest checkpoint chain, replay the WAL tail, re-anchor with a
+    /// fresh full checkpoint — before the listeners come up.
     pub fn start(opts: ServeOptions) -> io::Result<Server> {
         let (mut engine, ledger_store, audit_store) = build_topology(&opts);
 
         // Outputs stream into a digesting sink instead of accumulating in
         // the report, so a long-lived server retains no per-event data; the
-        // digest doubles as the equivalence witness in tests.
+        // digest doubles as the equivalence witness in tests. Installed
+        // before recovery so replayed outputs are digested too.
         let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
         let digest = Arc::clone(&output_digest);
         engine.set_output_sink(Some(Box::new(FnSink(move |out: u64| {
@@ -228,18 +380,31 @@ impl Server {
                 .update(&out.to_le_bytes());
         }))));
 
+        let metrics = ServerMetrics::new();
+        let (durable, recovery) = match opts.data_dir.as_deref() {
+            Some(dir) => {
+                metrics.durability.enable();
+                let (durable, recovery) =
+                    open_durability(dir, &opts, &mut engine, &output_digest, &metrics)?;
+                (Some(durable), recovery)
+            }
+            None => (None, None),
+        };
+
         let event_listener = TcpListener::bind(&opts.event_addr)?;
         let event_addr = event_listener.local_addr()?;
         event_listener.set_nonblocking(true)?;
         let (metrics_listener, metrics_addr) = crate::metrics::bind(&opts.metrics_addr)?;
 
         let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
-            metrics: ServerMetrics::new(),
+            engine: Mutex::new(EngineAndLog { engine, durable }),
+            metrics,
             stop: AtomicBool::new(false),
             session_events: opts.session_events,
             ingested_since_rotate: AtomicU64::new(0),
             pushed: AtomicU64::new(0),
+            output_digest,
+            legacy_gauges: opts.legacy_latency_gauges,
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -269,8 +434,13 @@ impl Server {
             metrics_thread,
             ledger_store,
             audit_store,
-            output_digest,
+            recovery,
         })
+    }
+
+    /// What startup recovery did, when the data directory held prior state.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Address the event listener actually bound (resolves port 0).
@@ -304,7 +474,8 @@ impl Server {
     }
 
     /// Graceful shutdown: stop accepting, let every connection handler
-    /// finish its in-flight chunk, then drain buffered punctuations
+    /// finish its in-flight chunk, take a final checkpoint (when durable)
+    /// so a clean restart replays nothing, then drain buffered punctuations
     /// (`flush` + `finish`) so nothing pushed before the stop is lost, and
     /// return the lifetime summary.
     pub fn shutdown(self) -> ServerSummary {
@@ -314,9 +485,17 @@ impl Server {
             .join()
             .expect("metrics responder panicked");
         let final_snapshot = {
-            let mut engine = self.shared.engine.lock().expect("engine lock");
-            engine.flush();
-            engine.finish().snapshot()
+            let mut guard = self.shared.engine.lock().expect("engine lock");
+            let state = &mut *guard;
+            if let Some(durable) = state.durable.as_mut() {
+                durable.checkpoint_now(
+                    &mut state.engine,
+                    &self.shared.output_digest,
+                    &self.shared.metrics,
+                );
+            }
+            state.engine.flush();
+            state.engine.finish().snapshot()
         };
         self.shared.metrics.fold_session(&final_snapshot);
         let snapshot = self
@@ -327,12 +506,81 @@ impl Server {
             snapshot,
             ledger_digest: self.ledger_store.state_digest(),
             audit_digest: self.audit_store.state_digest(),
-            output_digest: self.output_digest.lock().expect("digest lock").finish(),
+            output_digest: self
+                .shared
+                .output_digest
+                .lock()
+                .expect("digest lock")
+                .finish(),
             connections: self.shared.metrics.connections.load(Ordering::Relaxed),
             frames: self.shared.metrics.frames.load(Ordering::Relaxed),
             decode_errors: self.shared.metrics.decode_errors.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Open (or create) the durable data directory and recover prior state into
+/// `engine`: restore the checkpoint chain, resume the output digest, replay
+/// the WAL tail, then re-anchor with a fresh full checkpoint so a second
+/// restart never replays the same tail again.
+fn open_durability(
+    dir: &Path,
+    opts: &ServeOptions,
+    engine: &mut ServeEngine,
+    output_digest: &Mutex<Fnv1a>,
+    metrics: &ServerMetrics,
+) -> io::Result<(Durable, Option<RecoveryReport>)> {
+    let to_io = |e: DurabilityError| io::Error::other(e.to_string());
+    let checkpoints = CheckpointStore::open(dir.join("checkpoints")).map_err(to_io)?;
+    let mut events_applied = 0u64;
+    let mut checkpoint_id = None;
+    if let Some(mut loaded) = checkpoints.load_chain().map_err(to_io)? {
+        TxnEngine::restore(engine, &mut loaded.restore);
+        *output_digest.lock().expect("digest lock") = Fnv1a::from_state(loaded.output_digest);
+        events_applied = loaded.events_applied;
+        checkpoint_id = Some(loaded.last_id);
+    }
+    let wal_dir = dir.join("wal");
+    let wal_state: WalState<SlEvent> = read_wal(&wal_dir).map_err(to_io)?;
+    let next_index = wal_state
+        .events
+        .last()
+        .map(|(index, _)| index + 1)
+        .unwrap_or(events_applied)
+        .max(events_applied);
+    let torn_tail = wal_state.torn_tail;
+    let tail = wal_state.replay_tail(events_applied);
+    let replayed_events = tail.len() as u64;
+    let recovered = checkpoint_id.is_some() || replayed_events > 0;
+    if recovered {
+        {
+            let mut pipeline = Pipeline::new(engine);
+            for (_, event) in tail {
+                pipeline.push(event);
+            }
+        }
+        engine.flush();
+        metrics.durability.record_recovery(replayed_events);
+    }
+    let mut durable = Durable {
+        wal: WalLog::open(&wal_dir, opts.fsync, next_index).map_err(to_io)?,
+        checkpoints,
+        interval: opts.checkpoint_interval,
+        events_since_checkpoint: 0,
+        punctuation: opts.workload.txns_per_batch as u64,
+        events_since_marker: 0,
+    };
+    if recovered {
+        durable.checkpoint_now(engine, output_digest, metrics);
+    }
+    durable.publish_wal_stats(metrics);
+    let report = recovered.then_some(RecoveryReport {
+        checkpoint_id,
+        events_applied,
+        replayed_events,
+        torn_tail,
+    });
+    Ok((durable, report))
 }
 
 /// Live lifetime totals: the folded base plus the current session's report,
@@ -353,14 +601,18 @@ fn live_total(shared: &Shared, engine: &ServeEngine) -> ReportSnapshot {
 /// [`CACHE_REFRESH_CHUNKS`] chunks).
 fn scrape(shared: &Shared) -> String {
     for _ in 0..25 {
-        if let Ok(engine) = shared.engine.try_lock() {
-            let total = live_total(shared, &engine);
-            drop(engine);
-            return render_prometheus(&total, &shared.metrics);
+        if let Ok(state) = shared.engine.try_lock() {
+            let total = live_total(shared, &state.engine);
+            drop(state);
+            return render_prometheus(&total, &shared.metrics, shared.legacy_gauges);
         }
         thread::sleep(Duration::from_millis(4));
     }
-    render_prometheus(&shared.metrics.cached_total(), &shared.metrics)
+    render_prometheus(
+        &shared.metrics.cached_total(),
+        &shared.metrics,
+        shared.legacy_gauges,
+    )
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -408,32 +660,67 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             // Quiet interval: process the trailing partial batch so a slow
             // trickle of events still commits without waiting for a full
             // punctuation. try_lock — another connection may be mid-push.
-            if let Ok(mut engine) = shared.engine.try_lock() {
-                engine.flush();
+            if let Ok(mut state) = shared.engine.try_lock() {
+                state.engine.flush();
             }
             continue;
         }
-        {
-            let mut engine = shared.engine.lock().expect("engine lock");
-            let mut pipeline = Pipeline::new(&mut *engine);
-            for event in buf.drain(..) {
-                pipeline.push(event);
+        let logged = {
+            let mut guard = shared.engine.lock().expect("engine lock");
+            let state = &mut *guard;
+            let mut logged = 0u64;
+            {
+                let mut pipeline = Pipeline::new(&mut state.engine);
+                if let Some(durable) = state.durable.as_mut() {
+                    // Durable ingestion: an event reaches the pipeline only
+                    // after its WAL append succeeded, under the same lock
+                    // acquisition, so the log is always a superset of what
+                    // the engine has seen — in identical order.
+                    for event in buf.drain(..) {
+                        if let Err(e) = durable.wal.append_event(&event) {
+                            eprintln!(
+                                "morphstream serve: WAL append failed, closing connection: {e}"
+                            );
+                            break;
+                        }
+                        pipeline.push(event);
+                        logged += 1;
+                    }
+                } else {
+                    for event in buf.drain(..) {
+                        pipeline.push(event);
+                        logged += 1;
+                    }
+                }
             }
-            drop(pipeline);
+            if let Some(durable) = state.durable.as_mut() {
+                durable.after_chunk(
+                    logged,
+                    &mut state.engine,
+                    &shared.output_digest,
+                    &shared.metrics,
+                );
+            }
             chunks += 1;
             if chunks.is_multiple_of(CACHE_REFRESH_CHUNKS) {
-                live_total(&shared, &engine);
+                live_total(&shared, &state.engine);
             }
+            logged
+        };
+        shared.pushed.fetch_add(logged, Ordering::SeqCst);
+        source.ack(logged as usize);
+        maybe_rotate_session(&shared, logged);
+        if logged < n as u64 {
+            // A WAL append failed mid-chunk: the unlogged remainder was
+            // dropped, so stop reading rather than ingest a gapped stream.
+            break;
         }
-        shared.pushed.fetch_add(n as u64, Ordering::SeqCst);
-        source.ack(n);
-        maybe_rotate_session(&shared, n as u64);
     }
     if !source.is_open() {
         // The connection ended (EOF or protocol error): process its trailing
         // partial batch now, so a closed stream is fully reflected in state
         // and metrics without waiting for other traffic or shutdown.
-        shared.engine.lock().expect("engine lock").flush();
+        shared.engine.lock().expect("engine lock").engine.flush();
     }
     shared
         .metrics
@@ -458,14 +745,14 @@ fn maybe_rotate_session(shared: &Shared, just_ingested: u64) {
     if total < shared.session_events {
         return;
     }
-    let mut engine = shared.engine.lock().expect("engine lock");
+    let mut state = shared.engine.lock().expect("engine lock");
     // Re-check under the lock: another handler may have rotated already.
     if shared.ingested_since_rotate.load(Ordering::Relaxed) < shared.session_events {
         return;
     }
     shared.ingested_since_rotate.store(0, Ordering::Relaxed);
-    engine.flush();
-    let snapshot = engine.finish().snapshot();
+    state.engine.flush();
+    let snapshot = state.engine.finish().snapshot();
     shared.metrics.fold_session(&snapshot);
 }
 

@@ -1,0 +1,240 @@
+//! End-to-end durability tests of `morphstream serve`: a server with a
+//! `--data-dir` survives restarts — resuming from its final checkpoint after
+//! a graceful shutdown, and replaying the write-ahead log after a simulated
+//! crash — to state and output digests identical to one uninterrupted run of
+//! the same stream.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use morphstream_common::protocol::WireFormat;
+use morphstream_common::WorkloadConfig;
+use morphstream_durability::{FsyncPolicy, WalLog};
+use morphstream_server::{encode_event, reference_run, write_preamble, ServeOptions, Server};
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+fn test_events(count: usize, config: &WorkloadConfig) -> Vec<SlEvent> {
+    StreamingLedgerApp::generate(config, count, 0.5)
+}
+
+fn test_options(data_dir: Option<PathBuf>) -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    opts.workload = opts
+        .workload
+        .with_key_space(10_000)
+        .with_txns_per_batch(1_000);
+    opts.workload.udf_complexity_us = 0;
+    opts.data_dir = data_dir;
+    opts
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("morph-serve-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn send_stream(addr: std::net::SocketAddr, events: &[SlEvent]) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    write_preamble(WireFormat::Binary, &mut wire);
+    for event in events {
+        encode_event(event, WireFormat::Binary, &mut scratch, &mut wire).expect("encode event");
+    }
+    stream.write_all(&wire).expect("write stream");
+    stream.flush().unwrap();
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+}
+
+fn wait_for_ingest(server: &Server, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.events_ingested() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "server ingested {} of {expected} events before the deadline",
+            server.events_ingested()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split")
+        .1
+        .to_string()
+}
+
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|line| !line.starts_with('#'))
+        .find_map(|line| {
+            let (sample, value) = line.rsplit_once(' ')?;
+            (sample == name).then(|| value.parse().expect("numeric sample"))
+        })
+}
+
+/// Graceful restart: stop a durable server mid-stream, start a second one on
+/// the same data directory, feed it the rest. The second lifetime resumes
+/// from the shutdown checkpoint (nothing to replay) and the combined run is
+/// digest-identical to one uninterrupted run.
+#[test]
+fn graceful_restart_resumes_from_checkpoint_to_identical_digests() {
+    let dir = temp_dir("graceful");
+    let opts = test_options(Some(dir.clone()));
+    let events = test_events(4_000, &opts.workload);
+    let expected = reference_run(&test_options(None), events.clone());
+
+    let first = Server::start(opts.clone()).expect("first server starts");
+    assert!(
+        first.recovery().is_none(),
+        "fresh data dir: nothing to recover"
+    );
+    send_stream(first.event_addr(), &events[..2_500]);
+    wait_for_ingest(&first, 2_500);
+    first.shutdown();
+
+    let second = Server::start(opts).expect("second server starts");
+    let recovery = second.recovery().expect("second lifetime recovers").clone();
+    assert!(recovery.checkpoint_id.is_some(), "restored a checkpoint");
+    assert_eq!(
+        recovery.events_applied, 2_500,
+        "checkpoint covered the prefix"
+    );
+    assert_eq!(
+        recovery.replayed_events, 0,
+        "graceful shutdown leaves no WAL tail"
+    );
+    assert!(!recovery.torn_tail);
+    send_stream(second.event_addr(), &events[2_500..]);
+    wait_for_ingest(&second, 1_500);
+    let summary = second.shutdown();
+
+    assert_eq!(
+        summary.ledger_digest, expected.ledger_digest,
+        "ledger state diverged"
+    );
+    assert_eq!(
+        summary.audit_digest, expected.audit_digest,
+        "audit state diverged"
+    );
+    assert_eq!(
+        summary.output_digest, expected.output_digest,
+        "output stream diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash recovery: a data directory holding only a write-ahead log (the
+/// shape a kill leaves when it lands before the first checkpoint) is fully
+/// replayed through the topology at startup, then the stream continues over
+/// TCP — digest-identical to the uninterrupted run, with the durability
+/// metrics visible on `/metrics`.
+#[test]
+fn crash_recovery_replays_wal_tail_through_the_server() {
+    let dir = temp_dir("crash");
+    let opts = test_options(Some(dir.clone()));
+    let events = test_events(3_000, &opts.workload);
+    let expected = reference_run(&test_options(None), events.clone());
+
+    // Simulate the crashed first lifetime: its WAL recorded the prefix, but
+    // it died before any checkpoint was taken.
+    {
+        let mut wal = WalLog::open(dir.join("wal"), FsyncPolicy::Always, 0).expect("open WAL");
+        for event in &events[..1_700] {
+            wal.append_event(event).expect("append");
+        }
+    }
+
+    let server = Server::start(opts).expect("server recovers and starts");
+    let recovery = server
+        .recovery()
+        .expect("WAL tail triggers recovery")
+        .clone();
+    assert_eq!(recovery.checkpoint_id, None, "no checkpoint existed");
+    assert_eq!(recovery.replayed_events, 1_700, "the whole WAL is the tail");
+    assert!(!recovery.torn_tail);
+
+    let scrape = http_get(server.metrics_addr(), "/metrics");
+    assert_eq!(
+        metric_value(&scrape, "morphstream_recovered_events_total"),
+        Some(1_700.0)
+    );
+    assert_eq!(
+        metric_value(&scrape, "morphstream_recoveries_total"),
+        Some(1.0)
+    );
+    assert!(
+        metric_value(&scrape, "morphstream_checkpoints_total").unwrap_or(0.0) >= 1.0,
+        "recovery re-anchors with a fresh checkpoint"
+    );
+    assert!(
+        metric_value(&scrape, "morphstream_durable_events").unwrap_or(0.0) >= 1_700.0,
+        "durable_events tells a resuming client where to skip to"
+    );
+
+    send_stream(server.event_addr(), &events[1_700..]);
+    wait_for_ingest(&server, 1_300);
+    let summary = server.shutdown();
+
+    assert_eq!(
+        summary.ledger_digest, expected.ledger_digest,
+        "ledger state diverged"
+    );
+    assert_eq!(
+        summary.audit_digest, expected.audit_digest,
+        "audit state diverged"
+    );
+    assert_eq!(
+        summary.output_digest, expected.output_digest,
+        "output stream diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn record at the WAL tail — the signature of a kill mid-write — is
+/// dropped and reported; everything before it still replays.
+#[test]
+fn torn_wal_tail_is_dropped_and_reported() {
+    let dir = temp_dir("torn");
+    let opts = test_options(Some(dir.clone()));
+    let events = test_events(900, &opts.workload);
+
+    {
+        let mut wal = WalLog::open(dir.join("wal"), FsyncPolicy::Always, 0).expect("open WAL");
+        for event in &events {
+            wal.append_event(event).expect("append");
+        }
+    }
+    // Half a record: a valid event tag, then a length field with no payload
+    // behind it.
+    let segment = std::fs::read_dir(dir.join("wal"))
+        .expect("wal dir")
+        .map(|entry| entry.expect("entry").path())
+        .max()
+        .expect("one segment");
+    let mut bytes = std::fs::read(&segment).expect("read segment");
+    bytes.extend_from_slice(&[1, 0xFF, 0xFF, 0xFF]);
+    std::fs::write(&segment, bytes).expect("tear the tail");
+
+    let server = Server::start(opts).expect("server tolerates the torn tail");
+    let recovery = server.recovery().expect("recovers").clone();
+    assert!(recovery.torn_tail, "the torn record is reported");
+    assert_eq!(recovery.replayed_events, 900, "the intact prefix replays");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
