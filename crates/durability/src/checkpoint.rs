@@ -41,7 +41,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use morphstream::pipeline::{CheckpointSink, CheckpointSource};
 use morphstream_common::hash::Fnv1a;
@@ -51,6 +51,7 @@ use morphstream_common::{Key, TableId, Value};
 use morphstream_storage::StateStore;
 
 use crate::error::DurabilityError;
+use crate::sync_dir;
 
 /// Version-tagged magic prefix of a checkpoint file.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"MSC1";
@@ -282,6 +283,7 @@ impl<'a> ByteReader<'a> {
 #[derive(Debug, Default)]
 pub struct CheckpointBuilder {
     sections: Vec<StoreSection>,
+    taken: Vec<(u32, Vec<TableId>)>,
     full: bool,
 }
 
@@ -290,6 +292,7 @@ impl CheckpointBuilder {
     pub fn new() -> Self {
         Self {
             sections: Vec::new(),
+            taken: Vec::new(),
             full: true,
         }
     }
@@ -302,6 +305,15 @@ impl CheckpointBuilder {
     /// Number of table snapshots captured.
     pub fn table_count(&self) -> usize {
         self.sections.iter().map(|s| s.tables.len()).sum()
+    }
+
+    /// The dirty table ids this builder consumed, per store ordinal. The
+    /// engine's `checkpoint` *takes* the dirty flags, so if persisting the
+    /// built checkpoint fails these ids must be handed to a [`RedirtySink`]
+    /// — otherwise the tables silently drop out of every later incremental
+    /// checkpoint.
+    pub fn taken_dirty(&self) -> Vec<(u32, Vec<TableId>)> {
+        self.taken.clone()
     }
 
     /// Finish into a [`Checkpoint`] carrying the given cut metadata.
@@ -319,6 +331,7 @@ impl CheckpointBuilder {
 impl CheckpointSink for CheckpointBuilder {
     fn store(&mut self, ordinal: usize, store: &StateStore, dirty: Vec<TableId>) {
         self.full = self.full && dirty.len() == store.table_count();
+        self.taken.push((ordinal as u32, dirty.clone()));
         let mut tables = Vec::with_capacity(dirty.len());
         for id in dirty {
             let Ok(table) = store.table(id) else { continue };
@@ -335,6 +348,37 @@ impl CheckpointSink for CheckpointBuilder {
             ordinal: ordinal as u32,
             tables,
         });
+    }
+}
+
+/// [`CheckpointSink`] that *returns* dirty flags to their stores after a
+/// checkpoint failed to persist. Built from the failed builder's
+/// [`CheckpointBuilder::taken_dirty`] and passed to `TxnEngine::checkpoint`
+/// again: each store gets back both the ids the failed attempt consumed and
+/// whatever this enumeration itself just took, so the next successful
+/// checkpoint re-captures every table the failed one covered.
+#[derive(Debug)]
+pub struct RedirtySink {
+    sections: Vec<(u32, Vec<TableId>)>,
+}
+
+impl RedirtySink {
+    /// Wrap the dirty ids a failed checkpoint consumed.
+    pub fn new(sections: Vec<(u32, Vec<TableId>)>) -> Self {
+        Self { sections }
+    }
+}
+
+impl CheckpointSink for RedirtySink {
+    fn store(&mut self, ordinal: usize, store: &StateStore, dirty: Vec<TableId>) {
+        // This enumeration took fresh dirty flags of its own; restore those
+        // alongside the ids from the failed attempt.
+        store.mark_tables_dirty(&dirty);
+        for (o, ids) in &self.sections {
+            if *o as usize == ordinal {
+                store.mark_tables_dirty(ids);
+            }
+        }
     }
 }
 
@@ -463,8 +507,11 @@ pub struct LoadedChain {
 ///
 /// Publication is atomic: the checkpoint is written to a temp file, fsynced,
 /// renamed into place, and the directory fsynced — only then is the manifest
-/// rewritten (also via temp + rename). A crash between the two leaves an
-/// orphan checkpoint file that recovery simply never references.
+/// rewritten (also via temp + rename), and only after *that* are any
+/// superseded checkpoint files deleted. A crash at any point leaves either
+/// the old manifest (plus an orphan new file) or the new manifest (plus
+/// stale old files); recovery ignores files the manifest does not
+/// reference, so both are benign.
 pub struct CheckpointStore {
     dir: PathBuf,
     entries: Vec<ManifestEntry>,
@@ -506,8 +553,12 @@ impl CheckpointStore {
     }
 
     /// Persist a checkpoint and publish it in the manifest. A *full*
-    /// checkpoint supersedes the chain: older checkpoint files are deleted
-    /// and the manifest collapses to the single new entry.
+    /// checkpoint supersedes the chain: the manifest collapses to the single
+    /// new entry, and only once that manifest is durably published are the
+    /// superseded checkpoint files deleted — a crash in between leaves stale
+    /// files no manifest references, which recovery ignores. The reverse
+    /// order would let a crash strand a manifest pointing at deleted files,
+    /// bricking startup.
     pub fn save(&mut self, checkpoint: &Checkpoint) -> Result<SavedCheckpoint, DurabilityError> {
         let encoded = checkpoint.encode();
         let file = format!("chk-{:08}.msc", checkpoint.id);
@@ -528,13 +579,16 @@ impl CheckpointStore {
             events_applied: checkpoint.events_applied,
             bytes: encoded.len() as u64,
         };
-        if checkpoint.full {
-            for old in self.entries.drain(..) {
-                let _ = fs::remove_file(self.dir.join(&old.file));
-            }
-        }
+        let superseded: Vec<ManifestEntry> = if checkpoint.full {
+            self.entries.drain(..).collect()
+        } else {
+            Vec::new()
+        };
         self.entries.push(entry);
         self.rewrite_manifest()?;
+        for old in &superseded {
+            let _ = fs::remove_file(self.dir.join(&old.file));
+        }
         Ok(SavedCheckpoint {
             bytes: encoded.len() as u64,
             path,
@@ -595,11 +649,6 @@ impl CheckpointStore {
             last_id: last.id,
         }))
     }
-}
-
-/// fsync a directory so a just-renamed file survives power loss.
-fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    File::open(dir)?.sync_data()
 }
 
 #[cfg(test)]
@@ -759,6 +808,50 @@ mod tests {
         assert!(dir.join("chk-00000002.msc").exists());
 
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_files_outside_the_manifest_are_ignored() {
+        // A crash after the manifest is published but before superseded
+        // files are deleted leaves stale .msc files; they must not affect
+        // open or load_chain.
+        let dir = test_dir("chk-stale");
+        let mut cs = CheckpointStore::open(&dir).unwrap();
+        let mut full = sample_checkpoint();
+        full.id = 0;
+        cs.save(&full).unwrap();
+        let mut stale = sample_checkpoint();
+        stale.id = 99;
+        fs::write(dir.join("chk-00000099.msc"), stale.encode()).unwrap();
+
+        let cs2 = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(cs2.chain_len(), 1);
+        let loaded = cs2.load_chain().unwrap().unwrap();
+        assert_eq!(loaded.last_id, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn redirty_sink_returns_consumed_dirty_flags() {
+        let store = StateStore::new();
+        let a = store.create_table("a", 0, true);
+        let b = store.create_table("b", 0, true);
+        store.seed(a, 1, 1).unwrap();
+        store.seed(b, 1, 1).unwrap();
+
+        // A checkpoint attempt consumes the flags...
+        let mut builder = CheckpointBuilder::new();
+        CheckpointSink::store(&mut builder, 0, &store, store.take_dirty_tables());
+        let taken = builder.taken_dirty();
+        assert_eq!(taken, vec![(0, vec![a, b])]);
+        assert!(store.take_dirty_tables().is_empty());
+
+        // ...persisting fails; the redirty pass (with a fresh write landing
+        // in between) restores both the failed attempt's ids and its own.
+        store.seed(a, 2, 2).unwrap();
+        let mut sink = RedirtySink::new(taken);
+        CheckpointSink::store(&mut sink, 0, &store, store.take_dirty_tables());
+        assert_eq!(store.take_dirty_tables(), vec![a, b]);
     }
 
     #[test]

@@ -42,10 +42,19 @@ pub mod wal;
 
 pub use checkpoint::{
     ChainRestore, Checkpoint, CheckpointBuilder, CheckpointStore, LoadedChain, ManifestEntry,
-    SavedCheckpoint, StoreSection, TableSnapshot, CHECKPOINT_MAGIC, MANIFEST_NAME,
+    RedirtySink, SavedCheckpoint, StoreSection, TableSnapshot, CHECKPOINT_MAGIC, MANIFEST_NAME,
 };
 pub use error::DurabilityError;
-pub use wal::{decode_segment, read_wal, DecodedSegment, FsyncPolicy, WalLog, WalState, WAL_MAGIC};
+pub use wal::{
+    decode_segment, read_wal, repair_torn_tail, DecodedSegment, FsyncPolicy, WalLog, WalState,
+    WAL_MAGIC,
+};
+
+/// fsync a directory so just-created or just-renamed entries survive power
+/// loss (the file's own fsync does not cover its directory entry).
+pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_data()
+}
 
 #[cfg(test)]
 pub(crate) fn test_dir(tag: &str) -> std::path::PathBuf {

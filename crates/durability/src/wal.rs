@@ -23,7 +23,11 @@
 //! torn tail dropped. Damage in any earlier segment (which was sealed by a
 //! later rotation) is a hard error — that data is really gone. Decoding is
 //! total either way: corrupt bytes produce errors or a clean torn-prefix,
-//! never a panic.
+//! never a panic. Recovery must then call [`repair_torn_tail`] so the torn
+//! segment is truncated to its valid prefix on disk: once the server
+//! appends new events a newer segment exists, the torn one counts as
+//! sealed, and un-repaired damage would turn into a hard error on the
+//! *next* restart.
 //!
 //! Segments rotate at checkpoints; once a checkpoint covers index `n`,
 //! every segment whose successor starts at or below `n` is obsolete and
@@ -148,6 +152,12 @@ impl WalLog {
                 .open(path)?;
             file.write_all(&WAL_MAGIC)?;
             file.write_all(&self.next_index.to_le_bytes())?;
+            // Make the directory entry durable too: fsyncing record bytes is
+            // worthless if the file itself vanishes with the dir on power
+            // loss. Once per segment, so cheap under any policy.
+            if self.policy != FsyncPolicy::Never {
+                crate::sync_dir(&self.dir)?;
+            }
             self.bytes_appended += (WAL_MAGIC.len() + 8) as u64;
             self.current = Some(file);
         }
@@ -253,6 +263,9 @@ pub struct DecodedSegment<T> {
     pub punctuations: Vec<u64>,
     /// True when trailing bytes after the last valid record were dropped.
     pub torn: bool,
+    /// Byte length of the valid prefix (header plus every valid record);
+    /// when `torn`, the damage starts at this offset.
+    pub valid_len: usize,
 }
 
 /// Decode one segment image. Total: a malformed header is an error; any
@@ -273,6 +286,7 @@ pub fn decode_segment<T: WireCodec>(bytes: &[u8]) -> Result<DecodedSegment<T>, P
         events: Vec::new(),
         punctuations: Vec::new(),
         torn: false,
+        valid_len: 12,
     };
     let mut pos = 12;
     while pos < bytes.len() {
@@ -303,6 +317,7 @@ pub fn decode_segment<T: WireCodec>(bytes: &[u8]) -> Result<DecodedSegment<T>, P
                     }
                 }
                 pos += consumed;
+                out.valid_len = pos;
             }
             None => {
                 out.torn = true;
@@ -407,6 +422,33 @@ pub fn read_wal<T: WireCodec>(dir: impl AsRef<Path>) -> Result<WalState<T>, Dura
     Ok(state)
 }
 
+/// Truncate a torn last segment to its valid record prefix, sealing it
+/// cleanly on disk. Recovery calls this after [`read_wal`] reports a torn
+/// tail (the dropped events are covered by the re-anchor checkpoint):
+/// without the repair, the first append after recovery starts a newer
+/// segment, the torn one becomes "sealed", and the next restart would
+/// refuse to start over damage that no longer matters. Returns `true` when
+/// a segment was actually rewritten.
+pub fn repair_torn_tail<T: WireCodec>(dir: impl AsRef<Path>) -> Result<bool, DurabilityError> {
+    let dir = dir.as_ref();
+    let Some((_, path)) = list_segments(dir)?.pop() else {
+        return Ok(false);
+    };
+    let mut bytes = Vec::new();
+    File::open(&path)?.read_to_end(&mut bytes)?;
+    let decoded: DecodedSegment<T> = decode_segment(&bytes)
+        .map_err(|e| DurabilityError::corrupt(format!("{}: {e}", path.display())))?;
+    if !decoded.torn {
+        return Ok(false);
+    }
+    let file = OpenOptions::new().write(true).open(&path)?;
+    file.set_len(decoded.valid_len as u64)?;
+    // sync_all: the truncated length is metadata, sync_data may skip it.
+    file.sync_all()?;
+    crate::sync_dir(dir)?;
+    Ok(true)
+}
+
 fn segment_name(first_index: u64) -> String {
     // Zero-padded so lexicographic file order is index order.
     format!("seg-{first_index:020}.msw")
@@ -501,6 +543,44 @@ mod tests {
         assert_eq!(
             state.events,
             (0..3).map(|i| (i, Probe(i))).collect::<Vec<_>>()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repaired_torn_tail_stays_readable_once_sealed_by_a_newer_segment() {
+        let dir = test_dir("wal-repair");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..4u64 {
+            log.append_event(&Probe(i)).unwrap();
+        }
+        log.rotate().unwrap();
+        drop(log);
+
+        // Tear the segment mid-record, as a crash would.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        // Recovery: read the valid prefix, then repair the torn segment.
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.events.len(), 3);
+        assert!(repair_torn_tail::<Probe>(&dir).unwrap());
+        // Idempotent: a clean segment is left alone.
+        assert!(!repair_torn_tail::<Probe>(&dir).unwrap());
+
+        // The server appends again, sealing the repaired segment behind a
+        // newer one; the next restart must still read the whole log.
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 3).unwrap();
+        assert_eq!(log.append_event(&Probe(3)).unwrap(), 3);
+        log.sync().unwrap();
+        drop(log);
+        let state: WalState<Probe> = read_wal(&dir).unwrap();
+        assert!(!state.torn_tail);
+        assert_eq!(
+            state.events,
+            (0..4).map(|i| (i, Probe(i))).collect::<Vec<_>>()
         );
         let _ = fs::remove_dir_all(&dir);
     }

@@ -34,7 +34,8 @@ use morphstream::{
 use morphstream_common::hash::Fnv1a;
 use morphstream_common::json::JsonObject;
 use morphstream_durability::{
-    read_wal, CheckpointBuilder, CheckpointStore, DurabilityError, FsyncPolicy, WalLog, WalState,
+    read_wal, repair_torn_tail, CheckpointBuilder, CheckpointStore, DurabilityError, FsyncPolicy,
+    RedirtySink, WalLog, WalState,
 };
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
@@ -267,6 +268,7 @@ impl Durable {
         // so the digest state and the WAL index describe the same cut.
         let digest_state = output_digest.lock().expect("digest lock").finish();
         let events_applied = self.wal.next_index();
+        let taken_dirty = builder.taken_dirty();
         let checkpoint = builder.build(self.checkpoints.next_id(), events_applied, digest_state);
         match self.checkpoints.save(&checkpoint) {
             Ok(saved) => {
@@ -283,7 +285,15 @@ impl Durable {
                     metrics.clock(),
                 );
             }
-            Err(e) => eprintln!("morphstream serve: checkpoint failed: {e}"),
+            Err(e) => {
+                eprintln!("morphstream serve: checkpoint failed: {e}");
+                // The snapshot was never persisted, but the engine already
+                // consumed the dirty flags: give them back so the next
+                // checkpoint re-captures these tables, and leave the WAL
+                // untruncated so replay still covers their writes.
+                let mut redirty = RedirtySink::new(taken_dirty);
+                TxnEngine::checkpoint(engine, &mut redirty);
+            }
         }
         self.publish_wal_stats(metrics);
     }
@@ -542,6 +552,13 @@ fn open_durability(
     }
     let wal_dir = dir.join("wal");
     let wal_state: WalState<SlEvent> = read_wal(&wal_dir).map_err(to_io)?;
+    if wal_state.torn_tail {
+        // Seal the torn segment at its valid prefix now: the replay below
+        // (plus the re-anchor checkpoint) covers its events, and once new
+        // appends start a newer segment the torn one would otherwise read
+        // as damage in a sealed segment on the next restart.
+        repair_torn_tail::<SlEvent>(&wal_dir).map_err(to_io)?;
+    }
     let next_index = wal_state
         .events
         .last()

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use morphstream_common::protocol::WireFormat;
 use morphstream_common::WorkloadConfig;
-use morphstream_durability::{FsyncPolicy, WalLog};
+use morphstream_durability::{decode_segment, FsyncPolicy, WalLog};
 use morphstream_server::{encode_event, reference_run, write_preamble, ServeOptions, Server};
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
@@ -235,6 +235,14 @@ fn torn_wal_tail_is_dropped_and_reported() {
     let recovery = server.recovery().expect("recovers").clone();
     assert!(recovery.torn_tail, "the torn record is reported");
     assert_eq!(recovery.replayed_events, 900, "the intact prefix replays");
+
+    // Recovery also repaired the segment on disk: new appends will seal it
+    // behind a newer segment, where leftover damage would refuse startup.
+    let repaired = std::fs::read(&segment).expect("re-read segment");
+    let decoded = decode_segment::<SlEvent>(&repaired).expect("decodes");
+    assert!(!decoded.torn, "the torn tail was truncated away");
+    assert_eq!(decoded.events.len(), 900);
+
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
