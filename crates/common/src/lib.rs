@@ -20,6 +20,7 @@ pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod rng;
+pub mod toml;
 pub mod types;
 pub mod zipf;
 

@@ -1,0 +1,399 @@
+//! The registry's operator implementations, all typed
+//! `ScenarioEvent -> ScenarioEvent`.
+//!
+//! Every stage creates its tables under a `"<stage id>."` prefix on the one
+//! shared [`StateStore`] of the scenario, so the same app can appear twice in
+//! a topology without table collisions, and a fused oracle can reproduce the
+//! exact table set (names included) on a store of its own for
+//! `state_digest()` comparison.
+
+use std::sync::Arc;
+
+use morphstream::app::result_or_zero;
+use morphstream::storage::StateStore;
+use morphstream::{udfs, StreamApp, TxnBuilder, TxnOutcome};
+use morphstream_common::{StateRef, TableId, Value};
+
+use crate::event::{EventKind, ScenarioEvent};
+
+fn table(store: &StateStore, stage: &str, suffix: &str, default: Value) -> TableId {
+    store.create_table(format!("{stage}.{suffix}"), default, true)
+}
+
+/// `ledger` — Streaming Ledger semantics: [`EventKind::Transfer`] withdraws
+/// from `key` and credits `key2` (aborting on insufficient funds); every
+/// other kind deposits `amount` into `key`.
+pub struct LedgerStage {
+    accounts: TableId,
+}
+
+impl LedgerStage {
+    /// Create the stage and its `accounts` table.
+    pub fn new(store: &StateStore, stage: &str, initial_balance: Value) -> Self {
+        Self {
+            accounts: table(store, stage, "accounts", initial_balance),
+        }
+    }
+}
+
+impl StreamApp for LedgerStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        if ev.kind == EventKind::Transfer {
+            txn.write(self.accounts, ev.key, udfs::withdraw(ev.amount));
+            txn.write_with_params(
+                self.accounts,
+                ev.key2,
+                vec![StateRef::new(self.accounts, ev.key)],
+                udfs::credit_if_param_at_least(ev.amount, ev.amount),
+            );
+        } else {
+            txn.write(self.accounts, ev.key, udfs::add_delta(ev.amount));
+        }
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `grep-sum` — GS-style dependent write: `values[key]` is overwritten with
+/// the sum over the source state `values[key2]` (a two-state grep-and-sum).
+pub struct GrepSumStage {
+    values: TableId,
+}
+
+impl GrepSumStage {
+    /// Create the stage and its `values` table.
+    pub fn new(store: &StateStore, stage: &str) -> Self {
+        Self {
+            values: table(store, stage, "values", 0),
+        }
+    }
+}
+
+impl StreamApp for GrepSumStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        txn.write_with_params(
+            self.values,
+            ev.key,
+            vec![StateRef::new(self.values, ev.key2)],
+            udfs::sum_params(),
+        );
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `tally` — counts events per `key` into a `counts` table; the minimal
+/// always-committing stage (entry pre-aggregation, terminal sinks).
+pub struct TallyStage {
+    counts: TableId,
+}
+
+impl TallyStage {
+    /// Create the stage and its `counts` table.
+    pub fn new(store: &StateStore, stage: &str) -> Self {
+        Self {
+            counts: table(store, stage, "counts", 0),
+        }
+    }
+}
+
+impl StreamApp for TallyStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        txn.write(self.counts, ev.key, udfs::add_delta(1));
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `fraud-enrichment` — annotates each transaction with the account's
+/// running spend total (carried downstream in `aux`).
+pub struct FraudEnrichmentStage {
+    activity: TableId,
+}
+
+impl FraudEnrichmentStage {
+    /// Create the stage and its `activity` table.
+    pub fn new(store: &StateStore, stage: &str) -> Self {
+        Self {
+            activity: table(store, stage, "activity", 0),
+        }
+    }
+}
+
+impl StreamApp for FraudEnrichmentStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        txn.write(self.activity, ev.key, udfs::add_delta(ev.amount));
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            ..ev.clone()
+        }
+    }
+}
+
+/// `fraud-scoring` — flags transactions by amount and spend velocity (the
+/// enrichment total in `aux`), and audits a pseudo-random profile per
+/// transaction through a non-deterministic read (the key is resolved from
+/// the execution-time timestamp). The flag lands in `marked`.
+pub struct FraudScoringStage {
+    scores: TableId,
+    audit: TableId,
+    flag_amount: Value,
+    velocity_limit: Value,
+    audit_profiles: u64,
+}
+
+impl FraudScoringStage {
+    /// Create the stage and its `scores` + `audit` tables.
+    pub fn new(
+        store: &StateStore,
+        stage: &str,
+        flag_amount: Value,
+        velocity_limit: Value,
+        audit_profiles: u64,
+    ) -> Self {
+        Self {
+            scores: table(store, stage, "scores", 0),
+            audit: table(store, stage, "audit", 0),
+            flag_amount,
+            velocity_limit,
+            audit_profiles: audit_profiles.max(1),
+        }
+    }
+}
+
+impl StreamApp for FraudScoringStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        let profiles = self.audit_profiles;
+        txn.non_det_read(self.audit, Arc::new(move |ts| ts % profiles), None);
+        txn.write(self.scores, ev.key, udfs::add_delta(1));
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, _outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            marked: ev.amount >= self.flag_amount || ev.aux > self.velocity_limit,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `fraud-settlement` — debits clean transactions (`marked == false`) from
+/// the account balance, aborting on insufficient funds; diverts flagged
+/// amounts to a quarantine ledger. Outputs `marked == true` only for
+/// transactions settled cleanly.
+pub struct FraudSettlementStage {
+    balances: TableId,
+    quarantine: TableId,
+}
+
+impl FraudSettlementStage {
+    /// Create the stage and its `balances` + `quarantine` tables.
+    pub fn new(store: &StateStore, stage: &str, initial_balance: Value) -> Self {
+        Self {
+            balances: table(store, stage, "balances", initial_balance),
+            quarantine: table(store, stage, "quarantine", 0),
+        }
+    }
+}
+
+impl StreamApp for FraudSettlementStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        if ev.marked {
+            txn.write(self.quarantine, 0, udfs::add_delta(ev.amount));
+        } else {
+            txn.write(self.balances, ev.key, udfs::withdraw(ev.amount));
+        }
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            marked: outcome.committed && !ev.marked,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `toll-charge` — TP-style charge: accumulates `amount` per vehicle `key`.
+pub struct TollChargeStage {
+    charges: TableId,
+}
+
+impl TollChargeStage {
+    /// Create the stage and its `charges` table.
+    pub fn new(store: &StateStore, stage: &str) -> Self {
+        Self {
+            charges: table(store, stage, "charges", 0),
+        }
+    }
+}
+
+impl StreamApp for TollChargeStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        txn.write(self.charges, ev.key, udfs::add_delta(ev.amount));
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `toll-stats` — TP-style road statistics: counts vehicles per segment
+/// `key2` and reads the windowed volume over the trailing `window` events.
+pub struct TollStatsStage {
+    volumes: TableId,
+    window: u64,
+}
+
+impl TollStatsStage {
+    /// Create the stage and its `volumes` table.
+    pub fn new(store: &StateStore, stage: &str, window: u64) -> Self {
+        Self {
+            volumes: table(store, stage, "volumes", 0),
+            window: window.max(1),
+        }
+    }
+}
+
+impl StreamApp for TollStatsStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        txn.write(self.volumes, ev.key2, udfs::add_delta(1));
+        txn.window_read(self.volumes, ev.key2, self.window, udfs::window_sum());
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 1),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `order-book` — a per-price-level inventory: [`EventKind::Buy`] adds
+/// `amount` units of depth at level `key2`, [`EventKind::Sell`] withdraws
+/// them (aborting when the level has insufficient depth — an unfilled
+/// order). `marked` reports whether the order executed.
+pub struct OrderBookStage {
+    book: TableId,
+}
+
+impl OrderBookStage {
+    /// Create the stage and its `book` table; every price level starts with
+    /// `restock` units of resting depth.
+    pub fn new(store: &StateStore, stage: &str, restock: Value) -> Self {
+        Self {
+            book: table(store, stage, "book", restock),
+        }
+    }
+}
+
+impl StreamApp for OrderBookStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        if ev.kind == EventKind::Sell {
+            txn.write(self.book, ev.key2, udfs::withdraw(ev.amount));
+        } else {
+            txn.write(self.book, ev.key2, udfs::add_delta(ev.amount));
+        }
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}
+
+/// `ad-attribution` — windowed join of impressions and clicks per campaign
+/// `key`: [`EventKind::Impression`] accumulates spend, [`EventKind::Click`]
+/// reads the impression spend inside the trailing `window` events (the
+/// attributed spend, reported in `aux`) and counts the attribution.
+pub struct AdAttributionStage {
+    impressions: TableId,
+    attributed: TableId,
+    window: u64,
+}
+
+impl AdAttributionStage {
+    /// Create the stage and its `impressions` + `attributed` tables.
+    pub fn new(store: &StateStore, stage: &str, window: u64) -> Self {
+        Self {
+            impressions: table(store, stage, "impressions", 0),
+            attributed: table(store, stage, "attributed", 0),
+            window: window.max(1),
+        }
+    }
+}
+
+impl StreamApp for AdAttributionStage {
+    type Event = ScenarioEvent;
+    type Output = ScenarioEvent;
+
+    fn state_access(&self, ev: &ScenarioEvent, txn: &mut TxnBuilder) {
+        if ev.kind == EventKind::Click {
+            txn.window_read(self.impressions, ev.key, self.window, udfs::window_sum());
+            txn.write(self.attributed, ev.key, udfs::add_delta(1));
+        } else {
+            txn.write(self.impressions, ev.key, udfs::add_delta(ev.amount));
+        }
+    }
+
+    fn post_process(&self, ev: &ScenarioEvent, outcome: &TxnOutcome) -> ScenarioEvent {
+        ScenarioEvent {
+            aux: result_or_zero(outcome, 0),
+            marked: outcome.committed,
+            ..ev.clone()
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The universal event type declarative scenarios flow end to end.
+//!
+//! Every registry operator consumes and produces [`ScenarioEvent`], so any
+//! stage output can feed any stage input and a TOML file is free to wire
+//! stages in whatever shape it likes. The fields are deliberately generic —
+//! each [`EventKind`] documents how the registry apps interpret them.
+
+use morphstream_common::hash::Fnv1a;
+use morphstream_common::Value;
+
+/// What a [`ScenarioEvent`] represents; registry apps branch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Credit `amount` to account `key` (Streaming Ledger).
+    Deposit,
+    /// Move `amount` from account `key` to account `key2`.
+    Transfer,
+    /// A payment card transaction of `amount` by account `key` (fraud apps).
+    Card,
+    /// A buy order: `amount` units at price level `key2` by trader `key`.
+    Buy,
+    /// A sell order: `amount` units at price level `key2` by trader `key`.
+    Sell,
+    /// An ad impression costing `amount` for campaign `key`.
+    Impression,
+    /// An ad click for campaign `key`.
+    Click,
+    /// A toll of `amount` for vehicle `key` on road segment `key2`.
+    Toll,
+}
+
+impl EventKind {
+    fn tag(self) -> u8 {
+        match self {
+            EventKind::Deposit => 0,
+            EventKind::Transfer => 1,
+            EventKind::Card => 2,
+            EventKind::Buy => 3,
+            EventKind::Sell => 4,
+            EventKind::Impression => 5,
+            EventKind::Click => 6,
+            EventKind::Toll => 7,
+        }
+    }
+}
+
+/// One event of a declarative scenario.
+///
+/// `ts` orders events when the loader merges multiple feeds; `feed` is the
+/// ordinal of the entry stage the event is destined for (set by the loader,
+/// matched by the per-entry dispatch routes). `aux` and `marked` are the
+/// enrichment channel: operators record transaction results in `aux` and
+/// scenario-defined flags (committed / flagged / filled) in `marked`, and
+/// downstream stages or routes act on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// Event time, used only to merge feeds deterministically at load time.
+    pub ts: u64,
+    /// Ordinal of the target entry stage (0-based, loader-assigned).
+    pub feed: u32,
+    /// How the registry apps interpret the payload fields.
+    pub kind: EventKind,
+    /// Primary key (account, trader, campaign, vehicle, ...).
+    pub key: u64,
+    /// Secondary key (transfer target, price level, road segment, ...).
+    pub key2: u64,
+    /// Payload amount (money, quantity, cost, ...).
+    pub amount: Value,
+    /// Enrichment value carried between stages (e.g. a running total).
+    pub aux: Value,
+    /// Scenario-defined flag (committed / flagged / filled), set by stages
+    /// and consumed by `committed`-style routes or downstream stages.
+    pub marked: bool,
+}
+
+impl ScenarioEvent {
+    /// A fresh event of `kind` at time `ts`; payload fields default to zero.
+    pub fn new(kind: EventKind, ts: u64) -> Self {
+        Self {
+            ts,
+            feed: 0,
+            kind,
+            key: 0,
+            key2: 0,
+            amount: 0,
+            aux: 0,
+            marked: false,
+        }
+    }
+
+    /// Order-sensitive content digest, used when a scenario terminal must
+    /// reduce its outputs to a `u64` (the served dataflow's output sink).
+    pub fn digest(&self) -> u64 {
+        let mut hash = Fnv1a::new();
+        hash.update(&[self.kind.tag(), self.marked as u8]);
+        hash.update(&self.ts.to_le_bytes());
+        hash.update(&self.key.to_le_bytes());
+        hash.update(&self.key2.to_le_bytes());
+        hash.update(&self.amount.to_le_bytes());
+        hash.update(&self.aux.to_le_bytes());
+        hash.finish()
+    }
+}

@@ -1,0 +1,42 @@
+//! Declarative TOML-defined dataflows over the MorphStream engine.
+//!
+//! The paper's workloads (SL, GS, TP, fraud, order books) share one
+//! execution substrate and differ only in topology shape; this crate makes
+//! that shape data instead of code. A scenario file declares `[[stages]]`
+//! (each naming a registered operator), `[[feeds]]` (deterministic event
+//! generators merged by timestamp), and a `[topology]` header; the
+//! [`loader`] validates it against the [`registry`] and builds a
+//! [`Topology`](morphstream::Topology) — including *multi-entry* dataflows,
+//! where several entry stages each consume their own feed and the engine
+//! dispatches merged rounds so digests stay independent of feed arrival
+//! interleaving.
+//!
+//! - [`event`] — [`ScenarioEvent`], the universal event every registry
+//!   operator consumes and produces.
+//! - [`apps`] — the operator implementations.
+//! - [`registry`] — named app / route / feed-source constructors with their
+//!   accepted config keys ([`registry::listing`] backs
+//!   `morphstream run --list`).
+//! - [`loader`] — file → validated spec → built topology, with errors that
+//!   cite the offending stage/feed id and key.
+//! - [`runner`] — `morphstream run`: push the merged feeds, report a
+//!   [`ScenarioOutcome`] with the final state digest.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod event;
+pub mod loader;
+pub mod registry;
+pub mod runner;
+
+pub use event::{EventKind, ScenarioEvent};
+pub use loader::{
+    build_events, load_file, load_serve_file, load_str, FeedDecl, LoadError, LoadOverrides,
+    LoadedScenario, ScenarioSpec, ServeScenario, StageSpec,
+};
+pub use registry::{
+    app, apps, listing, route, routes, source, sources, AppSpec, FeedContext, RouteSpec,
+    ScenarioApp, SourceSpec, StageContext,
+};
+pub use runner::{run_file, ScenarioOutcome};

@@ -1,0 +1,91 @@
+//! Drive a loaded scenario end to end — the engine behind `morphstream run`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use morphstream::{ReportSnapshot, TxnEngine};
+use morphstream_common::json::JsonObject;
+
+use crate::loader::{load_file, LoadError, LoadOverrides};
+
+/// Summary of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name from the file.
+    pub name: String,
+    /// Whether the concurrent runtime ran (after overrides).
+    pub concurrent: bool,
+    /// Worker threads per operator instance (after overrides).
+    pub threads: usize,
+    /// Events fed into the topology.
+    pub events: usize,
+    /// Outputs the terminal stage emitted.
+    pub outputs: usize,
+    /// Final `state_digest()` of the scenario's shared store — the
+    /// equivalence witness the smoke canary compares across runs.
+    pub state_digest: u64,
+    /// Wall-clock seconds of the push + finish.
+    pub elapsed_seconds: f64,
+    /// The full engine report snapshot.
+    pub snapshot: ReportSnapshot,
+}
+
+impl ScenarioOutcome {
+    /// One JSON object: run parameters, digest, and the nested report.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .string("scenario", &self.name)
+            .boolean("concurrent", self.concurrent)
+            .unsigned("threads", self.threads as u64)
+            .unsigned("events", self.events as u64)
+            .unsigned("outputs", self.outputs as u64)
+            .string("state_digest", &format!("{:016x}", self.state_digest))
+            .fixed("elapsed_seconds", self.elapsed_seconds, 6)
+            .raw("report", self.snapshot.to_json())
+            .build()
+    }
+
+    /// Human-readable summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "scenario {}: {} events -> {} outputs ({} committed, {} aborted) \
+             in {:.3}s on {} runtime, {} threads\nstate digest {:016x}",
+            self.name,
+            self.events,
+            self.outputs,
+            self.snapshot.committed,
+            self.snapshot.aborted,
+            self.elapsed_seconds,
+            if self.concurrent {
+                "concurrent"
+            } else {
+                "serial"
+            },
+            self.threads,
+            self.state_digest,
+        )
+    }
+}
+
+/// Load and run one scenario file: push the merged feeds through the
+/// topology, finish the session, digest the store.
+pub fn run_file(path: &Path, overrides: &LoadOverrides) -> Result<ScenarioOutcome, LoadError> {
+    let mut loaded = load_file(path, overrides)?;
+    let events = std::mem::take(&mut loaded.events);
+    let fed = events.len();
+    let started = Instant::now();
+    let mut pipeline = loaded.topology.pipeline();
+    pipeline.push_iter(events);
+    let report = pipeline.finish();
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+    Ok(ScenarioOutcome {
+        name: loaded.spec.name.clone(),
+        concurrent: loaded.spec.concurrent,
+        threads: loaded.spec.threads,
+        events: fed,
+        outputs: report.outputs.len() + report.drained_outputs,
+        state_digest: loaded.store.state_digest(),
+        elapsed_seconds,
+        snapshot: report.snapshot(),
+    })
+}

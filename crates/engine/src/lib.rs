@@ -66,7 +66,7 @@ pub use report::{
     BatchSummary, DurabilityCounters, EdgeReport, OperatorCounters, OperatorReport, ReportSnapshot,
     RunReport,
 };
-pub use topology::{OperatorHandle, Route, Topology, TopologyBuilder, TopologyError};
+pub use topology::{EntryBinding, OperatorHandle, Route, Topology, TopologyBuilder, TopologyError};
 
 pub use morphstream_common::{AbortReason, EngineConfig, TopologyConfig, WorkloadConfig};
 pub use morphstream_executor::TxnOutcome;

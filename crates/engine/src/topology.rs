@@ -233,17 +233,23 @@ pub enum TopologyError {
         /// Downstream (parallel) operator of the offending edge.
         to: String,
     },
-    /// An operator other than the entry has no upstream edge but feeds the
-    /// graph — a second entry point. A topology has exactly one entry;
-    /// multiple feeds must be merged ahead of it (e.g. with
-    /// `Source::merge_by_timestamp` in `morphstream_workloads`) so events
-    /// arrive as one deterministically ordered stream.
+    /// An operator not declared as an entry has no upstream edge but feeds
+    /// the graph — an undeclared entry point. Every feeding source-like
+    /// operator must be declared: either merge the feeds ahead of a single
+    /// entry (e.g. with `Source::merge_by_timestamp` in
+    /// `morphstream_workloads`) so events arrive as one deterministically
+    /// ordered stream, or declare every entry with
+    /// [`TopologyBuilder::build_with_entries`].
     MultiEntry {
         /// The declared entry operator.
         entry: String,
-        /// The operator acting as a second entry.
+        /// The operator acting as an undeclared entry.
         extra: String,
     },
+    /// The same operator was listed as an entry twice in
+    /// [`TopologyBuilder::build_with_entries`]; each entry receives each
+    /// round exactly once.
+    DuplicateEntry(String),
     /// The [`TopologyConfig`] failed validation.
     InvalidConfig(String),
 }
@@ -279,10 +285,14 @@ impl std::fmt::Display for TopologyError {
             TopologyError::MultiEntry { entry, extra } => {
                 write!(
                     f,
-                    "operator {extra:?} acts as a second entry (no upstream edge) besides \
-                     {entry:?}; a topology has exactly one entry — merge the feeds ahead of \
-                     it, e.g. with Source::merge_by_timestamp"
+                    "operator {extra:?} acts as an undeclared entry (no upstream edge) besides \
+                     {entry:?}; either merge the feeds ahead of one entry (e.g. with \
+                     Source::merge_by_timestamp) or declare every entry with \
+                     TopologyBuilder::build_with_entries"
                 )
+            }
+            TopologyError::DuplicateEntry(name) => {
+                write!(f, "operator {name:?} is listed as an entry more than once")
             }
             TopologyError::InvalidConfig(reason) => {
                 write!(f, "invalid topology configuration: {reason}")
@@ -714,6 +724,49 @@ struct EdgeSpec {
     route: ErasedRoute,
 }
 
+/// One entry operator of a multi-entry topology, paired with the dispatch
+/// [`Route`] that selects (and converts) this entry's share of the topology's
+/// input stream. Pass a list of bindings to
+/// [`TopologyBuilder::build_with_entries`].
+///
+/// The input stream `In` is the *merged* stream of every feed, ordered by
+/// timestamp before it reaches the topology; each binding's route then picks
+/// out the events belonging to its entry (typically a `Route::filter_map` on
+/// a feed tag). Because dispatch operates on the already-merged stream, the
+/// resulting state digests are independent of how the individual feeds were
+/// interleaved at arrival.
+pub struct EntryBinding<In> {
+    builder: u64,
+    index: usize,
+    parallelism: usize,
+    route: ErasedRoute,
+    _marker: PhantomData<fn(In)>,
+}
+
+impl<In: Send + 'static> EntryBinding<In> {
+    /// Bind `handle` as an entry fed by `route` applied to the topology's
+    /// input events. The route's key (if any) is ignored: entries are
+    /// single-instance, so there is nothing to partition.
+    pub fn new<E2: Send + 'static, O>(handle: OperatorHandle<E2, O>, route: Route<In, E2>) -> Self {
+        let (_keyed, route) = erase_route(route);
+        Self {
+            builder: handle.builder,
+            index: handle.index,
+            parallelism: handle.parallelism,
+            route,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<In> std::fmt::Debug for EntryBinding<In> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntryBinding")
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
 /// Builds a [`Topology`]: add operators, connect them with [`Route`]s, then
 /// [`TopologyBuilder::build`] the dataflow with a designated entry and
 /// terminal operator and a [`TopologyConfig`].
@@ -847,11 +900,12 @@ impl TopologyBuilder {
     /// Validates that the graph is a DAG, that every operator is reachable
     /// from `entry`, that `entry` has no upstream and is not parallel, that
     /// `terminal` has no downstream, and that every edge into a parallel
-    /// operator is keyed. A topology has exactly **one** entry: an operator
-    /// that feeds the graph without an upstream of its own is rejected as
-    /// [`TopologyError::MultiEntry`] — merge multiple feeds into one ordered
-    /// stream ahead of the entry (e.g. `Source::merge_by_timestamp` in the
-    /// workloads crate) instead of wiring two sources into the dataflow.
+    /// operator is keyed. This form declares exactly **one** entry: an
+    /// operator that feeds the graph without an upstream of its own is
+    /// rejected as [`TopologyError::MultiEntry`] — merge multiple feeds into
+    /// one ordered stream ahead of the entry (e.g.
+    /// `Source::merge_by_timestamp` in the workloads crate), or declare every
+    /// entry explicitly with [`TopologyBuilder::build_with_entries`].
     ///
     /// # Panics
     ///
@@ -868,10 +922,89 @@ impl TopologyBuilder {
     {
         self.note_handle(entry.builder, entry.index, entry.parallelism);
         self.note_handle(terminal.builder, terminal.index, terminal.parallelism);
+        self.build_inner(vec![entry.index], None, terminal.index, config)
+    }
+
+    /// Assemble a dataflow with **multiple entry operators**. The topology's
+    /// input stream `In` is the timestamp-merged union of every feed; each
+    /// [`EntryBinding`]'s route picks its entry's share out of that stream
+    /// (typically by a feed tag) and converts it to the entry's event type.
+    ///
+    /// Semantics: events are staged and dispatched one *round* at a time —
+    /// every `min(entry punctuation intervals)` staged events, each binding's
+    /// route runs over the staged slice and every entry ingests its share and
+    /// flushes, so all entries advance in lock-step rounds and downstream
+    /// punctuation alignment works exactly as in the single-entry form. This
+    /// holds on both the serial wave loop and the concurrent runtime, which
+    /// ships one aligned round per entry per sequence number. Because
+    /// dispatch happens after the feeds were merged into one ordered stream,
+    /// digests are independent of the feeds' arrival interleaving.
+    ///
+    /// Entries must be single-instance (no [`OperatorHandle::with_parallelism`])
+    /// and must not appear twice. The same validations as
+    /// [`TopologyBuilder::build`] apply, with reachability seeded from every
+    /// entry. A single binding is allowed — the topology then behaves like
+    /// [`TopologyBuilder::build`] with an input-conversion route, except that
+    /// the entry flushes per round instead of cutting its own punctuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a handle does not belong to this builder or `entries` is
+    /// empty.
+    pub fn build_with_entries<In, TE, Out>(
+        mut self,
+        entries: Vec<EntryBinding<In>>,
+        terminal: OperatorHandle<TE, Out>,
+        config: TopologyConfig,
+    ) -> Result<Topology<In, Out>, TopologyError>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+    {
+        assert!(
+            !entries.is_empty(),
+            "build_with_entries requires at least one entry"
+        );
+        for entry in &entries {
+            self.note_handle(entry.builder, entry.index, entry.parallelism);
+        }
+        self.note_handle(terminal.builder, terminal.index, terminal.parallelism);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut routes = Vec::with_capacity(entries.len());
+        for entry in entries {
+            indices.push(entry.index);
+            routes.push(entry.route);
+        }
+        self.build_inner(indices, Some(routes), terminal.index, config)
+    }
+
+    /// Shared assembly path: `dispatch` is `None` for the single-entry form
+    /// (entry events are ingested directly and the entry engine cuts its own
+    /// punctuations) and `Some` for the multi-entry form (each round is
+    /// dispatched through the per-entry routes and entries flush per round).
+    fn build_inner<In, Out>(
+        mut self,
+        entries: Vec<usize>,
+        dispatch: Option<Vec<ErasedRoute>>,
+        terminal: usize,
+        config: TopologyConfig,
+    ) -> Result<Topology<In, Out>, TopologyError>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+    {
         if let Err(reason) = config.validate() {
             return Err(TopologyError::InvalidConfig(reason));
         }
         let n = self.specs.len();
+
+        for (i, &e) in entries.iter().enumerate() {
+            if entries[..i].contains(&e) {
+                return Err(TopologyError::DuplicateEntry(
+                    self.specs[e].name().to_string(),
+                ));
+            }
+        }
 
         let mut in_degree = vec![0usize; n];
         for edges in &self.edges {
@@ -879,33 +1012,37 @@ impl TopologyBuilder {
                 in_degree[edge.dst] += 1;
             }
         }
-        if in_degree[entry.index] != 0 {
-            return Err(TopologyError::EntryHasUpstream(
-                self.specs[entry.index].name().to_string(),
-            ));
+        for &e in &entries {
+            if in_degree[e] != 0 {
+                return Err(TopologyError::EntryHasUpstream(
+                    self.specs[e].name().to_string(),
+                ));
+            }
         }
-        // A second source-like operator — no upstream but feeding the graph —
-        // is a multi-entry attempt; report it as such instead of the
-        // misleading `Unreachable` the reachability sweep would produce. (An
-        // operator with no edges at all is merely stranded and still reports
-        // as unreachable below.)
-        if let Some(extra) =
-            (0..n).find(|&i| i != entry.index && in_degree[i] == 0 && !self.edges[i].is_empty())
+        // A source-like operator — no upstream but feeding the graph — that
+        // was not declared as an entry is a multi-entry attempt; report it as
+        // such instead of the misleading `Unreachable` the reachability sweep
+        // would produce. (An operator with no edges at all is merely stranded
+        // and still reports as unreachable below.)
+        if let Some(extra) = (0..n)
+            .find(|&i| !entries.contains(&i) && in_degree[i] == 0 && !self.edges[i].is_empty())
         {
             return Err(TopologyError::MultiEntry {
-                entry: self.specs[entry.index].name().to_string(),
+                entry: self.specs[entries[0]].name().to_string(),
                 extra: self.specs[extra].name().to_string(),
             });
         }
-        if !self.edges[terminal.index].is_empty() {
+        if !self.edges[terminal].is_empty() {
             return Err(TopologyError::TerminalHasDownstream(
-                self.specs[terminal.index].name().to_string(),
+                self.specs[terminal].name().to_string(),
             ));
         }
-        if self.parallelism[entry.index] > 1 {
-            return Err(TopologyError::ParallelEntry(
-                self.specs[entry.index].name().to_string(),
-            ));
+        for &e in &entries {
+            if self.parallelism[e] > 1 {
+                return Err(TopologyError::ParallelEntry(
+                    self.specs[e].name().to_string(),
+                ));
+            }
         }
         for (src, edges) in self.edges.iter().enumerate() {
             for edge in edges {
@@ -919,7 +1056,7 @@ impl TopologyBuilder {
         }
 
         // Kahn's algorithm: the propagation order. A leftover node means a
-        // cycle; an unreached node (in-degree never zero *via the entry*) is
+        // cycle; an unreached node (in-degree never zero *via an entry*) is
         // caught by the reachability check below.
         let mut degree = in_degree.clone();
         let mut ready: Vec<usize> = (0..n).filter(|&i| degree[i] == 0).collect();
@@ -938,8 +1075,11 @@ impl TopologyBuilder {
         }
 
         let mut reachable = vec![false; n];
-        reachable[entry.index] = true;
-        let mut frontier = vec![entry.index];
+        let mut frontier = Vec::new();
+        for &e in &entries {
+            reachable[e] = true;
+            frontier.push(e);
+        }
         while let Some(idx) = frontier.pop() {
             for edge in &self.edges[idx] {
                 if !reachable[edge.dst] {
@@ -968,9 +1108,13 @@ impl TopologyBuilder {
         }
 
         let names: Vec<String> = self.specs.iter().map(|s| s.name().to_string()).collect();
-        // Edge observability rows: the implicit input feed first, then every
-        // routed edge in (source, insertion-order) order.
-        let mut edge_labels = vec![("(input)".to_string(), names[entry.index].clone())];
+        // Edge observability rows: the implicit input feeds first (one row
+        // per entry), then every routed edge in (source, insertion-order)
+        // order.
+        let mut edge_labels: Vec<(String, String)> = entries
+            .iter()
+            .map(|&e| ("(input)".to_string(), names[e].clone()))
+            .collect();
         for (src, edges) in self.edges.iter().enumerate() {
             for edge in edges {
                 edge_labels.push((names[src].clone(), names[edge.dst].clone()));
@@ -987,7 +1131,14 @@ impl TopologyBuilder {
             .zip(&parallelism)
             .map(|(spec, &p)| spec.instantiate(p))
             .collect();
-        let entry_punctuation = nodes[entry.index].instances[0].punctuation_interval();
+        // In dispatch mode the smallest entry interval defines the round
+        // size, so no entry's punctuation is ever exceeded by a round.
+        let entry_punctuation = entries
+            .iter()
+            .map(|&e| nodes[e].instances[0].punctuation_interval())
+            .min()
+            .expect("at least one entry");
+        let single_cut = dispatch.is_none();
 
         let shared = SessionShared {
             report: RunReport::new(),
@@ -1001,8 +1152,9 @@ impl TopologyBuilder {
         };
         let mut topology = Topology {
             names,
-            entry_index: entry.index,
-            terminal_index: terminal.index,
+            entry_indices: entries.clone(),
+            dispatch,
+            terminal_index: terminal,
             entry_punctuation,
             entry_buffer: Vec::new(),
             shared,
@@ -1015,8 +1167,9 @@ impl TopologyBuilder {
                 nodes,
                 edges: self.edges,
                 topo_order,
-                entry: entry.index,
-                terminal: terminal.index,
+                entries,
+                single_cut,
+                terminal,
                 capacity: config.channel_capacity.max(1),
                 edge_waits: topology.shared.edge_waits.clone(),
             }));
@@ -1027,8 +1180,9 @@ impl TopologyBuilder {
                 edges: self.edges,
                 pending,
                 topo_order,
-                entry: entry.index,
-                terminal: terminal.index,
+                entries,
+                single_cut,
+                terminal,
                 entry_batches_seen: 0,
                 last_stats: AggregateStats::default(),
             });
@@ -1243,10 +1397,15 @@ struct SerialRuntime {
     /// Routed-but-not-yet-ingested rounds per destination operator.
     pending: Vec<Vec<RoutedParts>>,
     topo_order: Vec<usize>,
-    entry: usize,
+    entries: Vec<usize>,
+    /// Single-entry mode: the entry engine cuts its own punctuations from the
+    /// fed stream. In dispatch (multi-entry) mode entries flush per round
+    /// like every downstream operator.
+    single_cut: bool,
     terminal: usize,
     /// Entry-operator batches already propagated, so ingestion detects new
-    /// batch boundaries without locking the output queue per event.
+    /// batch boundaries without locking the output queue per event
+    /// (single-entry mode only).
     entry_batches_seen: usize,
     last_stats: AggregateStats,
 }
@@ -1256,8 +1415,8 @@ impl SerialRuntime {
         let mut agg = AggregateStats::default();
         for (idx, node) in self.nodes.iter().enumerate() {
             let stats = node.stats();
-            if idx == self.entry {
-                agg.entry_events = stats.events;
+            if self.entries.contains(&idx) {
+                agg.entry_events += stats.events;
             }
             agg.totals.merge(&stats);
         }
@@ -1418,7 +1577,12 @@ struct InstanceWorker {
     node: usize,
     instance: usize,
     label: String,
+    /// Whether this instance is an entry operator (its events count as the
+    /// topology's input and its decision labels the round).
     is_entry: bool,
+    /// Whether this entry cuts its own punctuations from the fed stream
+    /// (single-entry mode); dispatch-mode entries flush per round instead.
+    entry_cuts: bool,
     in_edge_count: usize,
     rx: Receiver<InstanceMsg>,
     inst: Box<dyn ErasedInstance>,
@@ -1457,10 +1621,11 @@ impl InstanceWorker {
                     offset += msg.total;
                     self.inst.ingest_events(msg.events);
                 }
-                // The entry engine cuts its own punctuations from the fed
-                // events; every other operator flushes per round so its
-                // batches align with upstream batch boundaries.
-                if kind != RoundKind::Normal || !self.is_entry {
+                // A single-mode entry engine cuts its own punctuations from
+                // the fed events; every other operator (dispatch-mode
+                // entries included) flushes per round so its batches align
+                // with upstream batch boundaries.
+                if kind != RoundKind::Normal || !self.entry_cuts {
                     self.inst.flush();
                 }
                 let stats = self.inst.stats();
@@ -1610,10 +1775,13 @@ struct LaunchPlan {
     nodes: Vec<NodeParts>,
     edges: Vec<Vec<EdgeSpec>>,
     topo_order: Vec<usize>,
-    entry: usize,
+    entries: Vec<usize>,
+    /// See [`SerialRuntime::single_cut`].
+    single_cut: bool,
     terminal: usize,
     capacity: usize,
-    /// Aligned with the builder's edge rows: `[0]` is the input feed.
+    /// Aligned with the builder's edge rows: the first `entries.len()` rows
+    /// are the input feeds.
     edge_waits: Vec<Arc<AtomicU64>>,
 }
 
@@ -1622,8 +1790,10 @@ struct LaunchPlan {
 /// and an unbounded collector channel feeding rounds, outputs, and reports
 /// back to the caller thread.
 struct ConcurrentRuntime {
-    entry_tx: Option<SyncSender<InstanceMsg>>,
-    entry_waits: Arc<AtomicU64>,
+    /// One input channel per entry operator (emptied on shutdown so blocked
+    /// workers observe the disconnect).
+    entry_txs: Vec<SyncSender<InstanceMsg>>,
+    entry_waits: Vec<Arc<AtomicU64>>,
     collector_rx: Option<Receiver<ToTopology>>,
     workers: Vec<JoinHandle<()>>,
     panic_slot: PanicSlot,
@@ -1648,7 +1818,8 @@ impl ConcurrentRuntime {
             nodes,
             edges,
             topo_order,
-            entry,
+            entries,
+            single_cut,
             terminal,
             capacity,
             edge_waits,
@@ -1696,12 +1867,15 @@ impl ConcurrentRuntime {
 
         let (collector_tx, collector_rx) = channel();
         let panic_slot: PanicSlot = Arc::new(Mutex::new(None));
-        let entry_tx = txs[entry][0].clone();
-        let entry_waits = Arc::clone(&edge_waits[0]);
+        let entry_txs: Vec<SyncSender<InstanceMsg>> =
+            entries.iter().map(|&e| txs[e][0].clone()).collect();
+        let entry_waits: Vec<Arc<AtomicU64>> =
+            edge_waits[..entries.len()].iter().map(Arc::clone).collect();
 
         // Routers: one per node, consuming the edge specs (global edge order
-        // = flatten by source then insertion, matching `edge_waits[1..]`).
-        let mut edge_cursor = 1usize;
+        // = flatten by source then insertion, matching the edge rows after
+        // the per-entry input rows).
+        let mut edge_cursor = entries.len();
         let mut routers: Vec<Option<OutRouter>> = Vec::with_capacity(n);
         for (src, node_edges) in edges.into_iter().enumerate() {
             let mut out_edges = Vec::with_capacity(node_edges.len());
@@ -1761,11 +1935,13 @@ impl ConcurrentRuntime {
                     Some(tx) => WorkerOut::Merger(tx.clone()),
                     None => WorkerOut::Router(router.take().expect("single instance router")),
                 };
+                let is_entry = entries.contains(&idx);
                 let worker = InstanceWorker {
                     node: idx,
                     instance: i,
                     label: label.clone(),
-                    is_entry: idx == entry,
+                    is_entry,
+                    entry_cuts: single_cut && is_entry,
                     in_edge_count: in_count[idx],
                     rx,
                     inst,
@@ -1785,7 +1961,7 @@ impl ConcurrentRuntime {
         drop(collector_tx);
 
         Self {
-            entry_tx: Some(entry_tx),
+            entry_txs,
             entry_waits,
             collector_rx: Some(collector_rx),
             workers,
@@ -1804,7 +1980,7 @@ impl ConcurrentRuntime {
     /// also the drop path, so a topology dropped mid-stream winds down
     /// without deadlock (receivers disconnect, blocked senders error out).
     fn shutdown(&mut self) {
-        self.entry_tx = None;
+        self.entry_txs.clear();
         self.collector_rx = None;
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -1830,13 +2006,18 @@ impl Drop for ConcurrentRuntime {
 /// lifecycle, the two runtimes, and a complete example.
 pub struct Topology<In, Out> {
     names: Vec<String>,
-    entry_index: usize,
+    entry_indices: Vec<usize>,
+    /// Per-entry dispatch routes (parallel to `entry_indices`) in multi-entry
+    /// mode; `None` in the single-entry form, where staged events are handed
+    /// to the entry directly.
+    dispatch: Option<Vec<ErasedRoute>>,
     terminal_index: usize,
-    /// The entry operator's punctuation interval, captured at build time.
+    /// The entry operator's punctuation interval (the smallest across
+    /// entries in dispatch mode), captured at build time.
     entry_punctuation: usize,
     /// Typed staging buffer for entry events: pushed events accumulate here
     /// (no per-event boxing or virtual dispatch) and are handed to the entry
-    /// operator one punctuation interval at a time.
+    /// operator(s) one punctuation interval at a time.
     entry_buffer: Vec<In>,
     shared: SessionShared<Out>,
     serial: Option<SerialRuntime>,
@@ -1846,9 +2027,14 @@ pub struct Topology<In, Out> {
 
 impl<In, Out> std::fmt::Debug for Topology<In, Out> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries: Vec<&str> = self
+            .entry_indices
+            .iter()
+            .map(|&e| self.names[e].as_str())
+            .collect();
         f.debug_struct("Topology")
             .field("operators", &self.names)
-            .field("entry", &self.names[self.entry_index])
+            .field("entries", &entries)
             .field("terminal", &self.names[self.terminal_index])
             .field("concurrent", &self.concurrent.is_some())
             .field("waves", &self.shared.waves)
@@ -1920,11 +2106,13 @@ where
             // Punctuation propagation: a downstream operator is flushed on
             // every upstream batch boundary, so its batches align with (or
             // subdivide, when its own punctuation interval is smaller) the
-            // batches of its upstream.
-            if flush_all || (idx != rt.entry && routed_in) {
+            // batches of its upstream. In dispatch mode entries are fed
+            // through `pending` like everyone else and flush per round.
+            let cuts_own = rt.single_cut && idx == rt.entries[0];
+            if flush_all || (!cuts_own && routed_in) {
                 rt.nodes[idx].flush_instances();
             }
-            if idx == rt.entry {
+            if cuts_own {
                 // Any entry batches drained by this wave's flush are now
                 // propagated; keep the ingest-path boundary detector in sync.
                 rt.entry_batches_seen = rt.nodes[idx].instances[0].completed_batches();
@@ -1955,12 +2143,13 @@ where
         if events == 0 && delta.is_zero() {
             return;
         }
-        // End-to-end latency of the wave. Ingest-triggered waves start
-        // *after* the entry batch executed, so the entry batch's own
-        // cut-to-post latency is added; in a flush wave the entry batch
-        // executes inside the wave interval and must not be counted twice.
-        let entry_last = rt.nodes[rt.entry].instances[0].last_batch();
-        let entry_elapsed = if flush_all {
+        // End-to-end latency of the wave. Single-entry ingest-triggered waves
+        // start *after* the entry batch executed, so the entry batch's own
+        // cut-to-post latency is added; in a flush wave (and in dispatch
+        // mode, where entries execute inside the wave) it must not be
+        // counted twice.
+        let entry_last = rt.nodes[rt.entries[0]].instances[0].last_batch();
+        let entry_elapsed = if flush_all || !rt.single_cut {
             Duration::ZERO
         } else {
             entry_last.map(|(elapsed, _)| elapsed).unwrap_or_default()
@@ -1980,27 +2169,43 @@ where
         shared.record_round(summary, &delta.breakdown);
     }
 
-    /// Hand the staged entry events to the entry operator and, when that
-    /// completed a batch, propagate the punctuation through the dataflow.
+    /// Hand the staged entry events to the entry operator(s) and propagate
+    /// punctuations through the dataflow. In single-entry mode the entry
+    /// engine cuts its own batches and a wave runs only when a new batch
+    /// completed; in dispatch mode every feed is one round — each entry's
+    /// route selects its share of the staged slice and the wave flushes the
+    /// entries alongside the rest of the dataflow.
     fn serial_feed(&mut self) {
         if self.entry_buffer.is_empty() {
             return;
         }
         let events = std::mem::take(&mut self.entry_buffer);
-        let total = events.len();
-        let trigger = {
-            let rt = self.serial.as_mut().expect("serial runtime");
-            rt.nodes[rt.entry].ingest_round(RoutedParts {
-                parts: vec![Box::new(events)],
-                positions: vec![Vec::new()],
-                total,
-            });
-            let completed = rt.nodes[rt.entry].instances[0].completed_batches();
-            let new_batch = completed > rt.entry_batches_seen;
-            if new_batch {
-                rt.entry_batches_seen = completed;
+        let trigger = match self.dispatch.as_ref() {
+            Some(routes) => {
+                let staged: Box<dyn Any + Send> = Box::new(events);
+                let rt = self.serial.as_mut().expect("serial runtime");
+                for (&idx, route) in self.entry_indices.iter().zip(routes) {
+                    let parts = route(staged.as_ref(), rt.nodes[idx].instances.len());
+                    rt.pending[idx].push(parts);
+                }
+                true
             }
-            new_batch
+            None => {
+                let total = events.len();
+                let rt = self.serial.as_mut().expect("serial runtime");
+                let entry = rt.entries[0];
+                rt.nodes[entry].ingest_round(RoutedParts {
+                    parts: vec![Box::new(events)],
+                    positions: vec![Vec::new()],
+                    total,
+                });
+                let completed = rt.nodes[entry].instances[0].completed_batches();
+                let new_batch = completed > rt.entry_batches_seen;
+                if new_batch {
+                    rt.entry_batches_seen = completed;
+                }
+                new_batch
+            }
         };
         if trigger {
             self.serial_wave(false);
@@ -2126,26 +2331,58 @@ where
     }
 
     /// Ship the staged entry events as one round; returns its sequence
-    /// number. Blocks (back-pressure) when the entry channel is full.
+    /// number. Blocks (back-pressure) when an entry channel is full. In
+    /// dispatch mode every entry receives one aligned part of the round
+    /// (possibly empty), keeping the per-round instance accounting and the
+    /// downstream punctuation alignment intact.
     fn concurrent_feed(&mut self, kind: RoundKind) -> usize {
         self.concurrent_drain();
         let events = std::mem::take(&mut self.entry_buffer);
         let total = events.len();
         let (seq, delivered) = {
+            let dispatch = self.dispatch.as_ref();
             let rt = self.concurrent.as_mut().expect("concurrent runtime");
             let seq = rt.seq_next;
             rt.seq_next += 1;
             rt.rounds.insert(seq, RoundAcc::new(Instant::now()));
-            let msg = InstanceMsg {
-                seq,
-                kind,
-                in_edge: 0,
-                events: Box::new(events),
-                positions: Vec::new(),
-                total,
+            let delivered = match dispatch {
+                Some(routes) => {
+                    let staged: Box<dyn Any + Send> = Box::new(events);
+                    let mut ok = true;
+                    for ((tx, waits), route) in rt.entry_txs.iter().zip(&rt.entry_waits).zip(routes)
+                    {
+                        // Entries are single-instance, so the route yields
+                        // exactly one identity part.
+                        let mut parts = route(staged.as_ref(), 1);
+                        let msg = InstanceMsg {
+                            seq,
+                            kind,
+                            in_edge: 0,
+                            events: parts.parts.pop().expect("identity part"),
+                            positions: parts.positions.pop().unwrap_or_default(),
+                            total: parts.total,
+                        };
+                        if !send_counting(tx, msg, waits) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ok
+                }
+                None => {
+                    let msg = InstanceMsg {
+                        seq,
+                        kind,
+                        in_edge: 0,
+                        events: Box::new(events),
+                        positions: Vec::new(),
+                        total,
+                    };
+                    let tx = rt.entry_txs.first().expect("entry channel open");
+                    send_counting(tx, msg, &rt.entry_waits[0])
+                }
             };
-            let tx = rt.entry_tx.as_ref().expect("entry channel open");
-            (seq, send_counting(tx, msg, &rt.entry_waits))
+            (seq, delivered)
         };
         if !delivered {
             self.concurrent_fail();
@@ -2777,6 +3014,189 @@ mod tests {
         let _ = builder
             .add_operator("a", Summer { table: t }, store, config)
             .with_parallelism(0);
+    }
+
+    /// Multi-entry test fixture: a tagged event stream dispatched to two
+    /// entry operators that both feed one terminal Summer.
+    ///
+    /// Events are `(feed, key)`; feed 0 goes to a Doubler, feed 1 to a
+    /// KeyCounter, and both route their keys into the Summer.
+    fn two_entry_topology(
+        punctuation: usize,
+        topo: TopologyConfig,
+    ) -> (Topology<(u8, u64), u64>, StateStore) {
+        let store = StateStore::new();
+        let doubled = store.create_table("doubled", 0, true);
+        let counts = store.create_table("counts", 0, true);
+        let sums = store.create_table("sums", 0, true);
+        let config = EngineConfig::with_threads(2).with_punctuation_interval(punctuation);
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("left", Doubler { table: doubled }, store.clone(), config);
+        let b = builder.add_operator("right", KeyCounter { table: counts }, store.clone(), config);
+        let c = builder.add_operator("summer", Summer { table: sums }, store.clone(), config);
+        builder.connect(
+            a,
+            c,
+            Route::filter_map(|(key, committed): &(u64, bool)| committed.then_some(*key)),
+        );
+        builder.connect(b, c, Route::map(|key: &u64| *key));
+        let topology = builder
+            .build_with_entries(
+                vec![
+                    EntryBinding::new(
+                        a,
+                        Route::filter_map(|(feed, key): &(u8, u64)| (*feed == 0).then_some(*key)),
+                    ),
+                    EntryBinding::new(
+                        b,
+                        Route::filter_map(|(feed, key): &(u8, u64)| (*feed == 1).then_some(*key)),
+                    ),
+                ],
+                c,
+                topo,
+            )
+            .unwrap();
+        (topology, store)
+    }
+
+    /// A deterministic merged two-feed stream: feed tag alternates in a
+    /// fixed (timestamp-ordered) pattern.
+    fn merged_two_feed_stream(count: u64) -> Vec<(u8, u64)> {
+        (0..count).map(|i| ((i % 3 == 0) as u8, i % 17)).collect()
+    }
+
+    #[test]
+    fn multi_entry_topology_runs_and_reports_entry_events_once() {
+        let (mut topology, store) = two_entry_topology(8, TopologyConfig::default());
+        assert_eq!(topology.operator_count(), 3);
+        let events = merged_two_feed_stream(64);
+        let report = topology.run(events.clone());
+        // every input event lands on exactly one entry
+        assert_eq!(report.events(), 64);
+        // terminal saw the union of both entries' outputs
+        assert_eq!(report.operators.len(), 3);
+        let summer = report
+            .operators
+            .iter()
+            .find(|op| op.name == "summer")
+            .unwrap();
+        assert_eq!(summer.events, 64);
+        // edge rows: two input feeds plus two routed edges
+        assert_eq!(report.edges.len(), 4);
+        assert_eq!(report.edges[0].from, "(input)");
+        assert_eq!(report.edges[1].from, "(input)");
+        assert_eq!(report.edges[0].to, "left");
+        assert_eq!(report.edges[1].to, "right");
+        assert!(store.state_digest() != 0);
+    }
+
+    #[test]
+    fn multi_entry_serial_and_concurrent_agree() {
+        let events = merged_two_feed_stream(96);
+        let (mut serial, serial_store) = two_entry_topology(8, TopologyConfig::default());
+        let expected = serial.run(events.clone());
+
+        for capacity in [1, 4] {
+            let (mut concurrent, store) = two_entry_topology(
+                8,
+                TopologyConfig::default()
+                    .with_concurrent(true)
+                    .with_channel_capacity(capacity),
+            );
+            let report = concurrent.run(events.clone());
+            assert_eq!(report.outputs, expected.outputs);
+            assert_eq!(report.events(), expected.events());
+            assert_eq!(report.committed, expected.committed);
+            assert_eq!(
+                store.state_digest(),
+                serial_store.state_digest(),
+                "digest diverged at capacity={capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_entry_digest_is_independent_of_feed_interleaving() {
+        // The same per-feed event sequences, merged in two different
+        // arrival interleavings that preserve each feed's internal order;
+        // dispatch happens on the merged stream one round at a time, so
+        // rounds must be identical — enforce the round boundary by choosing
+        // interleavings that agree per punctuation window.
+        let a = merged_two_feed_stream(64);
+        let mut b = a.clone();
+        for chunk in b.chunks_mut(8) {
+            chunk.sort_by_key(|(feed, _)| *feed);
+        }
+        let run = |events: Vec<(u8, u64)>| {
+            let (mut topology, store) = two_entry_topology(8, TopologyConfig::default());
+            let report = topology.run(events);
+            (store.state_digest(), report.events())
+        };
+        let (da, ea) = run(a);
+        let (db, eb) = run(b);
+        assert_eq!(ea, eb);
+        assert_eq!(
+            da, db,
+            "within-round arrival order must not affect the digest"
+        );
+    }
+
+    #[test]
+    fn multi_entry_sessions_are_reusable() {
+        let (mut topology, _store) = two_entry_topology(4, TopologyConfig::default());
+        let first = topology.run(merged_two_feed_stream(16));
+        assert_eq!(first.events(), 16);
+        let second = topology.run(merged_two_feed_stream(8));
+        assert_eq!(second.events(), 8);
+    }
+
+    #[test]
+    fn build_with_entries_rejects_duplicates_and_undeclared_feeds() {
+        let config = EngineConfig::with_threads(1);
+        let store = StateStore::new();
+        let t = store.create_table("t", 0, true);
+        let pass = || Route::map(|key: &u64| *key);
+        let dispatch = || Route::map(|key: &u64| *key);
+
+        // duplicate entry binding
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, pass());
+        let err = builder
+            .build_with_entries(
+                vec![
+                    EntryBinding::new(a, dispatch()),
+                    EntryBinding::new(a, dispatch()),
+                ],
+                b,
+                TopologyConfig::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateEntry("a".into()));
+
+        // a feeding source not listed as an entry is still a MultiEntry error
+        let mut builder = TopologyBuilder::new();
+        let a = builder.add_operator("a", Summer { table: t }, store.clone(), config);
+        let second = builder.add_operator("rogue", Summer { table: t }, store.clone(), config);
+        let b = builder.add_operator("b", Summer { table: t }, store.clone(), config);
+        builder.connect(a, b, pass());
+        builder.connect(second, b, pass());
+        let err = builder
+            .build_with_entries(
+                vec![EntryBinding::new(a, dispatch())],
+                b,
+                TopologyConfig::default(),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::MultiEntry {
+                entry: "a".into(),
+                extra: "rogue".into(),
+            }
+        );
+        assert!(err.to_string().contains("build_with_entries"));
     }
 
     #[test]

@@ -1,8 +1,9 @@
-//! The `morphstream` command: `serve` (TCP event ingress) and `loadgen`
-//! (reproducible heavy-traffic client). Flags are parsed by hand — the
-//! workspace is offline and two subcommands do not justify vendoring an
-//! argument parser.
+//! The `morphstream` command: `serve` (TCP event ingress), `loadgen`
+//! (reproducible heavy-traffic client), and `run` (execute a declarative
+//! TOML scenario). Flags are parsed by hand — the workspace is offline and
+//! three subcommands do not justify vendoring an argument parser.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -17,6 +18,7 @@ morphstream — transactional stream processing over TCP
 
 USAGE:
     morphstream serve   [--addr HOST:PORT] [--metrics-addr HOST:PORT]
+                        [--topology pipeline.toml]
                         [--threads N] [--punctuation N] [--key-space N]
                         [--channel-capacity N] [--concurrent]
                         [--audit-cost-us N] [--session-events N]
@@ -27,6 +29,9 @@ USAGE:
                         [--key-space N] [--zipf-theta F]
                         [--transfer-ratio F] [--format binary|json]
                         [--burst N] [--burst-pause-ms N] [--seed N] [--json]
+    morphstream run     <pipeline.toml> [--threads N] [--concurrent]
+                        [--serial] [--json]
+    morphstream run     --list
 
 serve accepts events on --addr (length-prefixed binary after an MSB1 magic,
 or JSON lines; auto-detected per connection), serves Prometheus metrics on
@@ -35,7 +40,10 @@ punctuations on SIGINT/SIGTERM before exiting. With --data-dir, every event
 is written ahead to a WAL and state is checkpointed incrementally every
 --checkpoint-interval events (0 = only at startup recovery and shutdown);
 after a crash, restarting with the same --data-dir restores the latest
-checkpoint chain and replays the WAL tail to digest-identical state.
+checkpoint chain and replays the WAL tail to digest-identical state. With
+--topology, serve runs a declarative TOML dataflow (one entry stage; wire
+events enter there, terminal outputs are digested) instead of the builtin
+ledger -> audit chain — durability and recovery apply unchanged.
 
 loadgen connects to a running server and sends a deterministic Zipf-skewed
 Streaming Ledger stream in bursts, reporting the achieved rate and the
@@ -43,6 +51,14 @@ socket write-latency tail (which rises when server back-pressure reaches the
 client through TCP flow control). --skip N generates but does not send the
 first N events — resume a deterministic stream past what a recovered server
 already ingested (its morphstream_durable_events gauge).
+
+run loads a declarative scenario file ([[feeds]], [[stages]], [topology]),
+merges the deterministic feeds by timestamp, drives the topology to
+completion, and prints the final state digest (the equivalence witness CI
+compares across runs) plus the engine report. --threads / --concurrent /
+--serial override the file's runtime knobs; --json emits the full report as
+one JSON object. run --list prints the registry: every operator, route, and
+feed source a scenario file can name, with their accepted config keys.
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +66,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -106,6 +123,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             &[
                 ("--addr", true),
                 ("--metrics-addr", true),
+                ("--topology", true),
                 ("--threads", true),
                 ("--punctuation", true),
                 ("--key-space", true),
@@ -132,6 +150,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
         if let Some(addr) = flag_value(args, "--metrics-addr", |s| Some(s.to_string()))? {
             opts.metrics_addr = addr;
+        }
+        if let Some(path) = flag_value(args, "--topology", |s| Some(PathBuf::from(s)))? {
+            opts.topology = Some(path);
         }
         if let Some(n) = flag_value(args, "--threads", |s| s.parse::<usize>().ok())? {
             opts.threads = n.max(1);
@@ -210,6 +231,67 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         summary.ledger_digest, summary.audit_digest, summary.output_digest,
     );
     ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    if has_flag(args, "--list") {
+        print!("{}", morphstream_dataflow::listing());
+        return ExitCode::SUCCESS;
+    }
+    let parsed = (|| -> Result<(PathBuf, morphstream_dataflow::LoadOverrides, bool), String> {
+        let mut overrides = morphstream_dataflow::LoadOverrides::default();
+        let mut json = false;
+        let mut path: Option<PathBuf> = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let raw = iter
+                        .next()
+                        .ok_or_else(|| "--threads requires a value".to_string())?;
+                    let n = raw
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid value {raw:?} for --threads"))?;
+                    overrides.threads = Some(n.max(1));
+                }
+                "--concurrent" => overrides.concurrent = Some(true),
+                "--serial" => overrides.concurrent = Some(false),
+                "--json" => json = true,
+                flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+                file => {
+                    if path.replace(PathBuf::from(file)).is_some() {
+                        return Err("run takes exactly one scenario file".into());
+                    }
+                }
+            }
+        }
+        if has_flag(args, "--concurrent") && has_flag(args, "--serial") {
+            return Err("--concurrent and --serial are mutually exclusive".into());
+        }
+        let path = path.ok_or_else(|| "run requires a scenario file (or --list)".to_string())?;
+        Ok((path, overrides, json))
+    })();
+    let (path, overrides, json) = match parsed {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("morphstream run: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match morphstream_dataflow::run_file(&path, &overrides) {
+        Ok(outcome) => {
+            if json {
+                println!("{}", outcome.to_json());
+            } else {
+                println!("morphstream run: {}", outcome.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("morphstream run: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_loadgen(args: &[String]) -> ExitCode {

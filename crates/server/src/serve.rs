@@ -65,6 +65,10 @@ pub struct ServeOptions {
     /// Workload shape of the served Streaming Ledger application
     /// (key space, UDF cost, punctuation interval).
     pub workload: WorkloadConfig,
+    /// Serve a declarative TOML scenario instead of the builtin
+    /// `ledger → audit` dataflow. The file must declare exactly one entry
+    /// stage; wire events enter there and terminal outputs are digested.
+    pub topology: Option<std::path::PathBuf>,
     /// Worker threads per operator.
     pub threads: usize,
     /// Per-edge bounded channel capacity, in punctuation batches.
@@ -96,6 +100,7 @@ impl Default for ServeOptions {
             event_addr: "127.0.0.1:0".into(),
             metrics_addr: "127.0.0.1:0".into(),
             workload: WorkloadConfig::streaming_ledger(),
+            topology: None,
             threads: 2,
             channel_capacity: 2,
             concurrent: false,
@@ -145,10 +150,18 @@ impl StreamApp for AuditApp {
 /// The engine `morphstream serve` runs.
 pub type ServeEngine = Topology<SlEvent, u64>;
 
-/// Build the served dataflow: `ledger → audit`, with the stores returned so
-/// callers can digest final state. Shared by the server and the reference
+/// Build the served dataflow with the stores returned so callers can digest
+/// final state: the builtin `ledger → audit` chain, or — when
+/// [`ServeOptions::topology`] names a scenario file — the TOML-declared
+/// dataflow from the loader (whose stages all share one store, returned as
+/// both digest positions). Shared by the server and the reference
 /// (`push_iter`) runs the equivalence tests compare against.
-pub fn build_topology(opts: &ServeOptions) -> (ServeEngine, StateStore, StateStore) {
+pub fn build_topology(opts: &ServeOptions) -> io::Result<(ServeEngine, StateStore, StateStore)> {
+    if let Some(path) = opts.topology.as_deref() {
+        let scenario = morphstream_dataflow::load_serve_file(path)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        return Ok((scenario.topology, scenario.store.clone(), scenario.store));
+    }
     let ledger_store = StateStore::new();
     let audit_store = StateStore::new();
     let engine_config = EngineConfig::with_threads(opts.threads)
@@ -180,7 +193,7 @@ pub fn build_topology(opts: &ServeOptions) -> (ServeEngine, StateStore, StateSto
                 .with_concurrent(opts.concurrent),
         )
         .expect("ledger -> audit is a valid dataflow");
-    (topology, ledger_store, audit_store)
+    Ok((topology, ledger_store, audit_store))
 }
 
 /// Final accounting returned by [`Server::shutdown`] (and by
@@ -375,7 +388,7 @@ impl Server {
     /// the latest checkpoint chain, replay the WAL tail, re-anchor with a
     /// fresh full checkpoint — before the listeners come up.
     pub fn start(opts: ServeOptions) -> io::Result<Server> {
-        let (mut engine, ledger_store, audit_store) = build_topology(&opts);
+        let (mut engine, ledger_store, audit_store) = build_topology(&opts)?;
 
         // Outputs stream into a digesting sink instead of accumulating in
         // the report, so a long-lived server retains no per-event data; the
@@ -776,8 +789,8 @@ fn maybe_rotate_session(shared: &Shared, just_ingested: u64) {
 /// Feed `events` to the same dataflow [`Server::start`] runs, via
 /// [`Pipeline::push_iter`], and summarise identically — the reference side
 /// of the TCP-vs-local digest-equivalence guarantee.
-pub fn reference_run(opts: &ServeOptions, events: Vec<SlEvent>) -> ServerSummary {
-    let (mut engine, ledger_store, audit_store) = build_topology(opts);
+pub fn reference_run(opts: &ServeOptions, events: Vec<SlEvent>) -> io::Result<ServerSummary> {
+    let (mut engine, ledger_store, audit_store) = build_topology(opts)?;
     let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
     let digest = Arc::clone(&output_digest);
     let mut pipeline = engine.pipeline().output_sink(FnSink(move |out: u64| {
@@ -789,7 +802,7 @@ pub fn reference_run(opts: &ServeOptions, events: Vec<SlEvent>) -> ServerSummary
     pipeline.push_iter(events);
     let snapshot = pipeline.finish().snapshot();
     let output_digest = output_digest.lock().expect("digest lock").finish();
-    ServerSummary {
+    Ok(ServerSummary {
         snapshot,
         ledger_digest: ledger_store.state_digest(),
         audit_digest: audit_store.state_digest(),
@@ -797,5 +810,5 @@ pub fn reference_run(opts: &ServeOptions, events: Vec<SlEvent>) -> ServerSummary
         connections: 0,
         frames: 0,
         decode_errors: 0,
-    }
+    })
 }

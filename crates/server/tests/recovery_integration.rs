@@ -97,7 +97,7 @@ fn graceful_restart_resumes_from_checkpoint_to_identical_digests() {
     let dir = temp_dir("graceful");
     let opts = test_options(Some(dir.clone()));
     let events = test_events(4_000, &opts.workload);
-    let expected = reference_run(&test_options(None), events.clone());
+    let expected = reference_run(&test_options(None), events.clone()).expect("reference run");
 
     let first = Server::start(opts.clone()).expect("first server starts");
     assert!(
@@ -149,7 +149,7 @@ fn crash_recovery_replays_wal_tail_through_the_server() {
     let dir = temp_dir("crash");
     let opts = test_options(Some(dir.clone()));
     let events = test_events(3_000, &opts.workload);
-    let expected = reference_run(&test_options(None), events.clone());
+    let expected = reference_run(&test_options(None), events.clone()).expect("reference run");
 
     // Simulate the crashed first lifetime: its WAL recorded the prefix, but
     // it died before any checkpoint was taken.
@@ -198,6 +198,74 @@ fn crash_recovery_replays_wal_tail_through_the_server() {
     assert_eq!(
         summary.audit_digest, expected.audit_digest,
         "audit state diverged"
+    );
+    assert_eq!(
+        summary.output_digest, expected.output_digest,
+        "output stream diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Durability on a TOML-declared dataflow: a server started with
+/// `--topology` recovers a WAL-only data directory (the crash signature) by
+/// replaying every event through the *loaded* topology, then continues over
+/// TCP — digest-identical to an uninterrupted reference run of the same
+/// scenario file.
+#[test]
+fn crash_recovery_works_on_a_toml_loaded_topology() {
+    const SCENARIO: &str = r#"
+[topology]
+name = "served-ledger"
+terminal = "audit"
+punctuation = 500
+
+[[stages]]
+id = "accounts"
+app = "ledger"
+
+[[stages]]
+id = "audit"
+app = "tally"
+inputs = ["accounts"]
+"#;
+    let dir = temp_dir("toml-crash");
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    let scenario_path = dir.join("served.toml");
+    std::fs::write(&scenario_path, SCENARIO).expect("write scenario");
+
+    let mut opts = test_options(Some(dir.clone()));
+    opts.topology = Some(scenario_path.clone());
+    let events = test_events(3_000, &opts.workload);
+    let mut reference_opts = test_options(None);
+    reference_opts.topology = Some(scenario_path);
+    let expected = reference_run(&reference_opts, events.clone()).expect("reference run");
+    // The loaded dataflow shares one store, returned in both digest slots.
+    assert_eq!(expected.ledger_digest, expected.audit_digest);
+
+    // Simulate the crashed first lifetime: WAL prefix, no checkpoint.
+    {
+        let mut wal = WalLog::open(dir.join("wal"), FsyncPolicy::Always, 0).expect("open WAL");
+        for event in &events[..1_800] {
+            wal.append_event(event).expect("append");
+        }
+    }
+
+    let server = Server::start(opts).expect("server recovers the TOML topology");
+    let recovery = server
+        .recovery()
+        .expect("WAL tail triggers recovery")
+        .clone();
+    assert_eq!(recovery.checkpoint_id, None, "no checkpoint existed");
+    assert_eq!(recovery.replayed_events, 1_800, "the whole WAL is the tail");
+    assert!(!recovery.torn_tail);
+
+    send_stream(server.event_addr(), &events[1_800..]);
+    wait_for_ingest(&server, 1_200);
+    let summary = server.shutdown();
+
+    assert_eq!(
+        summary.ledger_digest, expected.ledger_digest,
+        "scenario state diverged"
     );
     assert_eq!(
         summary.output_digest, expected.output_digest,

@@ -93,7 +93,7 @@ fn tcp_fed_run_matches_push_iter_on_both_runtimes_and_formats() {
         let mut opts = test_options();
         opts.concurrent = concurrent;
         let events = test_events(5_000, &opts.workload);
-        let expected = reference_run(&opts, events.clone());
+        let expected = reference_run(&opts, events.clone()).expect("reference run");
         assert_eq!(expected.snapshot.events, 5_000, "reference run sanity");
         assert!(expected.snapshot.aborted > 0, "stream exercises aborts");
 
@@ -270,7 +270,7 @@ fn session_rotation_preserves_lifetime_totals() {
     // sessions, and the folded totals must still account for every event.
     opts.session_events = 256;
     let events = test_events(2_000, &opts.workload);
-    let expected = reference_run(&test_options_like(&opts), events.clone());
+    let expected = reference_run(&test_options_like(&opts), events.clone()).expect("reference run");
 
     let server = Server::start(opts).expect("server starts");
     send_stream(server.event_addr(), &events, WireFormat::Binary);

@@ -1,203 +1,100 @@
-//! Multi-stage fraud detection on an operator topology: three transactional
-//! operators chained into one dataflow that is itself a `TxnEngine`.
+//! Multi-stage fraud detection, declared in TOML: `scenarios/fraud.toml` is
+//! loaded through the dataflow loader, run on the concurrent topology
+//! runtime, and then rebuilt *programmatically* from the same registry
+//! stages — the example asserts both constructions produce the identical
+//! `state_digest()`, so the scenario file is a faithful twin of the code.
 //!
 //! ```text
-//!   card feed ─┐
-//!              ├─ merge_by_timestamp ─▶ [enrichment] ─▶ [scoring] ─▶ [settlement]
-//! online feed ─┘                        activity tbl    non-det      balances +
-//!                                                       audit reads  quarantine
+//!   card-present ─┐
+//!                 ├─ merged by ts ─▶ [enrichment] ─▶ [scoring ×2 keyed] ─▶ [settlement]
+//!         online ─┘                  activity tbl    non-det audit reads   balances +
+//!                                                                          quarantine
 //! ```
 //!
-//! * **account-enrichment** maintains a per-account running spend total and
-//!   annotates every transaction with it;
+//! * **fraud-enrichment** maintains a per-account running spend total and
+//!   annotates every transaction with it (in `aux`);
 //! * **fraud-scoring** flags transactions by amount and spend velocity and
-//!   audits a pseudo-random account profile per transaction with a
-//!   *non-deterministic read* (the key is resolved at execution time);
-//! * **ledger-settlement** debits clean transactions from the account
-//!   balance (aborting on insufficient funds) and diverts flagged amounts to
-//!   a quarantine ledger.
-//!
-//! The input is two deterministic feeds (card-present and online) interleaved
-//! in timestamp order by `Source::merge_by_timestamp`, and the whole dataflow
-//! is driven through the ordinary `Pipeline` push API — on the *concurrent*
-//! topology runtime: every operator instance runs on its own thread behind a
-//! bounded channel, and the scoring stage runs two parallel instances keyed
-//! by account (each instance owns its accounts' score state; outputs come
-//! back in the original event order regardless of the parallelism).
+//!   audits a pseudo-random profile per transaction with a
+//!   *non-deterministic read* (the key is resolved at execution time); it
+//!   runs two parallel instances keyed by account;
+//! * **fraud-settlement** debits clean transactions from the account balance
+//!   (aborting on insufficient funds) and diverts flagged amounts to a
+//!   quarantine ledger.
 //!
 //! ```text
 //! cargo run --release --example fraud_pipeline
 //! ```
 
-use std::sync::Arc;
+use std::path::PathBuf;
 
 use morphstream::storage::StateStore;
-use morphstream::{
-    app::result_or_zero, udfs, EngineConfig, Route, StreamApp, TopologyBuilder, TopologyConfig,
-    TxnBuilder, TxnEngine, TxnOutcome,
-};
+use morphstream::{EngineConfig, EntryBinding, Route, TopologyBuilder, TopologyConfig, TxnEngine};
 use morphstream_common::rng::DetRng;
-use morphstream_common::{TableId, Value};
-use morphstream_workloads::{from_iter, Source};
+use morphstream_common::Value;
+use morphstream_dataflow::apps::{FraudEnrichmentStage, FraudScoringStage, FraudSettlementStage};
+use morphstream_dataflow::{load_file, EventKind, LoadOverrides, ScenarioEvent};
 
+// The knobs of scenarios/fraud.toml, repeated here for the programmatic twin.
 const EVENTS_PER_FEED: usize = 4_096;
 const PUNCTUATION: usize = 512;
+const THREADS: usize = 2;
 const INITIAL_BALANCE: Value = 500_000;
-/// Single transactions at or above this amount are flagged.
 const FLAG_AMOUNT: Value = 950;
-/// Accounts whose enriched running total exceeds this are flagged.
 const VELOCITY_LIMIT: Value = 30_000;
-/// Number of audit-trail profiles sampled by the non-deterministic read.
 const AUDIT_PROFILES: u64 = 64;
 const ACCOUNTS: u64 = 256;
+const CARD_PRESENT_SEED: u64 = 1_002_093;
+const ONLINE_SEED: u64 = 23_070;
 
-/// One payment transaction arriving from a feed.
-#[derive(Debug, Clone)]
-struct CardTxn {
-    account: u64,
-    amount: Value,
-    /// Event-time used to merge the feeds.
-    ts: u64,
-}
-
-/// Deterministic feed of `count` transactions; `phase` offsets the event
-/// times so two feeds interleave.
-fn feed(seed: u64, count: usize, phase: u64) -> Vec<CardTxn> {
+/// The `cards` feed source of the registry, reproduced by hand: event `i`
+/// carries `ts = phase + 2 * i`, a random account and a random amount.
+fn feed(seed: u64, phase: u64) -> Vec<ScenarioEvent> {
     let mut rng = DetRng::new(seed);
-    (0..count as u64)
-        .map(|i| CardTxn {
-            account: rng.next_range(0, ACCOUNTS),
-            amount: rng.next_range(1, 1_000) as Value,
-            ts: i * 2 + phase,
+    (0..EVENTS_PER_FEED as u64)
+        .map(|i| {
+            let mut ev = ScenarioEvent::new(EventKind::Card, phase + i * 2);
+            ev.key = rng.next_range(0, ACCOUNTS);
+            ev.amount = rng.next_range(1, 1_000) as Value;
+            ev
         })
         .collect()
 }
 
-/// Stage 1: annotate each transaction with the account's running spend.
-struct AccountEnrichment {
-    activity: TableId,
-}
-
-#[derive(Debug, Clone)]
-struct Enriched {
-    txn: CardTxn,
-    running_total: Value,
-}
-
-impl StreamApp for AccountEnrichment {
-    type Event = CardTxn;
-    type Output = Enriched;
-
-    fn state_access(&self, txn: &CardTxn, access: &mut TxnBuilder) {
-        access.write(self.activity, txn.account, udfs::add_delta(txn.amount));
-    }
-
-    fn post_process(&self, txn: &CardTxn, outcome: &TxnOutcome) -> Enriched {
-        Enriched {
-            txn: txn.clone(),
-            running_total: result_or_zero(outcome, 0),
-        }
-    }
-}
-
-/// Stage 2: score transactions; every scoring transaction additionally
-/// audits a pseudo-random profile through a non-deterministic read.
-struct FraudScoring {
-    scores: TableId,
-    audit: TableId,
-}
-
-#[derive(Debug, Clone)]
-struct Scored {
-    txn: CardTxn,
-    flagged: bool,
-}
-
-impl StreamApp for FraudScoring {
-    type Event = Enriched;
-    type Output = Scored;
-
-    fn state_access(&self, enriched: &Enriched, access: &mut TxnBuilder) {
-        // The audited profile is a function of the execution-time timestamp —
-        // unknowable at TPG-construction time, so the engine schedules it as
-        // a non-deterministic operation (Section 8.2.5 of the paper).
-        access.non_det_read(self.audit, Arc::new(|ts| ts % AUDIT_PROFILES), None);
-        access.write(self.scores, enriched.txn.account, udfs::add_delta(1));
-    }
-
-    fn post_process(&self, enriched: &Enriched, _outcome: &TxnOutcome) -> Scored {
-        let flagged = enriched.txn.amount >= FLAG_AMOUNT || enriched.running_total > VELOCITY_LIMIT;
-        Scored {
-            txn: enriched.txn.clone(),
-            flagged,
-        }
-    }
-}
-
-/// Stage 3: settle clean transactions against the account balance; divert
-/// flagged amounts to the quarantine ledger.
-struct LedgerSettlement {
-    balances: TableId,
-    quarantine: TableId,
-}
-
-impl StreamApp for LedgerSettlement {
-    type Event = Scored;
-    type Output = bool;
-
-    fn state_access(&self, scored: &Scored, access: &mut TxnBuilder) {
-        if scored.flagged {
-            access.write(self.quarantine, 0, udfs::add_delta(scored.txn.amount));
-        } else {
-            access.write(
-                self.balances,
-                scored.txn.account,
-                udfs::withdraw(scored.txn.amount),
-            );
-        }
-    }
-
-    fn post_process(&self, scored: &Scored, outcome: &TxnOutcome) -> bool {
-        outcome.committed && !scored.flagged
-    }
-}
-
-fn main() {
+/// Build the fraud topology in code, mirroring `scenarios/fraud.toml` stage
+/// by stage (same stage ids, so the stage-prefixed table names — and with
+/// them the store digest — are comparable).
+fn build_programmatic() -> (
+    morphstream::Topology<ScenarioEvent, ScenarioEvent>,
+    StateStore,
+) {
     let store = StateStore::new();
-    let activity = store.create_table("activity", 0, true);
-    let scores = store.create_table("scores", 0, true);
-    let audit = store.create_table("audit", 0, true);
-    let balances = store.create_table("balances", INITIAL_BALANCE, true);
-    let quarantine = store.create_table("quarantine", 0, true);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let config = EngineConfig::with_threads(threads).with_punctuation_interval(PUNCTUATION);
+    let config = EngineConfig::with_threads(THREADS).with_punctuation_interval(PUNCTUATION);
 
-    // enrichment -> scoring (2 keyed instances) -> settlement, all over one
-    // shared store, on the concurrent runtime
     let mut builder = TopologyBuilder::new();
     let enrich = builder.add_operator(
-        "account-enrichment",
-        AccountEnrichment { activity },
+        "enrichment",
+        FraudEnrichmentStage::new(&store, "enrichment"),
         store.clone(),
         config,
     );
     let score = builder
         .add_operator(
-            "fraud-scoring",
-            FraudScoring { scores, audit },
+            "scoring",
+            FraudScoringStage::new(
+                &store,
+                "scoring",
+                FLAG_AMOUNT,
+                VELOCITY_LIMIT,
+                AUDIT_PROFILES,
+            ),
             store.clone(),
             config,
         )
         // keyed by account: each instance owns its accounts' score state
         .with_parallelism(2);
     let settle = builder.add_operator(
-        "ledger-settlement",
-        LedgerSettlement {
-            balances,
-            quarantine,
-        },
+        "settlement",
+        FraudSettlementStage::new(&store, "settlement", INITIAL_BALANCE),
         store.clone(),
         config,
     );
@@ -205,31 +102,41 @@ fn main() {
         enrich,
         score,
         Route::keyed(
-            |enriched: &Enriched| enriched.txn.account,
-            |enriched: &Enriched| Some(enriched.clone()),
+            |ev: &ScenarioEvent| ev.key,
+            |ev: &ScenarioEvent| Some(ev.clone()),
         ),
     );
-    builder.connect(score, settle, Route::map(|scored: &Scored| scored.clone()));
+    builder.connect(score, settle, Route::map(Clone::clone));
+
     let topology_config = TopologyConfig::default()
         .with_concurrent(true)
         .with_channel_capacity(2);
-    let mut topology = builder
-        .build(enrich, settle, topology_config)
+    let entry = EntryBinding::new(
+        enrich,
+        Route::filter_map(|ev: &ScenarioEvent| (ev.feed == 0).then(|| ev.clone())),
+    );
+    let topology = builder
+        .build_with_entries(vec![entry], settle, topology_config)
         .expect("valid dataflow");
+    (topology, store)
+}
 
-    // Two deterministic feeds, interleaved in event-time order.
-    let card_present = from_iter(feed(0xF4A6D, EVENTS_PER_FEED, 0));
-    let online = from_iter(feed(0x05A1E, EVENTS_PER_FEED, 1));
-    let merged = card_present.merge_by_timestamp(online, |txn| txn.ts);
-    let total_events = merged.expected_events().expect("bounded feeds");
+fn main() {
+    // --- the declarative run: load scenarios/fraud.toml ------------------
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scenarios/fraud.toml");
+    let mut loaded =
+        load_file(&path, &LoadOverrides::default()).expect("scenarios/fraud.toml loads");
+    let toml_events = std::mem::take(&mut loaded.events);
+    let total_events = toml_events.len();
 
-    let mut pipeline = topology.pipeline();
-    pipeline.push_iter(merged);
+    let mut pipeline = loaded.topology.pipeline();
+    pipeline.push_iter(toml_events.clone());
     let report = pipeline.finish();
+    let toml_digest = loaded.store.state_digest();
 
-    let settled = report.outputs.iter().filter(|ok| **ok).count();
+    let settled = report.outputs.iter().filter(|ev| ev.marked).count();
     println!(
-        "fraud pipeline: {} events through {} operator instances, {} waves (concurrent runtime)",
+        "fraud pipeline (TOML): {} events through {} operator instances, {} waves (concurrent runtime)",
         total_events,
         report.operators.len(),
         report.batches.len()
@@ -249,26 +156,44 @@ fn main() {
         );
     }
     println!(
-        "settled {} / flagged-or-failed {} | quarantined amount {}",
+        "settled {} / flagged-or-failed {} | state digest {:016x}",
         settled,
         total_events - settled,
-        store.read_latest(quarantine, 0).unwrap_or(0)
+        toml_digest
     );
-
     for edge in &report.edges {
         println!(
-            "edge {:<22} -> {:<20} queue_full_waits {}",
+            "edge {:<14} -> {:<12} queue_full_waits {}",
             edge.from, edge.to, edge.queue_full_waits
         );
     }
 
-    // The dataflow is transactional end to end: every event produced exactly
-    // one output (in input order, despite the parallel scoring stage), and
-    // per-instance counts aggregate into the topology totals.
+    // --- the programmatic twin: same stages, built in code ---------------
+    let mut merged: Vec<ScenarioEvent> = feed(CARD_PRESENT_SEED, 0);
+    merged.extend(feed(ONLINE_SEED, 1));
+    merged.sort_by_key(|ev| ev.ts);
+    // The hand-built feed reproduces the loader's merged feed exactly.
+    assert_eq!(merged, toml_events);
+
+    let (mut topology, store) = build_programmatic();
+    let mut pipeline = topology.pipeline();
+    pipeline.push_iter(merged);
+    let twin_report = pipeline.finish();
+    let twin_digest = store.state_digest();
+
+    println!(
+        "fraud pipeline (code): same stages built programmatically, state digest {twin_digest:016x}"
+    );
+
+    // The scenario file and the hand-built topology are interchangeable:
+    // identical final state, identical per-event outputs.
+    assert_eq!(twin_digest, toml_digest);
     assert_eq!(report.events(), total_events);
-    assert_eq!(report.outputs.len(), total_events);
+    assert_eq!(twin_report.events(), total_events);
+    assert_eq!(report.outputs, twin_report.outputs);
     // enrichment, scoring#0, scoring#1, settlement
     assert_eq!(report.operators.len(), 4);
     let summed: usize = report.operators.iter().map(|op| op.committed).sum();
     assert_eq!(report.committed, summed);
+    println!("digest parity: TOML scenario == programmatic topology");
 }

@@ -7,6 +7,7 @@ pub mod quickstart;
 pub use morphstream;
 pub use morphstream_baselines as baselines;
 pub use morphstream_common as common;
+pub use morphstream_dataflow as dataflow;
 pub use morphstream_executor as executor;
 pub use morphstream_scheduler as scheduler;
 pub use morphstream_storage as storage;

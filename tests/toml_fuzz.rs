@@ -1,0 +1,146 @@
+//! Property tests for the zero-dependency TOML-subset parser behind the
+//! scenario loader: arbitrary byte soup must produce a parse error, never a
+//! panic, and any document assembled from the writer API must survive a
+//! serialize → parse round trip unchanged (the contract `morphstream run`
+//! and checkpoint-manifest readers rely on).
+
+use proptest::prelude::*;
+
+use morphstream_common::rng::DetRng;
+use morphstream_common::toml::{TomlDocument, TomlTable, TomlValue};
+
+/// Tokens that steer random input toward the parser's deep paths (section
+/// headers, escapes, half-finished literals) faster than raw bytes do.
+const TOKENS: &[&str] = &[
+    "[",
+    "]",
+    "[[",
+    "]]",
+    "=",
+    "\"",
+    "\\",
+    "#",
+    "\n",
+    " ",
+    ",",
+    ".",
+    "-",
+    "key",
+    "table",
+    "true",
+    "false",
+    "0",
+    "9999999999999999999999",
+    "1.5",
+    "1e309",
+    "\"unterminated",
+    "\\q",
+    "\u{7}",
+    "é",
+    "[a.b]",
+    "= =",
+];
+
+fn printable_string(rng: &mut DetRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '_', '-', '.', ',', '/', '(', ')', '#', '[', ']', '=', '\'', '"', '\\',
+        '\n', '\t', 'é', '→',
+    ];
+    let len = rng.next_below(12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.next_below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+fn bare_key(rng: &mut DetRng, ordinal: usize) -> String {
+    const STEMS: &[&str] = &["key", "threads", "window", "seed-2", "IDS", "a_b"];
+    format!(
+        "{}{ordinal}",
+        STEMS[rng.next_below(STEMS.len() as u64) as usize]
+    )
+}
+
+fn scalar(rng: &mut DetRng) -> TomlValue {
+    match rng.next_below(4) {
+        0 => TomlValue::Integer(rng.next_u64() as i64),
+        1 => TomlValue::Boolean(rng.next_bool(0.5)),
+        // Multiples of 1/256 are exactly representable, so Display output
+        // re-parses to the identical f64 (no NaN/inf, which do not re-parse).
+        2 => TomlValue::Float((rng.next_range(0, 2_000_000) as i64 - 1_000_000) as f64 / 256.0),
+        _ => TomlValue::String(printable_string(rng)),
+    }
+}
+
+fn value(rng: &mut DetRng) -> TomlValue {
+    if rng.next_bool(0.25) {
+        TomlValue::Array((0..rng.next_below(5)).map(|_| scalar(rng)).collect())
+    } else {
+        scalar(rng)
+    }
+}
+
+fn table(rng: &mut DetRng) -> TomlTable {
+    let mut table = TomlTable::default();
+    for ordinal in 0..rng.next_below(6) as usize {
+        table.insert(bare_key(rng, ordinal), value(rng));
+    }
+    table
+}
+
+/// An arbitrary document in the writer API's canonical shape: a root table,
+/// then uniquely-named `[section]` tables, then `[[array]]` entries.
+fn document(seed: u64) -> TomlDocument {
+    let mut rng = DetRng::new(seed);
+    let mut doc = TomlDocument {
+        root: table(&mut rng),
+        ..TomlDocument::default()
+    };
+    for ordinal in 0..rng.next_below(4) as usize {
+        doc.tables
+            .push((format!("section-{ordinal}"), table(&mut rng)));
+    }
+    let arrays = rng.next_below(4) as usize;
+    for ordinal in 0..arrays {
+        // Repeated [[name]] entries are legal; reuse one name for half.
+        let name = format!("entry-{}", ordinal.min(arrays / 2));
+        doc.arrays.push((name, table(&mut rng)));
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (as lossy UTF-8) may fail to parse, but must never
+    /// panic, hang, or return through anything but `Result`.
+    #[test]
+    fn byte_soup_errors_instead_of_panicking(
+        bytes in proptest::collection::vec(0u16..256, 0..256),
+    ) {
+        let soup: Vec<u8> = bytes.iter().map(|b| *b as u8).collect();
+        let text = String::from_utf8_lossy(&soup);
+        let _ = TomlDocument::parse(&text);
+    }
+
+    /// Token soup reaches the structured error paths (section headers,
+    /// escapes, oversized literals) that uniform bytes rarely hit.
+    #[test]
+    fn token_soup_errors_instead_of_panicking(
+        picks in proptest::collection::vec(0usize..TOKENS.len(), 0..64),
+    ) {
+        let text: String = picks.iter().map(|i| TOKENS[*i]).collect();
+        let _ = TomlDocument::parse(&text);
+    }
+
+    /// A document built through the writer API serializes to text that parses
+    /// back to the identical document — keys, section order, value types,
+    /// escapes, and float precision all preserved.
+    #[test]
+    fn writer_documents_round_trip_through_the_parser(seed in 0u64..u64::MAX) {
+        let doc = document(seed);
+        let text = doc.to_toml_string();
+        let reparsed = TomlDocument::parse(&text)
+            .unwrap_or_else(|e| panic!("round trip failed to parse: {e}\n---\n{text}"));
+        prop_assert_eq!(doc, reparsed);
+    }
+}
