@@ -41,7 +41,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use morphstream::pipeline::{CheckpointSink, CheckpointSource};
 use morphstream_common::hash::Fnv1a;
@@ -442,6 +442,10 @@ pub struct ManifestEntry {
     pub events_applied: u64,
     /// Encoded size in bytes.
     pub bytes: u64,
+    /// True when the entry was superseded by a later full checkpoint but is
+    /// kept as bounded history under a retention policy. Retained entries
+    /// are never part of the live chain that recovery loads.
+    pub retained: bool,
 }
 
 impl ManifestEntry {
@@ -452,6 +456,7 @@ impl ManifestEntry {
             .boolean("full", self.full)
             .unsigned("events_applied", self.events_applied)
             .unsigned("bytes", self.bytes)
+            .boolean("retained", self.retained)
             .build()
     }
 
@@ -478,6 +483,7 @@ impl ManifestEntry {
             full: fields.get("full") == Some(&json::JsonValue::Bool(true)),
             events_applied: unsigned("events_applied")?,
             bytes: unsigned("bytes")?,
+            retained: fields.get("retained") == Some(&json::JsonValue::Bool(true)),
         })
     }
 }
@@ -515,31 +521,65 @@ pub struct LoadedChain {
 pub struct CheckpointStore {
     dir: PathBuf,
     entries: Vec<ManifestEntry>,
+    /// Superseded history kept under the retention policy, oldest first.
+    retained: Vec<ManifestEntry>,
+    /// How many superseded checkpoints to keep when a full checkpoint
+    /// collapses the chain; 0 deletes them immediately (the default).
+    retain: usize,
 }
 
 impl CheckpointStore {
     /// Open (creating if needed) the checkpoint directory and read the
-    /// manifest. A missing manifest means a fresh store.
+    /// manifest. A missing manifest means a fresh store. Superseded
+    /// checkpoints are deleted as soon as they are unreferenced; see
+    /// [`CheckpointStore::open_with_retention`] to keep bounded history.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DurabilityError> {
+        Self::open_with_retention(dir, 0)
+    }
+
+    /// Open like [`CheckpointStore::open`], but keep up to `retain`
+    /// superseded checkpoints as history: when a full checkpoint collapses
+    /// the chain, the displaced entries are marked `retained` in the
+    /// manifest instead of deleted, and only entries beyond the bound are
+    /// pruned (always after the new manifest is published).
+    pub fn open_with_retention(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+    ) -> Result<Self, DurabilityError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let manifest = dir.join(MANIFEST_NAME);
         let mut entries = Vec::new();
+        let mut retained = Vec::new();
         match fs::read_to_string(&manifest) {
             Ok(text) => {
                 for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                    entries.push(ManifestEntry::from_json(line)?);
+                    let entry = ManifestEntry::from_json(line)?;
+                    if entry.retained {
+                        retained.push(entry);
+                    } else {
+                        entries.push(entry);
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(Self { dir, entries })
+        Ok(Self {
+            dir,
+            entries,
+            retained,
+            retain,
+        })
     }
 
     /// Id the next checkpoint should carry (one past the newest on disk).
     pub fn next_id(&self) -> u64 {
-        self.entries.last().map(|e| e.id + 1).unwrap_or(0)
+        self.entries
+            .last()
+            .or(self.retained.last())
+            .map(|e| e.id + 1)
+            .unwrap_or(0)
     }
 
     /// Number of checkpoints in the live chain.
@@ -547,9 +587,20 @@ impl CheckpointStore {
         self.entries.len()
     }
 
-    /// Manifest entries of the live chain, oldest first.
+    /// Manifest entries of the live chain, oldest first. Retained history
+    /// is not part of the chain; see [`CheckpointStore::retained_entries`].
     pub fn entries(&self) -> &[ManifestEntry] {
         &self.entries
+    }
+
+    /// Superseded checkpoints kept as history, oldest first.
+    pub fn retained_entries(&self) -> &[ManifestEntry] {
+        &self.retained
+    }
+
+    /// Directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
     /// Persist a checkpoint and publish it in the manifest. A *full*
@@ -578,15 +629,26 @@ impl CheckpointStore {
             full: checkpoint.full,
             events_applied: checkpoint.events_applied,
             bytes: encoded.len() as u64,
+            retained: false,
         };
-        let superseded: Vec<ManifestEntry> = if checkpoint.full {
-            self.entries.drain(..).collect()
-        } else {
-            Vec::new()
-        };
+        let mut pruned: Vec<ManifestEntry> = Vec::new();
+        if checkpoint.full {
+            let superseded = self.entries.drain(..);
+            if self.retain == 0 {
+                pruned.extend(superseded);
+            } else {
+                self.retained.extend(superseded.map(|mut e| {
+                    e.retained = true;
+                    e
+                }));
+                let over = self.retained.len().saturating_sub(self.retain);
+                pruned.extend(self.retained.drain(..over));
+            }
+        }
         self.entries.push(entry);
         self.rewrite_manifest()?;
-        for old in &superseded {
+        // Only now — the new manifest no longer references these files.
+        for old in &pruned {
             let _ = fs::remove_file(self.dir.join(&old.file));
         }
         Ok(SavedCheckpoint {
@@ -603,7 +665,7 @@ impl CheckpointStore {
                 .create(true)
                 .truncate(true)
                 .open(&tmp)?;
-            for entry in &self.entries {
+            for entry in self.retained.iter().chain(&self.entries) {
                 writeln!(f, "{}", entry.to_json())?;
             }
             f.sync_data()?;
@@ -828,6 +890,70 @@ mod tests {
         assert_eq!(cs2.chain_len(), 1);
         let loaded = cs2.load_chain().unwrap().unwrap();
         assert_eq!(loaded.last_id, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_bounded_history_and_prunes_after_publish() {
+        let dir = test_dir("chk-retain");
+        // Every file the on-disk manifest references must exist — checked
+        // after each save, which is exactly the "prune only after the new
+        // manifest is published" invariant made observable.
+        let manifest_entries = |dir: &std::path::Path| -> Vec<ManifestEntry> {
+            fs::read_to_string(dir.join(MANIFEST_NAME))
+                .unwrap()
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| ManifestEntry::from_json(l).unwrap())
+                .collect()
+        };
+        let assert_consistent = |dir: &std::path::Path| {
+            for entry in manifest_entries(dir) {
+                assert!(
+                    dir.join(&entry.file).exists(),
+                    "manifest references missing file {}",
+                    entry.file
+                );
+            }
+        };
+
+        let mut cs = CheckpointStore::open_with_retention(&dir, 1).unwrap();
+        for id in 0..2u64 {
+            let mut chk = sample_checkpoint();
+            chk.id = id;
+            chk.events_applied = 100 * (id + 1);
+            cs.save(&chk).unwrap();
+            assert_consistent(&dir);
+        }
+        // The superseded full checkpoint is retained, not deleted.
+        assert_eq!(cs.chain_len(), 1);
+        assert_eq!(cs.retained_entries().len(), 1);
+        assert_eq!(cs.retained_entries()[0].id, 0);
+        assert!(dir.join("chk-00000000.msc").exists());
+        // Recovery still loads only the live chain.
+        assert_eq!(cs.load_chain().unwrap().unwrap().last_id, 1);
+
+        // A third full checkpoint overflows the bound: the oldest retained
+        // file is pruned, the newer one kept.
+        let mut chk = sample_checkpoint();
+        chk.id = 2;
+        chk.events_applied = 300;
+        cs.save(&chk).unwrap();
+        assert_consistent(&dir);
+        assert!(!dir.join("chk-00000000.msc").exists());
+        assert!(dir.join("chk-00000001.msc").exists());
+        let listed = manifest_entries(&dir);
+        assert!(
+            listed.iter().all(|e| e.id != 0),
+            "pruned entry still listed"
+        );
+        assert!(listed.iter().any(|e| e.id == 1 && e.retained));
+
+        // Reopen: retained history and id space survive.
+        let cs2 = CheckpointStore::open_with_retention(&dir, 1).unwrap();
+        assert_eq!(cs2.next_id(), 3);
+        assert_eq!(cs2.retained_entries().len(), 1);
+        assert_eq!(cs2.load_chain().unwrap().unwrap().last_id, 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

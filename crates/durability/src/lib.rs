@@ -46,8 +46,8 @@ pub use checkpoint::{
 };
 pub use error::DurabilityError;
 pub use wal::{
-    decode_segment, read_wal, repair_torn_tail, DecodedSegment, FsyncPolicy, WalLog, WalState,
-    WAL_MAGIC,
+    decode_segment, read_wal, repair_torn_tail, wal_start_index, DecodedSegment, FsyncPolicy,
+    TailError, TailItem, WalLog, WalState, WalTailer, WAL_MAGIC,
 };
 
 /// fsync a directory so just-created or just-renamed entries survive power

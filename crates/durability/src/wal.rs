@@ -449,6 +449,282 @@ pub fn repair_torn_tail<T: WireCodec>(dir: impl AsRef<Path>) -> Result<bool, Dur
     Ok(true)
 }
 
+/// One record observed by a [`WalTailer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailItem {
+    /// An event record: its global index and raw MSB1 payload bytes.
+    Event {
+        /// Global index the writer assigned to this event.
+        index: u64,
+        /// The event's wire encoding, exactly as appended.
+        payload: Vec<u8>,
+    },
+    /// A punctuation marker carrying the writer's `next_index` at mark time.
+    Punctuation {
+        /// Events appended when the marker was written.
+        next_index: u64,
+    },
+}
+
+/// Why a [`WalTailer::poll`] could not make progress.
+#[derive(Debug)]
+pub enum TailError {
+    /// The requested position was truncated away: the oldest record still on
+    /// disk starts at `available`. The reader must re-sync from a checkpoint.
+    Gap {
+        /// Index the tailer needed next.
+        requested: u64,
+        /// Smallest index the log still holds.
+        available: u64,
+    },
+    /// The log itself is damaged or unreadable.
+    Store(DurabilityError),
+}
+
+impl std::fmt::Display for TailError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Gap {
+                requested,
+                available,
+            } => write!(
+                f,
+                "WAL gap: index {requested} truncated away (oldest on disk: {available})"
+            ),
+            Self::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TailError {}
+
+impl From<DurabilityError> for TailError {
+    fn from(e: DurabilityError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<std::io::Error> for TailError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Store(DurabilityError::Io(e))
+    }
+}
+
+struct OpenSegment {
+    first_index: u64,
+    file: File,
+    /// Global index of the next event record the decode cursor will see.
+    index: u64,
+    /// Bytes read from the file but not yet decoded (may end mid-record
+    /// while the writer is between `write_all` calls).
+    carry: Vec<u8>,
+}
+
+/// Incremental reader over a live WAL directory: follows appends, segment
+/// rotations, and truncations made by a concurrent [`WalLog`] writer in the
+/// same process or another one on the same filesystem.
+///
+/// A record being written can be observed half-complete; the tailer buffers
+/// the partial bytes and resumes on the next [`WalTailer::poll`] — a short
+/// read is "try again later", never an error. When truncation has deleted
+/// the segment holding the requested position, `poll` reports
+/// [`TailError::Gap`] and the reader must re-sync from a checkpoint.
+pub struct WalTailer {
+    dir: PathBuf,
+    /// Next event index to emit.
+    next_index: u64,
+    current: Option<OpenSegment>,
+}
+
+impl WalTailer {
+    /// Tail `dir` starting at global event index `from`. The directory may
+    /// be empty or not yet exist; records appear as the writer produces
+    /// them.
+    pub fn new(dir: impl Into<PathBuf>, from: u64) -> Self {
+        Self {
+            dir: dir.into(),
+            next_index: from,
+            current: None,
+        }
+    }
+
+    /// Next event index [`WalTailer::poll`] will emit.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Append up to `max` new items to `out`; returns how many were added.
+    /// Zero means no complete new records are on disk yet.
+    pub fn poll(&mut self, out: &mut Vec<TailItem>, max: usize) -> Result<usize, TailError> {
+        let mut emitted = 0;
+        while emitted < max {
+            if self.current.is_none() && !self.open_segment()? {
+                return Ok(emitted);
+            }
+            emitted += self.drain_carry(out, max - emitted)?;
+            if emitted >= max {
+                return Ok(emitted);
+            }
+            let seg = self.current.as_mut().expect("segment is open");
+            if Self::fill(seg)? > 0 {
+                continue;
+            }
+            // EOF on the current segment: either the writer is still on it
+            // (wait for more) or it rotated to a newer one.
+            let segments = list_segments_or_empty(&self.dir)?;
+            let Some(&(next_first, _)) = segments.iter().find(|(f, _)| *f > seg.first_index) else {
+                return Ok(emitted);
+            };
+            // Re-read once: the writer may have completed a half-observed
+            // record between our EOF read and the rotation we just listed.
+            if Self::fill(seg)? > 0 {
+                continue;
+            }
+            if !seg.carry.is_empty() {
+                return Err(DurabilityError::corrupt(format!(
+                    "WAL segment {} sealed with a torn tail",
+                    segment_name(seg.first_index)
+                ))
+                .into());
+            }
+            if next_first > seg.index {
+                return Err(TailError::Gap {
+                    requested: seg.index,
+                    available: next_first,
+                });
+            }
+            self.current = None;
+        }
+        Ok(emitted)
+    }
+
+    /// Decode complete records buffered in `carry`, emitting at most `max`.
+    fn drain_carry(&mut self, out: &mut Vec<TailItem>, max: usize) -> Result<usize, TailError> {
+        let seg = self.current.as_mut().expect("segment is open");
+        let mut emitted = 0;
+        let mut pos = 0;
+        while emitted < max {
+            let Some((tag, payload, consumed)) = decode_record(&seg.carry[pos..]) else {
+                break;
+            };
+            match tag {
+                REC_EVENT => {
+                    if seg.index >= self.next_index {
+                        out.push(TailItem::Event {
+                            index: seg.index,
+                            payload: payload.to_vec(),
+                        });
+                        emitted += 1;
+                        self.next_index = seg.index + 1;
+                    }
+                    seg.index += 1;
+                }
+                REC_PUNCTUATION => {
+                    let bytes: [u8; 8] = payload.try_into().map_err(|_| {
+                        DurabilityError::corrupt("punctuation marker payload is not 8 bytes")
+                    })?;
+                    let value = u64::from_le_bytes(bytes);
+                    if value >= self.next_index {
+                        out.push(TailItem::Punctuation { next_index: value });
+                        emitted += 1;
+                    }
+                }
+                other => {
+                    return Err(DurabilityError::corrupt(format!(
+                        "unknown WAL record tag {other}"
+                    ))
+                    .into());
+                }
+            }
+            pos += consumed;
+        }
+        seg.carry.drain(..pos);
+        Ok(emitted)
+    }
+
+    /// Read whatever new bytes the segment file has; returns the count.
+    fn fill(seg: &mut OpenSegment) -> Result<usize, TailError> {
+        let mut buf = [0u8; 16 * 1024];
+        let mut total = 0;
+        loop {
+            let n = seg.file.read(&mut buf)?;
+            if n == 0 {
+                return Ok(total);
+            }
+            seg.carry.extend_from_slice(&buf[..n]);
+            total += n;
+        }
+    }
+
+    /// Open the segment containing `next_index`. `Ok(false)` when nothing
+    /// usable is on disk yet (empty dir, or a header still being written).
+    fn open_segment(&mut self) -> Result<bool, TailError> {
+        let segments = list_segments_or_empty(&self.dir)?;
+        let Some(&(first, ref path)) = segments.iter().rev().find(|(f, _)| *f <= self.next_index)
+        else {
+            if let Some(&(available, _)) = segments.first() {
+                return Err(TailError::Gap {
+                    requested: self.next_index,
+                    available,
+                });
+            }
+            return Ok(false);
+        };
+        let mut file = File::open(path)?;
+        let mut header = [0u8; 12];
+        let mut got = 0;
+        while got < header.len() {
+            let n = file.read(&mut header[got..])?;
+            if n == 0 {
+                // The writer created the file but has not finished the
+                // header; nothing to read yet.
+                return Ok(false);
+            }
+            got += n;
+        }
+        if header[..4] != WAL_MAGIC {
+            return Err(DurabilityError::corrupt(format!(
+                "{}: bad WAL segment magic",
+                path.display()
+            ))
+            .into());
+        }
+        let header_index = u64::from_le_bytes(header[4..12].try_into().expect("8-byte header"));
+        if header_index != first {
+            return Err(DurabilityError::corrupt(format!(
+                "{}: header index {header_index} does not match file name",
+                path.display()
+            ))
+            .into());
+        }
+        self.current = Some(OpenSegment {
+            first_index: first,
+            file,
+            index: first,
+            carry: Vec::new(),
+        });
+        Ok(true)
+    }
+}
+
+/// Smallest event index still present in the WAL directory; `None` when the
+/// directory is empty or missing. Lets a shipper decide whether a peer's
+/// position can be served from the log or needs a checkpoint re-sync first.
+pub fn wal_start_index(dir: impl AsRef<Path>) -> Result<Option<u64>, DurabilityError> {
+    Ok(list_segments_or_empty(dir.as_ref())?
+        .first()
+        .map(|(first, _)| *first))
+}
+
+/// `list_segments`, but a missing directory reads as empty.
+fn list_segments_or_empty(dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+    match list_segments(dir) {
+        Ok(s) => Ok(s),
+        Err(DurabilityError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
 fn segment_name(first_index: u64) -> String {
     // Zero-padded so lexicographic file order is index order.
     format!("seg-{first_index:020}.msw")
@@ -641,6 +917,133 @@ mod tests {
         log.sync().unwrap();
         let state: WalState<Probe> = read_wal(&dir).unwrap();
         assert_eq!(state.events, vec![(0, Probe(0)), (1, Probe(1))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_follows_appends_rotations_and_markers() {
+        let dir = test_dir("wal-tail");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        let mut tailer = WalTailer::new(&dir, 0);
+        let mut out = Vec::new();
+
+        // Nothing on disk yet: poll is a clean zero, not an error.
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 0);
+
+        log.append_event(&Probe(0)).unwrap();
+        log.append_event(&Probe(1)).unwrap();
+        log.mark_punctuation().unwrap();
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 3);
+        assert_eq!(
+            out,
+            vec![
+                TailItem::Event {
+                    index: 0,
+                    payload: 0u64.to_le_bytes().to_vec()
+                },
+                TailItem::Event {
+                    index: 1,
+                    payload: 1u64.to_le_bytes().to_vec()
+                },
+                TailItem::Punctuation { next_index: 2 },
+            ]
+        );
+
+        // Rotation: the tailer crosses into the new segment transparently.
+        log.rotate().unwrap();
+        log.append_event(&Probe(2)).unwrap();
+        out.clear();
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 1);
+        assert_eq!(
+            out,
+            vec![TailItem::Event {
+                index: 2,
+                payload: 2u64.to_le_bytes().to_vec()
+            }]
+        );
+        assert_eq!(tailer.next_index(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_buffers_a_half_written_record() {
+        let dir = test_dir("wal-tail-partial");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        log.append_event(&Probe(7)).unwrap();
+        log.sync().unwrap();
+
+        // Simulate catching the writer mid-record: copy a truncated image
+        // aside, tail it, then restore the full bytes.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let mut tailer = WalTailer::new(&dir, 0);
+        let mut out = Vec::new();
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 0);
+
+        fs::write(&path, &full).unwrap();
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 1);
+        assert_eq!(
+            out,
+            vec![TailItem::Event {
+                index: 0,
+                payload: 7u64.to_le_bytes().to_vec()
+            }]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_skips_to_its_start_position() {
+        let dir = test_dir("wal-tail-skip");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..6u64 {
+            log.append_event(&Probe(i)).unwrap();
+        }
+        log.mark_punctuation().unwrap();
+
+        let mut tailer = WalTailer::new(&dir, 4);
+        let mut out = Vec::new();
+        assert_eq!(tailer.poll(&mut out, 100).unwrap(), 3);
+        assert_eq!(
+            out,
+            vec![
+                TailItem::Event {
+                    index: 4,
+                    payload: 4u64.to_le_bytes().to_vec()
+                },
+                TailItem::Event {
+                    index: 5,
+                    payload: 5u64.to_le_bytes().to_vec()
+                },
+                TailItem::Punctuation { next_index: 6 },
+            ]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_reports_a_gap_after_truncation() {
+        let dir = test_dir("wal-tail-gap");
+        let mut log = WalLog::open(&dir, FsyncPolicy::Never, 0).unwrap();
+        log.append_event(&Probe(0)).unwrap();
+        log.append_event(&Probe(1)).unwrap();
+        log.rotate().unwrap();
+        log.append_event(&Probe(2)).unwrap();
+        log.sync().unwrap();
+        log.truncate_before(2).unwrap();
+        assert_eq!(wal_start_index(&dir).unwrap(), Some(2));
+
+        let mut tailer = WalTailer::new(&dir, 0);
+        let mut out = Vec::new();
+        match tailer.poll(&mut out, 100) {
+            Err(TailError::Gap {
+                requested: 0,
+                available: 2,
+            }) => {}
+            other => panic!("expected a gap, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

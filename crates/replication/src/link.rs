@@ -1,0 +1,58 @@
+//! Socket plumbing shared by the sender and the standby: non-blocking
+//! frame reads and buffered frame writes over `std::net::TcpStream`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{Frame, FrameReader};
+
+/// Encode and write one frame. `scratch` is reused across calls to avoid
+/// per-frame allocation. Returns the encoded size.
+pub(crate) fn send_frame(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    scratch: &mut Vec<u8>,
+) -> io::Result<usize> {
+    scratch.clear();
+    frame.encode(scratch);
+    stream.write_all(scratch)?;
+    Ok(scratch.len())
+}
+
+/// Drain whatever the socket currently has into `reader` and decode any
+/// complete frames into `out`. A read timeout ("nothing right now") is a
+/// clean return; EOF and decode errors are hard errors that end the
+/// connection.
+pub(crate) fn read_available(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    out: &mut Vec<Frame>,
+) -> io::Result<()> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            Ok(n) => {
+                reader.extend(&buf[..n]);
+                while let Some(frame) = reader
+                    .next()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+                {
+                    out.push(frame);
+                }
+                // A short read means the socket buffer is drained; a full
+                // read means more may be waiting.
+                if n < buf.len() {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,691 @@
+//! The standby side: a listener that accepts the primary's `MSR1` stream,
+//! persists it into the standby's *own* durable directory (WAL +
+//! checkpoints), and continuously replays it through a live topology so the
+//! replica is warm — its state and output digests match the primary's at
+//! every punctuation, and promotion is a handoff rather than a recovery.
+//!
+//! The standby is a state machine over one primary connection at a time:
+//!
+//! 1. `Hello` → reply [`Frame::Position`] with the standby's durable index
+//!    and newest checkpoint id.
+//! 2. Either WAL batches start arriving at exactly that index, or the
+//!    primary decides the position is unservable and sends
+//!    [`Frame::BeginBootstrap`]: the standby discards local state and
+//!    rebuilds from the shipped checkpoint chain before tailing.
+//! 3. Every `Batch` is WAL-appended *then* pushed (the same
+//!    log-is-a-superset invariant the primary's ingest path keeps), and
+//!    acknowledged with the standby's durable index; `Punct` frames mirror
+//!    the primary's punctuation markers and drive the standby's own
+//!    periodic checkpoints.
+//!
+//! [`StandbyServer::promote`] stops replication, takes a final checkpoint,
+//! and hands the warm engine (plus its WAL and checkpoint store) to the
+//! caller — the server crate wraps it into a full serving primary.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use morphstream::storage::StateStore;
+use morphstream::{FnSink, Pipeline, Topology, TxnEngine};
+use morphstream_common::hash::Fnv1a;
+use morphstream_common::protocol::WireCodec;
+use morphstream_durability::{
+    read_wal, repair_torn_tail, Checkpoint, CheckpointBuilder, CheckpointStore, FsyncPolicy,
+    RedirtySink, WalLog, WalState,
+};
+use morphstream_workloads::SlEvent;
+
+use crate::link::{read_available, send_frame};
+use crate::protocol::{Frame, FrameReader, REPL_MAGIC, REPL_VERSION};
+use crate::stats::ReplicationStats;
+
+/// The topology type a standby replays (the served Streaming Ledger shape).
+pub type StandbyEngine = Topology<SlEvent, u64>;
+
+/// A freshly built engine plus the state stores its operators write, so the
+/// standby (and tests) can digest final state after promotion.
+pub struct ReplicaEngine {
+    /// The topology, without an output sink (the standby installs its own).
+    pub engine: StandbyEngine,
+    /// Every distinct store, in digest order.
+    pub stores: Vec<StateStore>,
+}
+
+/// Builds a fresh, empty engine. Called once at startup and again whenever
+/// the primary bootstraps the standby from scratch; it must build the same
+/// dataflow the primary serves, or replayed digests will diverge.
+pub type EngineFactory = Box<dyn FnMut() -> io::Result<ReplicaEngine> + Send>;
+
+/// Configuration for [`StandbyServer::start`].
+#[derive(Debug, Clone)]
+pub struct StandbyOptions {
+    /// Replication listener address (`host:port`; port 0 for ephemeral).
+    pub listen: String,
+    /// The standby's own durable directory (`wal/` + `checkpoints/`).
+    /// Independent of the primary's — nothing is shared via filesystem.
+    pub data_dir: PathBuf,
+    /// Fsync policy of the standby's WAL.
+    pub fsync: FsyncPolicy,
+    /// Events between the standby's own incremental checkpoints
+    /// (0 = checkpoint only at recovery and promotion).
+    pub checkpoint_interval: u64,
+    /// Superseded checkpoint chains to retain (0 = prune immediately).
+    pub checkpoint_retain: usize,
+}
+
+/// What standby startup recovery found in its local data directory.
+#[derive(Debug, Clone)]
+pub struct StandbyRecovery {
+    /// Id of the newest checkpoint restored, if any existed.
+    pub checkpoint_id: Option<u64>,
+    /// WAL events replayed through the topology on top of the checkpoint.
+    pub replayed_events: u64,
+    /// Whether the local WAL ended in a torn record (repaired).
+    pub torn_tail: bool,
+}
+
+/// Everything the promoted standby hands to its new life as a primary: a
+/// warm engine, the digest it must keep extending, and the durable handles
+/// already positioned at the replicated index.
+pub struct Promoted {
+    /// The warm topology, state fully applied up to `durable_index`.
+    pub engine: StandbyEngine,
+    /// The engine's state stores, in digest order.
+    pub stores: Vec<StateStore>,
+    /// The output digest the standby accumulated; the promoted server must
+    /// keep updating this same accumulator.
+    pub output_digest: Arc<Mutex<Fnv1a>>,
+    /// The standby's WAL, positioned at `durable_index`.
+    pub wal: WalLog,
+    /// The standby's checkpoint store (a final checkpoint was just taken).
+    pub checkpoints: CheckpointStore,
+    /// Events durably replicated and applied before promotion.
+    pub durable_index: u64,
+}
+
+/// The replicated engine plus its durable companions, all advancing under
+/// one lock so WAL appends, pushes, and checkpoints stay a consistent cut.
+struct Core {
+    engine: StandbyEngine,
+    stores: Vec<StateStore>,
+    output_digest: Arc<Mutex<Fnv1a>>,
+    wal: WalLog,
+    checkpoints: CheckpointStore,
+    events_since_checkpoint: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    stats: Arc<ReplicationStats>,
+    core: Mutex<Option<Core>>,
+    /// Mirror of the standby's durable index, readable without the core lock.
+    durable: AtomicU64,
+    opts: StandbyOptions,
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// A running hot standby; stop it with [`StandbyServer::shutdown`] or flip
+/// it into a primary with [`StandbyServer::promote`].
+pub struct StandbyServer {
+    shared: Arc<Shared>,
+    listen_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    recovery: Option<StandbyRecovery>,
+}
+
+impl StandbyServer {
+    /// Recover whatever the local data directory holds, bind the
+    /// replication listener, and start accepting the primary.
+    pub fn start(opts: StandbyOptions, mut factory: EngineFactory) -> io::Result<StandbyServer> {
+        let (core, recovery) = open_core(&opts, &mut factory)?;
+        let listener = TcpListener::bind(&opts.listen)?;
+        let listen_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(ReplicationStats::new());
+        let durable = core.wal.next_index();
+        stats.record_ack(durable);
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            stats,
+            core: Mutex::new(Some(core)),
+            durable: AtomicU64::new(durable),
+            opts,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("repl-standby".into())
+            .spawn(move || accept_loop(listener, accept_shared, factory))
+            .expect("spawn standby accept loop");
+        Ok(StandbyServer {
+            shared,
+            listen_addr,
+            accept_thread: Some(accept_thread),
+            recovery,
+        })
+    }
+
+    /// Address the replication listener actually bound (resolves port 0).
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Counters for `/metrics`.
+    pub fn stats(&self) -> Arc<ReplicationStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Events durably replicated (WAL-appended locally) so far.
+    pub fn durable_index(&self) -> u64 {
+        self.shared.durable.load(Ordering::Relaxed)
+    }
+
+    /// What startup recovery did, when the data directory held prior state.
+    pub fn recovery(&self) -> Option<&StandbyRecovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Stop replicating and hand over the warm engine: joins the accept
+    /// thread, takes a final checkpoint so the handoff is durable, and
+    /// returns everything a serving primary needs. Fails only when the
+    /// standby was killed mid-bootstrap and holds no coherent state.
+    pub fn promote(mut self) -> io::Result<Promoted> {
+        self.stop_and_join();
+        let mut core = self
+            .shared
+            .core
+            .lock()
+            .expect("standby core lock")
+            .take()
+            .ok_or_else(|| io::Error::other("standby holds no coherent state (mid-bootstrap)"))?;
+        checkpoint_now(&mut core);
+        let durable_index = core.wal.next_index();
+        let Core {
+            engine,
+            stores,
+            output_digest,
+            wal,
+            checkpoints,
+            ..
+        } = core;
+        Ok(Promoted {
+            engine,
+            stores,
+            output_digest,
+            wal,
+            checkpoints,
+            durable_index,
+        })
+    }
+
+    /// Stop the standby without promoting (local state stays on disk).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for StandbyServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Build (or recover) the standby's core from its local data directory:
+/// restore the checkpoint chain, replay the WAL tail, re-anchor.
+fn open_core(
+    opts: &StandbyOptions,
+    factory: &mut EngineFactory,
+) -> io::Result<(Core, Option<StandbyRecovery>)> {
+    let checkpoints = CheckpointStore::open_with_retention(
+        opts.data_dir.join("checkpoints"),
+        opts.checkpoint_retain,
+    )
+    .map_err(to_io)?;
+    let ReplicaEngine { mut engine, stores } = factory()?;
+    let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
+    install_sink(&mut engine, &output_digest);
+
+    let mut events_applied = 0u64;
+    let mut checkpoint_id = None;
+    if let Some(mut loaded) = checkpoints.load_chain().map_err(to_io)? {
+        engine.restore(&mut loaded.restore);
+        *output_digest.lock().expect("digest lock") = Fnv1a::from_state(loaded.output_digest);
+        events_applied = loaded.events_applied;
+        checkpoint_id = Some(loaded.last_id);
+    }
+    let wal_dir = opts.data_dir.join("wal");
+    let wal_state: WalState<SlEvent> = read_wal(&wal_dir).map_err(to_io)?;
+    if wal_state.torn_tail {
+        repair_torn_tail::<SlEvent>(&wal_dir).map_err(to_io)?;
+    }
+    let torn_tail = wal_state.torn_tail;
+    let next_index = wal_state
+        .events
+        .last()
+        .map(|(index, _)| index + 1)
+        .unwrap_or(events_applied)
+        .max(events_applied);
+    let tail = wal_state.replay_tail(events_applied);
+    let replayed_events = tail.len() as u64;
+    let recovered = checkpoint_id.is_some() || replayed_events > 0;
+    if replayed_events > 0 {
+        {
+            let mut pipeline = Pipeline::new(&mut engine);
+            for (_, event) in tail {
+                pipeline.push(event);
+            }
+        }
+        engine.flush();
+    }
+    let mut core = Core {
+        engine,
+        stores,
+        output_digest,
+        wal: WalLog::open(&wal_dir, opts.fsync, next_index).map_err(to_io)?,
+        checkpoints,
+        events_since_checkpoint: 0,
+    };
+    if recovered {
+        checkpoint_now(&mut core);
+    }
+    let report = recovered.then_some(StandbyRecovery {
+        checkpoint_id,
+        replayed_events,
+        torn_tail,
+    });
+    Ok((core, report))
+}
+
+fn install_sink(engine: &mut StandbyEngine, output_digest: &Arc<Mutex<Fnv1a>>) {
+    let digest = Arc::clone(output_digest);
+    engine.set_output_sink(Some(Box::new(FnSink(move |out: u64| {
+        digest
+            .lock()
+            .expect("digest lock")
+            .update(&out.to_le_bytes());
+    }))));
+}
+
+/// The standby's periodic checkpoint: same discipline as the primary's —
+/// flush to a barrier, snapshot dirty tables, publish atomically, rotate
+/// and truncate the WAL; on a failed save, re-dirty so nothing is lost.
+fn checkpoint_now(core: &mut Core) {
+    core.events_since_checkpoint = 0;
+    let mut builder = CheckpointBuilder::new();
+    core.engine.checkpoint(&mut builder);
+    let digest_state = core.output_digest.lock().expect("digest lock").finish();
+    let events_applied = core.wal.next_index();
+    let taken_dirty = builder.taken_dirty();
+    let checkpoint = builder.build(core.checkpoints.next_id(), events_applied, digest_state);
+    match core.checkpoints.save(&checkpoint) {
+        Ok(_) => {
+            if let Err(e) = core
+                .wal
+                .rotate()
+                .and_then(|()| core.wal.truncate_before(events_applied).map(|_| ()))
+            {
+                eprintln!("morphstream standby: WAL rotation failed: {e}");
+            }
+        }
+        Err(e) => {
+            eprintln!("morphstream standby: checkpoint failed: {e}");
+            let mut redirty = RedirtySink::new(taken_dirty);
+            core.engine.checkpoint(&mut redirty);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, mut factory: EngineFactory) {
+    while !shared.stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = handle_primary(&shared, &mut factory, stream) {
+                    // EOF / reset is the primary going away (it reconnects
+                    // and re-handshakes); only data corruption is loud.
+                    if e.kind() == io::ErrorKind::InvalidData {
+                        eprintln!("morphstream standby: replication stream error: {e}");
+                    }
+                }
+                shared.stats.set_connected(false);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("morphstream standby: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// In-flight checkpoint-chain transfer state.
+struct Bootstrap {
+    remaining: u32,
+    events_applied: u64,
+    buf: Vec<u8>,
+}
+
+fn handle_primary(
+    shared: &Shared,
+    factory: &mut EngineFactory,
+    mut stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut magic = [0u8; 4];
+    read_exact_or_stop(shared, &mut stream, &mut magic)?;
+    if magic != REPL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad replication preamble",
+        ));
+    }
+
+    let mut reader = FrameReader::new();
+    let mut frames = Vec::new();
+    let mut scratch = Vec::new();
+    let mut bootstrap: Option<Bootstrap> = None;
+    while !shared.stopped() {
+        frames.clear();
+        read_available(&mut stream, &mut reader, &mut frames)?;
+        if frames.is_empty() {
+            continue;
+        }
+        let mut guard = shared.core.lock().expect("standby core lock");
+        for frame in frames.drain(..) {
+            process_frame(
+                shared,
+                factory,
+                &mut guard,
+                &mut bootstrap,
+                &mut stream,
+                &mut scratch,
+                frame,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn process_frame(
+    shared: &Shared,
+    factory: &mut EngineFactory,
+    core: &mut Option<Core>,
+    bootstrap: &mut Option<Bootstrap>,
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+    frame: Frame,
+) -> io::Result<()> {
+    match frame {
+        Frame::Hello {
+            version, wal_next, ..
+        } => {
+            if version != REPL_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported replication protocol version {version}"),
+                ));
+            }
+            shared.stats.set_connected(true);
+            shared.stats.set_wal_next(wal_next);
+            let (next_index, checkpoint_id) = match core.as_ref() {
+                Some(core) => (
+                    core.wal.next_index(),
+                    core.checkpoints.entries().last().map(|e| e.id),
+                ),
+                None => (0, None),
+            };
+            send_frame(
+                stream,
+                &Frame::Position {
+                    next_index,
+                    checkpoint_id,
+                },
+                scratch,
+            )?;
+        }
+        Frame::BeginBootstrap {
+            chain_len,
+            events_applied,
+        } => {
+            // Discard local state (drop handles before wiping their files).
+            *core = None;
+            reset_dir(&shared.opts.data_dir.join("wal"))?;
+            reset_dir(&shared.opts.data_dir.join("checkpoints"))?;
+            let mut fresh = fresh_core(shared, factory, 0)?;
+            if chain_len == 0 {
+                // Nothing to ship: the primary itself starts at
+                // `events_applied` (0 unless its history was truncated away
+                // without any checkpoint, which cannot happen).
+                fresh.wal = WalLog::open(
+                    shared.opts.data_dir.join("wal"),
+                    shared.opts.fsync,
+                    events_applied,
+                )
+                .map_err(to_io)?;
+                ack(shared, stream, scratch, &fresh)?;
+            } else {
+                *bootstrap = Some(Bootstrap {
+                    remaining: chain_len,
+                    events_applied,
+                    buf: Vec::new(),
+                });
+            }
+            *core = Some(fresh);
+        }
+        Frame::CheckpointChunk { last_chunk, data } => {
+            let state = bootstrap.as_mut().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "checkpoint chunk outside bootstrap",
+                )
+            })?;
+            state.buf.extend_from_slice(&data);
+            if !last_chunk {
+                return Ok(());
+            }
+            let checkpoint = Checkpoint::decode(&state.buf).map_err(to_io)?;
+            state.buf.clear();
+            state.remaining = state.remaining.saturating_sub(1);
+            let done = state.remaining == 0;
+            let announced = state.events_applied;
+            let target = core
+                .as_mut()
+                .ok_or_else(|| io::Error::other("bootstrap without a core"))?;
+            target.checkpoints.save(&checkpoint).map_err(to_io)?;
+            if done {
+                let mut loaded =
+                    target
+                        .checkpoints
+                        .load_chain()
+                        .map_err(to_io)?
+                        .ok_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidData, "shipped chain loads empty")
+                        })?;
+                if loaded.events_applied != announced {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "shipped chain covers {} events, primary announced {announced}",
+                            loaded.events_applied
+                        ),
+                    ));
+                }
+                target.engine.restore(&mut loaded.restore);
+                *target.output_digest.lock().expect("digest lock") =
+                    Fnv1a::from_state(loaded.output_digest);
+                target.wal = WalLog::open(
+                    shared.opts.data_dir.join("wal"),
+                    shared.opts.fsync,
+                    loaded.events_applied,
+                )
+                .map_err(to_io)?;
+                *bootstrap = None;
+                ack(shared, stream, scratch, target)?;
+            }
+        }
+        Frame::Batch {
+            first_index,
+            events,
+        } => {
+            let core = core
+                .as_mut()
+                .filter(|_| bootstrap.is_none())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "batch during bootstrap")
+                })?;
+            if first_index != core.wal.next_index() {
+                // Out of sequence (e.g. a stale sender after our state was
+                // rebuilt): drop the connection; the primary re-handshakes
+                // against our actual position.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "batch at index {first_index}, standby expects {}",
+                        core.wal.next_index()
+                    ),
+                ));
+            }
+            let count = events.len() as u64;
+            let bytes: u64 = events.iter().map(|e| e.len() as u64).sum();
+            {
+                let mut pipeline = Pipeline::new(&mut core.engine);
+                for payload in &events {
+                    let event = SlEvent::decode_binary(payload).map_err(to_io)?;
+                    core.wal.append_event(&event).map_err(to_io)?;
+                    pipeline.push(event);
+                }
+            }
+            core.events_since_checkpoint += count;
+            shared.stats.add_shipped(count, bytes);
+            shared.stats.set_wal_next(first_index + count);
+            ack(shared, stream, scratch, core)?;
+        }
+        Frame::Punct { .. } => {
+            let core = core
+                .as_mut()
+                .filter(|_| bootstrap.is_none())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "punctuation during bootstrap")
+                })?;
+            core.wal.mark_punctuation().map_err(to_io)?;
+            if shared.opts.checkpoint_interval > 0
+                && core.events_since_checkpoint >= shared.opts.checkpoint_interval
+            {
+                checkpoint_now(core);
+            }
+            ack(shared, stream, scratch, core)?;
+        }
+        Frame::Heartbeat { wal_next } => {
+            shared.stats.set_wal_next(wal_next);
+            if let Some(core) = core.as_ref() {
+                ack(shared, stream, scratch, core)?;
+            }
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected frame from primary: {other:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Acknowledge the standby's durable index and mirror it into the stats.
+fn ack(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    scratch: &mut Vec<u8>,
+    core: &Core,
+) -> io::Result<()> {
+    let durable_index = core.wal.next_index();
+    // Local bookkeeping first: once the primary sees this ack, observers on
+    // this side must already see the same durable index.
+    shared.durable.store(durable_index, Ordering::Relaxed);
+    shared.stats.record_ack(durable_index);
+    send_frame(stream, &Frame::Ack { durable_index }, scratch)?;
+    Ok(())
+}
+
+/// A fresh empty core positioned at `next_index` (used by bootstrap resets).
+fn fresh_core(shared: &Shared, factory: &mut EngineFactory, next_index: u64) -> io::Result<Core> {
+    let ReplicaEngine { mut engine, stores } = factory()?;
+    let output_digest = Arc::new(Mutex::new(Fnv1a::new()));
+    install_sink(&mut engine, &output_digest);
+    Ok(Core {
+        engine,
+        stores,
+        output_digest,
+        wal: WalLog::open(
+            shared.opts.data_dir.join("wal"),
+            shared.opts.fsync,
+            next_index,
+        )
+        .map_err(to_io)?,
+        checkpoints: CheckpointStore::open_with_retention(
+            shared.opts.data_dir.join("checkpoints"),
+            shared.opts.checkpoint_retain,
+        )
+        .map_err(to_io)?,
+        events_since_checkpoint: 0,
+    })
+}
+
+fn reset_dir(dir: &Path) -> io::Result<()> {
+    match std::fs::remove_dir_all(dir) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read timeouts (poll the stop
+/// flag between them) so shutdown never hangs on a silent socket.
+fn read_exact_or_stop(shared: &Shared, stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.stopped() {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "standby stopping",
+            ));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed before preamble",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn to_io(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}

@@ -1,0 +1,156 @@
+//! Shared replication counters, published as Prometheus families by the
+//! server's `/metrics` endpoint on both sides of the link.
+//!
+//! One struct serves both roles. On the primary, "shipped" counts records
+//! sent and `acked_index` is the standby's acknowledged durable position;
+//! on the standby, "shipped" counts records received and `acked_index` is
+//! its own durable position (the value it acks). `wal_next` is always the
+//! primary's WAL tip — local on the primary, learned from `Hello`,
+//! `Heartbeat`, and batch arithmetic on the standby — so
+//! `lag = wal_next - acked_index` means the same thing everywhere.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+const NEVER: u64 = u64::MAX;
+
+/// Atomic replication counters; cheap to share across threads.
+#[derive(Debug)]
+pub struct ReplicationStats {
+    connected: AtomicBool,
+    shipped_records: AtomicU64,
+    shipped_bytes: AtomicU64,
+    acked_index: AtomicU64,
+    wal_next: AtomicU64,
+    /// Microseconds since `started` at the last ack; `NEVER` before any.
+    last_ack_micros: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ReplicationStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplicationStats {
+    /// Fresh counters, all zero / disconnected.
+    pub fn new() -> Self {
+        Self {
+            connected: AtomicBool::new(false),
+            shipped_records: AtomicU64::new(0),
+            shipped_bytes: AtomicU64::new(0),
+            acked_index: AtomicU64::new(0),
+            wal_next: AtomicU64::new(0),
+            last_ack_micros: AtomicU64::new(NEVER),
+            started: Instant::now(),
+        }
+    }
+
+    /// Mark the replication link up or down.
+    pub fn set_connected(&self, up: bool) {
+        self.connected.store(up, Ordering::Relaxed);
+    }
+
+    /// Whether the replication link is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Relaxed)
+    }
+
+    /// Count records and payload bytes shipped (sent or received).
+    pub fn add_shipped(&self, records: u64, bytes: u64) {
+        self.shipped_records.fetch_add(records, Ordering::Relaxed);
+        self.shipped_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records shipped over the lifetime of this side.
+    pub fn shipped_records(&self) -> u64 {
+        self.shipped_records.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes shipped over the lifetime of this side.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.shipped_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Record an acknowledged durable position (monotone max).
+    pub fn record_ack(&self, durable_index: u64) {
+        self.acked_index.fetch_max(durable_index, Ordering::Relaxed);
+        let micros = self.started.elapsed().as_micros() as u64;
+        self.last_ack_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Latest acknowledged durable position.
+    pub fn acked_index(&self) -> u64 {
+        self.acked_index.load(Ordering::Relaxed)
+    }
+
+    /// Publish the primary's WAL tip (monotone max).
+    pub fn set_wal_next(&self, wal_next: u64) {
+        self.wal_next.fetch_max(wal_next, Ordering::Relaxed);
+    }
+
+    /// Primary's WAL tip as last observed.
+    pub fn wal_next(&self) -> u64 {
+        self.wal_next.load(Ordering::Relaxed)
+    }
+
+    /// Records the standby is behind the primary's WAL tip.
+    pub fn lag_records(&self) -> u64 {
+        self.wal_next().saturating_sub(self.acked_index())
+    }
+
+    /// Seconds since the last ack; negative (−1) before any ack.
+    pub fn last_ack_seconds(&self) -> f64 {
+        match self.last_ack_micros.load(Ordering::Relaxed) {
+            NEVER => -1.0,
+            at => (self.started.elapsed().as_micros() as u64).saturating_sub(at) as f64 / 1e6,
+        }
+    }
+
+    /// Seconds of replication lag: zero when fully acked, otherwise the
+    /// time since acknowledged progress last advanced (time since the link
+    /// came up when nothing was ever acked).
+    pub fn lag_seconds(&self) -> f64 {
+        if self.lag_records() == 0 {
+            return 0.0;
+        }
+        let last = self.last_ack_seconds();
+        if last < 0.0 {
+            self.started.elapsed().as_micros() as f64 / 1e6
+        } else {
+            last
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_tracks_tip_minus_acks() {
+        let stats = ReplicationStats::new();
+        assert_eq!(stats.lag_records(), 0);
+        assert_eq!(stats.lag_seconds(), 0.0);
+        assert!(stats.last_ack_seconds() < 0.0);
+
+        stats.set_wal_next(100);
+        assert_eq!(stats.lag_records(), 100);
+        assert!(stats.lag_seconds() >= 0.0);
+
+        stats.record_ack(60);
+        assert_eq!(stats.lag_records(), 40);
+        assert!(stats.last_ack_seconds() >= 0.0);
+
+        stats.record_ack(100);
+        assert_eq!(stats.lag_records(), 0);
+        assert_eq!(stats.lag_seconds(), 0.0);
+
+        // Acks and the tip are monotone.
+        stats.record_ack(5);
+        stats.set_wal_next(7);
+        assert_eq!(stats.acked_index(), 100);
+        assert_eq!(stats.wal_next(), 100);
+    }
+}

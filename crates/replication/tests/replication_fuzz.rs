@@ -1,0 +1,132 @@
+//! Property tests of the `MSR1` replication wire protocol (vendored
+//! proptest shim): frames round-trip bit-exactly through the codec and the
+//! incremental [`FrameReader`], truncation reads as "incomplete" (never an
+//! error, never a frame), and arbitrary corruption — bit flips, byte soup —
+//! errors or stays incomplete instead of panicking or fabricating frames.
+//! The replication-layer sibling of `crates/server/tests/protocol_fuzz.rs`
+//! and `crates/durability/tests/durability_fuzz.rs`.
+
+use proptest::prelude::*;
+
+use morphstream_replication::{Frame, FrameReader, MAX_REPL_FRAME, REPL_VERSION};
+
+fn any_byte() -> impl Strategy<Value = u8> {
+    (0u16..256).prop_map(|b| b as u8)
+}
+
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any_byte(), 0..max_len)
+}
+
+fn payloads(max_len: usize, max_count: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(bytes(max_len), 0..max_count)
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (0u32..4, 0..u64::MAX, 0..u64::MAX).prop_map(|(extra, punctuation, wal_next)| {
+            Frame::Hello {
+                version: REPL_VERSION + extra,
+                punctuation,
+                wal_next,
+            }
+        }),
+        (0..u64::MAX, 0u8..2, 0..u64::MAX - 1).prop_map(|(next_index, some, id)| {
+            Frame::Position {
+                next_index,
+                checkpoint_id: (some == 1).then_some(id),
+            }
+        }),
+        (0u32..1 << 16, 0..u64::MAX).prop_map(|(chain_len, events_applied)| {
+            Frame::BeginBootstrap {
+                chain_len,
+                events_applied,
+            }
+        }),
+        (0u8..2, bytes(512)).prop_map(|(last, data)| Frame::CheckpointChunk {
+            last_chunk: last == 1,
+            data,
+        }),
+        (0..u64::MAX, payloads(48, 12)).prop_map(|(first_index, events)| Frame::Batch {
+            first_index,
+            events,
+        }),
+        (0..u64::MAX).prop_map(|next_index| Frame::Punct { next_index }),
+        (0..u64::MAX).prop_map(|wal_next| Frame::Heartbeat { wal_next }),
+        (0..u64::MAX).prop_map(|durable_index| Frame::Ack { durable_index }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frames_round_trip_bit_exactly(frame in frame()) {
+        let wire = frame.to_bytes();
+        prop_assert!(wire.len() <= 4 + MAX_REPL_FRAME + 8);
+        let (decoded, consumed) = Frame::decode(&wire)
+            .expect("decode what we encoded")
+            .expect("a complete frame");
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncated_frames_read_as_incomplete(frame in frame(), cut in 0usize..1 << 20) {
+        let wire = frame.to_bytes();
+        // A strict prefix is never an error and never a frame: the reader
+        // must simply wait for more bytes.
+        let truncated = &wire[..cut % wire.len()];
+        prop_assert!(matches!(Frame::decode(truncated), Ok(None)));
+    }
+
+    #[test]
+    fn bit_flips_never_panic_and_never_pass_the_checksum(
+        frame in frame(),
+        flip in 0usize..1 << 20,
+        bite in 0usize..8,
+    ) {
+        let mut wire = frame.to_bytes();
+        let at = flip % wire.len();
+        wire[at] ^= 1 << bite;
+        match Frame::decode(&wire) {
+            // A flip inside the length prefix may make the frame read as
+            // longer than the bytes at hand: legitimately incomplete.
+            Ok(None) => prop_assert!(at < 4),
+            // Every body byte and the checksum itself are FNV-covered, so
+            // nothing that alters them may decode.
+            Ok(Some(_)) => prop_assert!(false, "corrupt frame decoded"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics(soup in bytes(4096)) {
+        // Arbitrary bytes: must terminate with incomplete or an error.
+        let _ = Frame::decode(&soup);
+        let mut reader = FrameReader::new();
+        reader.extend(&soup);
+        while let Ok(Some(_)) = reader.next() {}
+    }
+
+    #[test]
+    fn reader_reassembles_any_chunking(
+        frames in proptest::collection::vec(frame(), 1..6),
+        chunk in 1usize..96,
+    ) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            frame.encode(&mut wire);
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            reader.extend(piece);
+            while let Some(frame) = reader.next().expect("clean stream") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+}

@@ -20,6 +20,12 @@
 //! folded into rotated-session totals) plus `/healthz`; shutdown on
 //! SIGINT/SIGTERM drains in-flight punctuations (`flush` + `finish`) before
 //! exit.
+//!
+//! With `--replicate-to`, a durable server also ships its WAL to a hot
+//! standby (`morphstream standby`, [`StandbyHandle`]) which replays it
+//! through the same topology and can be promoted — by SIGUSR1 or its
+//! `/promote` endpoint — into a serving primary with digest-identical
+//! state; see [`morphstream_replication`].
 
 #![warn(missing_docs)]
 
@@ -28,11 +34,17 @@ pub mod loadgen;
 pub mod metrics;
 pub mod serve;
 pub mod signal;
+pub mod standby;
 
 pub use codec::{encode_event, write_preamble, SocketEventSource};
 pub use loadgen::{run_loadgen, LoadgenOptions, LoadgenReport};
 pub use metrics::{render_prometheus, ServerMetrics};
+pub use morphstream_replication::{AckMode, ReplicationStats};
 pub use serve::{
     build_topology, reference_run, AuditApp, RecoveryReport, ServeOptions, Server, ServerSummary,
 };
-pub use signal::{install_shutdown_handler, shutdown_requested, trigger_shutdown};
+pub use signal::{
+    install_promote_handler, install_shutdown_handler, promote_requested, shutdown_requested,
+    trigger_promote, trigger_shutdown,
+};
+pub use standby::StandbyHandle;

@@ -7,6 +7,14 @@
 //! burst's socket write is timed: under server back-pressure the write
 //! blocks (TCP flow control reaching the client), so the write-latency tail
 //! *is* the back-pressure signal, reported alongside the achieved rate.
+//!
+//! `--reconnect` makes the client survive a failover window: failed
+//! connects and mid-stream write errors are retried with capped exponential
+//! backoff against the same address, re-sending the wire preamble and the
+//! interrupted burst on the new connection. Events of that burst which the
+//! old server had already ingested are sent again — delivery under
+//! reconnection is at-least-once, which is why failover flows restart the
+//! client with `--skip <morphstream_durable_events>` instead.
 
 use std::io::{self, Write};
 use std::net::TcpStream;
@@ -44,6 +52,9 @@ pub struct LoadgenOptions {
     pub burst_pause: Duration,
     /// Workload generator seed, for reproducible streams.
     pub seed: u64,
+    /// Retry failed connects and mid-stream write errors with capped
+    /// exponential backoff instead of giving up.
+    pub reconnect: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -59,9 +70,16 @@ impl Default for LoadgenOptions {
             burst: 1024,
             burst_pause: Duration::ZERO,
             seed: 0xD5EE_D001,
+            reconnect: false,
         }
     }
 }
+
+/// Consecutive failed attempts before `--reconnect` gives up.
+const RECONNECT_ATTEMPTS: u32 = 20;
+/// First reconnect backoff; doubles per failure up to the cap.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(50);
+const RECONNECT_BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// What the run achieved, as observed from the client side.
 #[derive(Debug, Clone)]
@@ -77,6 +95,10 @@ pub struct LoadgenReport {
     /// 99th-percentile per-burst socket write latency (the back-pressure
     /// tail).
     pub p99_write_ms: f64,
+    /// Times the connection was (re-)established after a failure — failed
+    /// connect attempts retried plus mid-stream reconnections. Always 0
+    /// without `--reconnect`.
+    pub reconnects: u64,
 }
 
 impl LoadgenReport {
@@ -98,12 +120,13 @@ impl LoadgenReport {
             .fixed("p50_write_ms", self.p50_write_ms, 4)
             .fixed("p95_write_ms", self.p95_write_ms, 4)
             .fixed("p99_write_ms", self.p99_write_ms, 4)
+            .unsigned("reconnects", self.reconnects)
             .build()
     }
 
     /// Human-readable one-paragraph summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "sent {} events in {:.2}s ({:.1}k events/s); burst write latency p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms",
             self.sent,
             self.elapsed.as_secs_f64(),
@@ -111,7 +134,11 @@ impl LoadgenReport {
             self.p50_write_ms,
             self.p95_write_ms,
             self.p99_write_ms,
-        )
+        );
+        if self.reconnects > 0 {
+            line.push_str(&format!("; {} reconnects", self.reconnects));
+        }
+        line
     }
 }
 
@@ -137,14 +164,13 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
         to_skip -= n;
     }
 
-    let mut stream = TcpStream::connect(&opts.addr)?;
-    stream.set_nodelay(true)?;
+    let mut reconnects = 0u64;
+    let mut stream = establish(opts, &mut reconnects)?;
 
     let burst = opts.burst.max(1);
     let mut events: Vec<SlEvent> = Vec::with_capacity(burst);
     let mut wire: Vec<u8> = Vec::with_capacity(burst * 32);
     let mut scratch: Vec<u8> = Vec::new();
-    write_preamble(opts.format, &mut wire);
 
     let mut writes = LatencyRecorder::new();
     let mut sent = 0usize;
@@ -154,15 +180,31 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
         if source.next_batch(burst, &mut events) == 0 {
             break;
         }
+        wire.clear();
         for event in &events {
             encode_event(event, opts.format, &mut scratch, &mut wire)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         }
-        let write_started = Instant::now();
-        stream.write_all(&wire)?;
-        writes.record(write_started.elapsed());
+        let mut burst_failures = 0u32;
+        loop {
+            let write_started = Instant::now();
+            match stream.write_all(&wire) {
+                Ok(()) => {
+                    writes.record(write_started.elapsed());
+                    break;
+                }
+                Err(e) if opts.reconnect && burst_failures < RECONNECT_ATTEMPTS => {
+                    burst_failures += 1;
+                    // The interrupted burst is re-sent whole on the new
+                    // connection: at-least-once across the failure.
+                    eprintln!("morphstream loadgen: write failed ({e}), reconnecting");
+                    reconnects += 1;
+                    stream = establish(opts, &mut reconnects)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
         sent += events.len();
-        wire.clear();
         if !opts.burst_pause.is_zero() {
             std::thread::sleep(opts.burst_pause);
         }
@@ -185,5 +227,91 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
         p50_write_ms: pct(&mut writes, 50.0),
         p95_write_ms: pct(&mut writes, 95.0),
         p99_write_ms: pct(&mut writes, 99.0),
+        reconnects,
     })
+}
+
+/// Connect and send the wire-format preamble. With `--reconnect`, failed
+/// connect attempts are retried with capped exponential backoff (surviving
+/// the window where a promoted standby is not yet listening); each retry
+/// counts toward the report's `reconnects`.
+fn establish(opts: &LoadgenOptions, reconnects: &mut u64) -> io::Result<TcpStream> {
+    let mut backoff = RECONNECT_BACKOFF;
+    let mut failures = 0u32;
+    loop {
+        let attempt = TcpStream::connect(&opts.addr).and_then(|stream| {
+            stream.set_nodelay(true)?;
+            let mut preamble = Vec::new();
+            write_preamble(opts.format, &mut preamble);
+            (&stream).write_all(&preamble)?;
+            Ok(stream)
+        });
+        match attempt {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                failures += 1;
+                if !opts.reconnect || failures >= RECONNECT_ATTEMPTS {
+                    return Err(e);
+                }
+                *reconnects += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RECONNECT_BACKOFF_CAP);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    #[test]
+    fn reconnect_survives_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: accept and drop immediately — the client's
+            // writes hit a reset mid-stream.
+            let (first, _) = listener.accept().expect("accept first");
+            drop(first);
+            // Second connection: drain to EOF like a healthy server.
+            let (mut second, _) = listener.accept().expect("accept second");
+            let mut sink = Vec::new();
+            second.read_to_end(&mut sink).expect("drain");
+            sink.len()
+        });
+
+        let report = run_loadgen(&LoadgenOptions {
+            addr: addr.to_string(),
+            events: 20_000,
+            burst: 256,
+            reconnect: true,
+            ..LoadgenOptions::default()
+        })
+        .expect("loadgen with --reconnect succeeds across the drop");
+        assert_eq!(report.sent, 20_000);
+        assert!(report.reconnects >= 1, "no reconnect was recorded");
+        assert!(report.to_json().contains("\"reconnects\":"));
+        assert!(report.render().contains("reconnects"));
+
+        let drained = server.join().expect("server thread");
+        assert!(drained > 0, "second connection saw no data");
+    }
+
+    #[test]
+    fn without_reconnect_a_dead_address_fails_fast() {
+        // Bind then drop: the port is (momentarily) closed.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").to_string()
+        };
+        let err = run_loadgen(&LoadgenOptions {
+            addr,
+            events: 16,
+            ..LoadgenOptions::default()
+        });
+        assert!(err.is_err());
+    }
 }

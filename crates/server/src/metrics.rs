@@ -17,10 +17,11 @@ use std::fmt::Write as _;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use morphstream::{DurabilityCounters, ReportSnapshot};
+use morphstream_replication::ReplicationStats;
 
 /// Lock-free durability counters, updated by the ingest path while holding
 /// the engine lock and read by scrapes that must never block behind it.
@@ -139,6 +140,10 @@ pub struct ServerMetrics {
     pub decode_errors: AtomicU64,
     /// Checkpoint/WAL counters (zero and hidden unless durability is on).
     pub durability: DurabilityStats,
+    /// Replication counters (primary's sender or standby's receiver);
+    /// hidden from scrapes until attached with
+    /// [`ServerMetrics::set_replication`].
+    replication: Mutex<Option<Arc<ReplicationStats>>>,
     /// Epoch of the gauges' time axis (checkpoint age).
     started: Instant,
 }
@@ -159,8 +164,20 @@ impl ServerMetrics {
             frames: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
             durability: DurabilityStats::new(),
+            replication: Mutex::new(None),
             started: Instant::now(),
         }
+    }
+
+    /// Attach the replication counters this server should expose (the
+    /// sender's on a replicating primary, the receiver's on a standby).
+    pub fn set_replication(&self, stats: Arc<ReplicationStats>) {
+        *self.replication.lock().expect("metrics lock") = Some(stats);
+    }
+
+    /// The attached replication counters, if any.
+    pub fn replication(&self) -> Option<Arc<ReplicationStats>> {
+        self.replication.lock().expect("metrics lock").clone()
     }
 
     /// Current reading of the metrics clock (feeds
@@ -387,6 +404,45 @@ pub fn render_prometheus(
         );
     }
 
+    if let Some(repl) = metrics.replication() {
+        gauge(
+            &mut out,
+            "morphstream_standby_connected",
+            "Whether the replication link is currently established (1 = yes).",
+            repl.is_connected() as u64 as f64,
+        );
+        counter(
+            &mut out,
+            "morphstream_replication_shipped_records_total",
+            "WAL records shipped over the replication link (sent on the primary, received on the standby).",
+            repl.shipped_records(),
+        );
+        counter(
+            &mut out,
+            "morphstream_replication_shipped_bytes_total",
+            "WAL payload bytes shipped over the replication link.",
+            repl.shipped_bytes(),
+        );
+        gauge(
+            &mut out,
+            "morphstream_replication_lag_records",
+            "Events the standby's acknowledged durable position trails the primary's WAL tip by.",
+            repl.lag_records() as f64,
+        );
+        gauge(
+            &mut out,
+            "morphstream_replication_lag_seconds",
+            "Seconds of replication lag (0 when fully acknowledged).",
+            repl.lag_seconds(),
+        );
+        gauge(
+            &mut out,
+            "morphstream_replication_last_ack_seconds",
+            "Seconds since the last replication acknowledgement (-1 = none yet).",
+            repl.last_ack_seconds(),
+        );
+    }
+
     if !total.operators.is_empty() {
         let _ = writeln!(
             out,
@@ -485,12 +541,24 @@ pub(crate) fn serve_http(
     running: impl Fn() -> bool,
     scrape: impl Fn() -> String,
 ) {
+    serve_http_with(listener, running, scrape, |_| None);
+}
+
+/// [`serve_http`] plus an extra route hook: `extra` sees the request path
+/// first and may claim it with a `(status, content_type, body)` response
+/// (the standby's `/promote` admin endpoint rides on this).
+pub(crate) fn serve_http_with(
+    listener: TcpListener,
+    running: impl Fn() -> bool,
+    scrape: impl Fn() -> String,
+    extra: impl Fn(&str) -> Option<(&'static str, &'static str, String)>,
+) {
     listener
         .set_nonblocking(true)
         .expect("metrics listener nonblocking");
     while running() {
         match listener.accept() {
-            Ok((stream, _)) => handle_http(stream, &scrape),
+            Ok((stream, _)) => handle_http(stream, &scrape, &extra),
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
             }
@@ -499,7 +567,11 @@ pub(crate) fn serve_http(
     }
 }
 
-fn handle_http(mut stream: std::net::TcpStream, scrape: &impl Fn() -> String) {
+fn handle_http(
+    mut stream: std::net::TcpStream,
+    scrape: &impl Fn() -> String,
+    extra: &impl Fn(&str) -> Option<(&'static str, &'static str, String)>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_nodelay(true);
     // Read until the end of the request headers (or timeout); only the
@@ -521,18 +593,21 @@ fn handle_http(mut stream: std::net::TcpStream, scrape: &impl Fn() -> String) {
         .ok()
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("");
-    let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            scrape(),
-        ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+    let (status, content_type, body) = match extra(path) {
+        Some(response) => response,
+        None => match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                scrape(),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        },
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -641,6 +716,28 @@ mod tests {
         assert!(text.contains("morphstream_durable_events 38\n"));
         assert!(text.contains("morphstream_wal_segments 2\n"));
         assert!(text.contains("morphstream_last_checkpoint_seconds 0.003"));
+    }
+
+    #[test]
+    fn replication_family_appears_once_attached() {
+        let metrics = ServerMetrics::new();
+        let total = ReportSnapshot::default();
+        let silent = render_prometheus(&total, &metrics, false);
+        assert!(!silent.contains("morphstream_standby_connected"));
+
+        let stats = Arc::new(ReplicationStats::new());
+        stats.set_connected(true);
+        stats.set_wal_next(120);
+        stats.add_shipped(100, 3200);
+        stats.record_ack(100);
+        metrics.set_replication(Arc::clone(&stats));
+        let text = render_prometheus(&total, &metrics, false);
+        assert!(text.contains("morphstream_standby_connected 1\n"));
+        assert!(text.contains("morphstream_replication_shipped_records_total 100\n"));
+        assert!(text.contains("morphstream_replication_shipped_bytes_total 3200\n"));
+        assert!(text.contains("morphstream_replication_lag_records 20\n"));
+        assert!(text.contains("morphstream_replication_lag_seconds"));
+        assert!(text.contains("morphstream_replication_last_ack_seconds"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ use morphstream_durability::{
     read_wal, repair_torn_tail, CheckpointBuilder, CheckpointStore, DurabilityError, FsyncPolicy,
     RedirtySink, WalLog, WalState,
 };
+use morphstream_replication::{AckMode, Promoted, ReplicationSender, SenderOptions};
 use morphstream_workloads::{SlEvent, StreamingLedgerApp};
 
 use crate::codec::SocketEventSource;
@@ -90,6 +91,14 @@ pub struct ServeOptions {
     pub checkpoint_interval: u64,
     /// When the write-ahead log fsyncs.
     pub fsync: FsyncPolicy,
+    /// Superseded checkpoint chains to retain on disk (0 = prune each as
+    /// soon as its successor's manifest is published).
+    pub checkpoint_retain: usize,
+    /// Ship the WAL to a standby at this replication address (requires
+    /// `data_dir`; the WAL files are the replication source of truth).
+    pub replicate_to: Option<String>,
+    /// Whether ingest waits for standby acknowledgements.
+    pub ack: AckMode,
     /// Also emit the pre-histogram p50/p95 latency gauges on `/metrics`.
     pub legacy_latency_gauges: bool,
 }
@@ -109,6 +118,9 @@ impl Default for ServeOptions {
             data_dir: None,
             checkpoint_interval: 100_000,
             fsync: FsyncPolicy::Interval,
+            checkpoint_retain: 0,
+            replicate_to: None,
+            ack: AckMode::Async,
             legacy_latency_gauges: false,
         }
     }
@@ -356,6 +368,11 @@ impl RecoveryReport {
 struct Shared {
     engine: Mutex<EngineAndLog>,
     metrics: ServerMetrics,
+    /// The replication shipping thread, when `--replicate-to` is set. Lives
+    /// outside the engine lock: it tails the WAL *files*, so ingest only
+    /// nudges it (and, in sync mode, waits for acks) after releasing the
+    /// lock.
+    sender: Option<ReplicationSender>,
     stop: AtomicBool,
     session_events: u64,
     ingested_since_rotate: AtomicU64,
@@ -413,6 +430,101 @@ impl Server {
             }
             None => (None, None),
         };
+        Self::launch(
+            opts,
+            engine,
+            ledger_store,
+            audit_store,
+            output_digest,
+            metrics,
+            durable,
+            recovery,
+        )
+    }
+
+    /// Start serving on a standby's warm, promoted engine: no topology
+    /// build, no recovery pass — the engine, output digest, WAL, and
+    /// checkpoint store arrive already positioned at the replicated index.
+    /// The engine keeps its standby-installed output sink (it feeds the
+    /// same digest accumulator [`Promoted::output_digest`] hands over).
+    pub fn start_promoted(opts: ServeOptions, promoted: Promoted) -> io::Result<Server> {
+        let Promoted {
+            engine,
+            stores,
+            output_digest,
+            wal,
+            checkpoints,
+            ..
+        } = promoted;
+        let ledger_store = stores
+            .first()
+            .cloned()
+            .ok_or_else(|| io::Error::other("promoted engine has no state stores"))?;
+        let audit_store = stores
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| ledger_store.clone());
+        let metrics = ServerMetrics::new();
+        metrics.durability.enable();
+        let durable = Durable {
+            wal,
+            checkpoints,
+            interval: opts.checkpoint_interval,
+            events_since_checkpoint: 0,
+            punctuation: opts.workload.txns_per_batch as u64,
+            events_since_marker: 0,
+        };
+        durable.publish_wal_stats(&metrics);
+        Self::launch(
+            opts,
+            engine,
+            ledger_store,
+            audit_store,
+            output_digest,
+            metrics,
+            Some(durable),
+            None,
+        )
+    }
+
+    /// Common tail of [`Server::start`] and [`Server::start_promoted`]:
+    /// start replication shipping (when configured), bind both listeners,
+    /// and spawn the accept + metrics threads.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        opts: ServeOptions,
+        engine: ServeEngine,
+        ledger_store: StateStore,
+        audit_store: StateStore,
+        output_digest: Arc<Mutex<Fnv1a>>,
+        metrics: ServerMetrics,
+        durable: Option<Durable>,
+        recovery: Option<RecoveryReport>,
+    ) -> io::Result<Server> {
+        let sender = match opts.replicate_to.as_ref() {
+            Some(target) => {
+                let dir = opts.data_dir.as_deref().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "--replicate-to requires --data-dir (the WAL is what ships)",
+                    )
+                })?;
+                let wal_next = durable.as_ref().map(|d| d.wal.next_index()).unwrap_or(0);
+                let sender = ReplicationSender::start(
+                    SenderOptions {
+                        target: target.clone(),
+                        wal_dir: dir.join("wal"),
+                        checkpoint_dir: dir.join("checkpoints"),
+                        punctuation: opts.workload.txns_per_batch as u64,
+                        ack: opts.ack,
+                    },
+                    wal_next,
+                );
+                metrics.set_replication(sender.stats());
+                Some(sender)
+            }
+            None => None,
+        };
 
         let event_listener = TcpListener::bind(&opts.event_addr)?;
         let event_addr = event_listener.local_addr()?;
@@ -422,6 +534,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: Mutex::new(EngineAndLog { engine, durable }),
             metrics,
+            sender,
             stop: AtomicBool::new(false),
             session_events: opts.session_events,
             ingested_since_rotate: AtomicU64::new(0),
@@ -507,7 +620,7 @@ impl Server {
         self.metrics_thread
             .join()
             .expect("metrics responder panicked");
-        let final_snapshot = {
+        let (final_snapshot, wal_tip) = {
             let mut guard = self.shared.engine.lock().expect("engine lock");
             let state = &mut *guard;
             if let Some(durable) = state.durable.as_mut() {
@@ -518,8 +631,18 @@ impl Server {
                 );
             }
             state.engine.flush();
-            state.engine.finish().snapshot()
+            let tip = state.durable.as_ref().map(|d| d.wal.next_index());
+            (state.engine.finish().snapshot(), tip)
         };
+        if let (Some(sender), Some(tip)) = (self.shared.sender.as_ref(), wal_tip) {
+            // Best-effort drain: give the standby a bounded window to
+            // acknowledge everything this server logged (the final
+            // checkpoint above covers the tip, so even a late-joining
+            // standby can be bootstrapped to it).
+            sender.notify(tip);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            sender.wait_for_ack(tip, &|| Instant::now() >= deadline);
+        }
         self.shared.metrics.fold_session(&final_snapshot);
         let snapshot = self
             .shared
@@ -554,7 +677,9 @@ fn open_durability(
     metrics: &ServerMetrics,
 ) -> io::Result<(Durable, Option<RecoveryReport>)> {
     let to_io = |e: DurabilityError| io::Error::other(e.to_string());
-    let checkpoints = CheckpointStore::open(dir.join("checkpoints")).map_err(to_io)?;
+    let checkpoints =
+        CheckpointStore::open_with_retention(dir.join("checkpoints"), opts.checkpoint_retain)
+            .map_err(to_io)?;
     let mut events_applied = 0u64;
     let mut checkpoint_id = None;
     if let Some(mut loaded) = checkpoints.load_chain().map_err(to_io)? {
@@ -695,7 +820,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
             continue;
         }
-        let logged = {
+        let (logged, wal_tip) = {
             let mut guard = shared.engine.lock().expect("engine lock");
             let state = &mut *guard;
             let mut logged = 0u64;
@@ -735,9 +860,19 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             if chunks.is_multiple_of(CACHE_REFRESH_CHUNKS) {
                 live_total(&shared, &state.engine);
             }
-            logged
+            (logged, state.durable.as_ref().map(|d| d.wal.next_index()))
         };
         shared.pushed.fetch_add(logged, Ordering::SeqCst);
+        if let (Some(sender), Some(tip)) = (shared.sender.as_ref(), wal_tip) {
+            // Nudge the shipping thread outside the engine lock; in sync
+            // mode this connection's reads then wait for the standby's
+            // acknowledgement — extending the back-pressure chain across
+            // machines without ever stalling the engine itself.
+            sender.notify(tip);
+            if logged > 0 && sender.ack_mode() == AckMode::Sync {
+                sender.wait_for_ack(tip, &|| shared.stop.load(Ordering::SeqCst));
+            }
+        }
         source.ack(logged as usize);
         maybe_rotate_session(&shared, logged);
         if logged < n as u64 {

@@ -1,16 +1,20 @@
-//! SIGINT/SIGTERM → an [`AtomicBool`], with no dependency on a signal crate.
+//! SIGINT/SIGTERM (and SIGUSR1) → [`AtomicBool`]s, with no dependency on a
+//! signal crate.
 //!
-//! The handler does the only thing that is async-signal-safe here: store a
-//! relaxed flag. The serve loop polls the flag on its accept/read timeouts
-//! and runs the full graceful drain (`flush` + `finish`) from ordinary
-//! thread context, so a Ctrl-C mid-stream loses nothing.
+//! The handlers do the only thing that is async-signal-safe here: store a
+//! relaxed flag. The serve loop polls the shutdown flag on its accept/read
+//! timeouts and runs the full graceful drain (`flush` + `finish`) from
+//! ordinary thread context, so a Ctrl-C mid-stream loses nothing. The
+//! standby loop additionally polls the promote flag (SIGUSR1 or the
+//! `/promote` admin endpoint) to flip itself into a serving primary.
 //!
-//! On non-Unix targets installation is a no-op and only programmatic
-//! shutdown ([`crate::Server::request_stop`]) applies.
+//! On non-Unix targets installation is a no-op and only the programmatic
+//! triggers ([`crate::Server::request_stop`], [`trigger_promote`]) apply.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static PROMOTE: AtomicBool = AtomicBool::new(false);
 
 /// True once SIGINT or SIGTERM was received (or [`trigger_shutdown`] ran).
 pub fn shutdown_requested() -> bool {
@@ -22,28 +26,51 @@ pub fn trigger_shutdown() {
     SHUTDOWN.store(true, Ordering::Relaxed);
 }
 
+/// True once SIGUSR1 was received (or [`trigger_promote`] ran).
+pub fn promote_requested() -> bool {
+    PROMOTE.load(Ordering::Relaxed)
+}
+
+/// Flip the promote flag programmatically (the `/promote` endpoint, tests).
+pub fn trigger_promote() {
+    PROMOTE.store(true, Ordering::Relaxed);
+}
+
 /// Install the SIGINT/SIGTERM handlers. Safe to call more than once.
 pub fn install_shutdown_handler() {
     imp::install();
 }
 
+/// Install the SIGUSR1 → promote handler. Safe to call more than once.
+pub fn install_promote_handler() {
+    imp::install_promote();
+}
+
 #[cfg(unix)]
 mod imp {
-    use super::SHUTDOWN;
+    use super::{PROMOTE, SHUTDOWN};
     use std::sync::atomic::Ordering;
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    const SIGUSR1: i32 = 10;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    const SIGUSR1: i32 = 30;
 
     extern "C" {
         // libc's classic `signal`; glibc gives BSD semantics (the handler
         // stays installed). Declared directly to avoid a libc crate
-        // dependency for two constants and one call.
+        // dependency for three constants and one call.
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
     extern "C" fn on_signal(_signum: i32) {
         SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" fn on_promote(_signum: i32) {
+        PROMOTE.store(true, Ordering::Relaxed);
     }
 
     pub fn install() {
@@ -52,9 +79,16 @@ mod imp {
             signal(SIGTERM, on_signal as *const () as usize);
         }
     }
+
+    pub fn install_promote() {
+        unsafe {
+            signal(SIGUSR1, on_promote as *const () as usize);
+        }
+    }
 }
 
 #[cfg(not(unix))]
 mod imp {
     pub fn install() {}
+    pub fn install_promote() {}
 }

@@ -1,0 +1,202 @@
+//! End-to-end replication through the server layer: a `--replicate-to`
+//! primary ships its WAL to a [`StandbyHandle`], both sides expose the
+//! replication families on `/metrics`, the `/promote` admin endpoint flips
+//! the promote flag, and a promoted standby serves the rest of the stream
+//! to digests identical to one uninterrupted run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use morphstream_common::protocol::WireFormat;
+use morphstream_common::WorkloadConfig;
+use morphstream_server::{
+    encode_event, promote_requested, reference_run, write_preamble, AckMode, ServeOptions, Server,
+    StandbyHandle,
+};
+use morphstream_workloads::{SlEvent, StreamingLedgerApp};
+
+fn test_events(count: usize, config: &WorkloadConfig) -> Vec<SlEvent> {
+    StreamingLedgerApp::generate(config, count, 0.5)
+}
+
+fn test_options(data_dir: Option<PathBuf>) -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    opts.workload = opts
+        .workload
+        .with_key_space(10_000)
+        .with_txns_per_batch(1_000);
+    opts.workload.udf_complexity_us = 0;
+    opts.data_dir = data_dir;
+    opts
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("morph-repl-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn send_stream(addr: std::net::SocketAddr, events: &[SlEvent]) {
+    let mut stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    let mut scratch = Vec::new();
+    write_preamble(WireFormat::Binary, &mut wire);
+    for event in events {
+        encode_event(event, WireFormat::Binary, &mut scratch, &mut wire).expect("encode event");
+    }
+    stream.write_all(&wire).expect("write stream");
+    stream.flush().unwrap();
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+}
+
+fn wait_for_ingest(server: &Server, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.events_ingested() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "server ingested {} of {expected} events before the deadline",
+            server.events_ingested()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_for_durable(standby: &StandbyHandle, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while standby.durable_index() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "standby replicated {} of {expected} events before the deadline",
+            standby.durable_index()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split")
+        .1
+        .to_string()
+}
+
+fn metric_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|line| !line.starts_with('#'))
+        .find_map(|line| {
+            let (sample, value) = line.rsplit_once(' ')?;
+            (sample == name).then(|| value.parse().expect("numeric sample"))
+        })
+}
+
+/// The full failover story through the public server API: replicate under
+/// sync acks, observe lag reach zero on both `/metrics` endpoints, promote
+/// the standby, serve the rest of the stream there, and match the digests
+/// of one uninterrupted reference run.
+#[test]
+fn replicated_serve_fails_over_to_a_promoted_standby_with_identical_digests() {
+    const EVENTS: usize = 4_000;
+    const HANDOFF: usize = 2_500;
+    let primary_dir = temp_dir("primary");
+    let standby_dir = temp_dir("standby");
+    let events = test_events(EVENTS, &test_options(None).workload);
+    let expected = reference_run(&test_options(None), events.clone()).expect("reference run");
+
+    let standby = StandbyHandle::start(
+        test_options(Some(standby_dir.clone())),
+        "127.0.0.1:0".into(),
+    )
+    .expect("standby starts");
+    assert!(standby.recovery().is_none(), "fresh standby data dir");
+
+    let mut primary_opts = test_options(Some(primary_dir.clone()));
+    primary_opts.replicate_to = Some(standby.listen_addr().to_string());
+    primary_opts.ack = AckMode::Sync;
+    let primary = Server::start(primary_opts).expect("primary starts");
+
+    send_stream(primary.event_addr(), &events[..HANDOFF]);
+    wait_for_ingest(&primary, HANDOFF as u64);
+    wait_for_durable(&standby, HANDOFF as u64);
+
+    // Both sides expose the replication families, and the link is caught up.
+    let primary_scrape = http_get(primary.metrics_addr(), "/metrics");
+    assert_eq!(
+        metric_value(&primary_scrape, "morphstream_standby_connected"),
+        Some(1.0)
+    );
+    assert!(
+        metric_value(
+            &primary_scrape,
+            "morphstream_replication_shipped_records_total"
+        )
+        .expect("primary exposes shipped records")
+            >= HANDOFF as f64
+    );
+    assert_eq!(
+        metric_value(&primary_scrape, "morphstream_replication_lag_records"),
+        Some(0.0),
+        "sync acks leave no lag after ingest finishes"
+    );
+    let standby_scrape = http_get(standby.metrics_addr(), "/metrics");
+    assert_eq!(
+        metric_value(&standby_scrape, "morphstream_standby_connected"),
+        Some(1.0)
+    );
+    assert_eq!(
+        metric_value(
+            &standby_scrape,
+            "morphstream_replication_shipped_records_total"
+        ),
+        Some(HANDOFF as f64)
+    );
+    assert_eq!(
+        metric_value(&standby_scrape, "morphstream_replication_lag_records"),
+        Some(0.0)
+    );
+    assert!(
+        metric_value(&standby_scrape, "morphstream_replication_last_ack_seconds")
+            .expect("standby exposes ack age")
+            >= 0.0
+    );
+    assert_eq!(http_get(standby.metrics_addr(), "/healthz"), "ok\n");
+
+    // The admin endpoint flips the same flag SIGUSR1 does.
+    assert!(!promote_requested());
+    assert_eq!(http_get(standby.metrics_addr(), "/promote"), "promoting\n");
+    assert!(promote_requested(), "/promote raises the promote flag");
+
+    // Lose the primary, promote, and serve the rest of the stream there.
+    primary.shutdown();
+    let promoted = standby.promote().expect("promotion succeeds");
+    send_stream(promoted.event_addr(), &events[HANDOFF..]);
+    wait_for_ingest(&promoted, (EVENTS - HANDOFF) as u64);
+    let summary = promoted.shutdown();
+
+    assert_eq!(
+        summary.ledger_digest, expected.ledger_digest,
+        "ledger state diverged across failover"
+    );
+    assert_eq!(
+        summary.audit_digest, expected.audit_digest,
+        "audit state diverged across failover"
+    );
+    assert_eq!(
+        summary.output_digest, expected.output_digest,
+        "output stream diverged across failover"
+    );
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}
